@@ -1,0 +1,101 @@
+// Micro-benchmarks (google-benchmark) of the primitives the learners are
+// built from: lattice operations, matrix joins, candidate extraction,
+// matching, simulation and one full learner run at small scale.
+#include <benchmark/benchmark.h>
+
+#include "analysis/conformance.hpp"
+#include "core/candidates.hpp"
+#include "core/heuristic_learner.hpp"
+#include "core/matching.hpp"
+#include "gen/gm_case_study.hpp"
+#include "gen/scenarios.hpp"
+#include "sim/simulator.hpp"
+
+namespace bbmg {
+namespace {
+
+void BM_DepLub(benchmark::State& state) {
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const DepValue a = kAllDepValues[i % kNumDepValues];
+    const DepValue b = kAllDepValues[(i / kNumDepValues) % kNumDepValues];
+    benchmark::DoNotOptimize(dep_lub(a, b));
+    ++i;
+  }
+}
+BENCHMARK(BM_DepLub);
+
+void BM_MatrixLub(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  DependencyMatrix a(n);
+  DependencyMatrix b = DependencyMatrix::top(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) a.set_pair(i, i + 1, DepValue::Forward);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.lub(b));
+  }
+}
+BENCHMARK(BM_MatrixLub)->Arg(4)->Arg(18)->Arg(64);
+
+void BM_MatrixWeight(benchmark::State& state) {
+  const DependencyMatrix m = DependencyMatrix::top(18);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.weight());
+  }
+}
+BENCHMARK(BM_MatrixWeight);
+
+void BM_CandidateExtraction(benchmark::State& state) {
+  SimConfig cfg;
+  cfg.seed = 7;
+  const Trace trace = simulate_trace(gm_case_study_model(), 1, cfg);
+  const Period& period = trace.periods()[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PeriodCandidates(period, trace.num_tasks()));
+  }
+}
+BENCHMARK(BM_CandidateExtraction);
+
+void BM_MatchingOracle(benchmark::State& state) {
+  const Trace trace = paper_example_trace();
+  const DependencyMatrix d = learn_heuristic(trace, 1).lub();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matches_trace(d, trace));
+  }
+}
+BENCHMARK(BM_MatchingOracle);
+
+void BM_SimulateGmPeriod(benchmark::State& state) {
+  const SystemModel model = gm_case_study_model();
+  SimConfig cfg;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    cfg.seed = seed++;
+    benchmark::DoNotOptimize(simulate_trace(model, 1, cfg));
+  }
+}
+BENCHMARK(BM_SimulateGmPeriod);
+
+void BM_ConformanceCheckGm(benchmark::State& state) {
+  SimConfig cfg;
+  cfg.seed = 7;
+  const Trace trace = simulate_trace(gm_case_study_model(), 5, cfg);
+  const DependencyMatrix model = learn_heuristic(trace, 8).lub();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check_conformance(model, trace));
+  }
+}
+BENCHMARK(BM_ConformanceCheckGm);
+
+void BM_LearnPaperTrace(benchmark::State& state) {
+  const Trace trace = paper_example_trace();
+  const std::size_t bound = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(learn_heuristic(trace, bound));
+  }
+}
+BENCHMARK(BM_LearnPaperTrace)->Arg(1)->Arg(8)->Arg(64);
+
+}  // namespace
+}  // namespace bbmg
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Experiment E6 — empirical complexity of the heuristic learner against
+// the paper's O(m*b^2 + m*b*t^2) claim (§4): runtime should be ~linear in
+// the number of messages m (trace length), superlinear (~quadratic) in the
+// bound b, and grow with the task count t.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/stopwatch.hpp"
+#include "common/table.hpp"
+#include "common/text.hpp"
+#include "core/heuristic_learner.hpp"
+#include "gen/gm_case_study.hpp"
+#include "gen/random_model.hpp"
+#include "gen/scenarios.hpp"
+#include "sim/simulator.hpp"
+
+using namespace bbmg;
+
+namespace {
+
+double time_learn(const Trace& trace, std::size_t bound) {
+  Stopwatch w;
+  (void)learn_heuristic(trace, bound);
+  return w.elapsed_seconds();
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("E6: heuristic complexity shape, O(m b^2 + m b t^2)");
+
+  // (a) linear in m: grow the number of periods of the GM trace.
+  {
+    TextTable table({"Periods", "Messages m", "Time (s)", "Time/msg (ms)"});
+    for (std::size_t periods : {9, 18, 27, 54, 108}) {
+      const Trace trace = bench::gm_trace(7, periods);
+      const double secs = time_learn(trace, 16);
+      table.add_row({std::to_string(periods),
+                     std::to_string(trace.total_messages()),
+                     format_double(secs, 3),
+                     format_double(1e3 * secs / trace.total_messages(), 3)});
+    }
+    std::printf("(a) runtime vs trace length (bound 16) — time/msg should "
+                "be ~flat:\n%s\n", table.to_string().c_str());
+  }
+
+  // (b) quadratic-ish in b.
+  {
+    const Trace trace = bench::gm_trace();
+    TextTable table({"Bound b", "Time (s)", "Time/b (ms)"});
+    for (std::size_t b : {2, 4, 8, 16, 32, 64}) {
+      const double secs = time_learn(trace, b);
+      table.add_row({std::to_string(b), format_double(secs, 3),
+                     format_double(1e3 * secs / b, 2)});
+    }
+    std::printf("(b) runtime vs bound — time/b should grow ~linearly "
+                "(=> ~b^2 total):\n%s\n", table.to_string().c_str());
+  }
+
+  // (c) growth in t: random models of growing size, fixed periods/bound.
+  {
+    TextTable table({"Tasks t", "Messages m", "Time (s)", "Time/(m) (ms)"});
+    for (std::size_t t : {8, 12, 16, 24, 32}) {
+      RandomModelParams params;
+      params.num_tasks = t;
+      params.num_layers = 4;
+      params.num_ecus = 3;
+      params.seed = 17;
+      SimConfig cfg;
+      cfg.seed = 23;
+      cfg.period_length = 400 * kTimeNsPerMs;  // room for bigger systems
+      const Trace trace = simulate_trace(random_model(params), 20, cfg);
+      const double secs = time_learn(trace, 16);
+      table.add_row({std::to_string(t), std::to_string(trace.total_messages()),
+                     format_double(secs, 3),
+                     format_double(1e3 * secs / trace.total_messages(), 3)});
+    }
+    std::printf("(c) runtime vs task count (bound 16, 20 periods) — "
+                "time/msg grows with t (the t^2 term):\n%s\n",
+                table.to_string().c_str());
+  }
+  return 0;
+}

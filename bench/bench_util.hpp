@@ -1,0 +1,36 @@
+// Shared helpers for the benchmark/reproduction harnesses.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "gen/gm_case_study.hpp"
+#include "sim/simulator.hpp"
+#include "trace/trace.hpp"
+
+namespace bbmg::bench {
+
+/// Environment-controlled scale: BBMG_FULL=1 unlocks the long-running
+/// configurations (the paper's exact-learner experiment took ~10 minutes
+/// on its own data).
+inline bool full_scale() {
+  const char* v = std::getenv("BBMG_FULL");
+  return v != nullptr && v[0] == '1';
+}
+
+/// The canonical case-study trace: 18 tasks, 27 periods, ~340 messages,
+/// ~700 event pairs (paper §3.4: 18 tasks, 330 messages, 27 periods, 700
+/// event-pair executions).
+inline Trace gm_trace(std::uint64_t seed = 7,
+                      std::size_t periods = kGmCaseStudyPeriods) {
+  SimConfig cfg;
+  cfg.seed = seed;
+  return simulate_trace(gm_case_study_model(), periods, cfg);
+}
+
+inline void heading(const std::string& title) {
+  std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+}  // namespace bbmg::bench

@@ -1,0 +1,68 @@
+// The paper's motivating requirement, checked end to end on the brake
+// scenario: "if the brake is pressed, then brake actuator must react
+// within 300 msec".
+//
+// Without a system-level model the integrator must assume every
+// higher-priority task on each ECU can preempt the path — and the 300 ms
+// budget appears violated.  Learning the dependency model from a bus trace
+// recovers enough ordering to prove the deadline.
+//
+//   $ ./examples/brake_deadline [periods] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/dependency_graph.hpp"
+#include "analysis/latency.hpp"
+#include "core/heuristic_learner.hpp"
+#include "gen/brake_system.hpp"
+#include "sim/simulator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bbmg;
+  const std::size_t periods = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 30;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 5;
+
+  const SystemModel model = brake_system_model();
+  SimConfig cfg;
+  cfg.seed = seed;
+  cfg.period_length = 1000 * kTimeNsPerMs;  // 1 s braking control period
+  const Trace trace = simulate_trace(model, periods, cfg);
+  std::printf("simulated %zu periods (%zu messages) of the brake system\n",
+              trace.num_periods(), trace.total_messages());
+
+  const LearnResult result = learn_heuristic(trace, 16);
+  const DependencyMatrix learned = result.lub();
+  const DependencyGraph graph(learned, trace.task_names());
+  std::printf("learned model: %zu hypothesis(es)%s\n\n",
+              result.hypotheses.size(),
+              result.converged() ? ", converged" : "");
+
+  // Structural findings.
+  const TaskId arb = graph.by_name("AbsArbiter");
+  std::printf("AbsArbiter is a %s node (chooses normal vs ABS braking)\n",
+              graph.role(arb) == NodeRole::Disjunction ? "disjunction"
+                                                       : "plain");
+  std::printf("d(PedalSensor, AbsArbiter) = %s — the pedal always drives "
+              "the arbiter\n\n",
+              std::string(dep_to_string(graph.value(
+                  graph.by_name("PedalSensor"), arb))).c_str());
+
+  // The deadline check.
+  LatencyConfig lat;
+  const auto responses = response_times(model, learned, lat);
+  const auto path = brake_critical_path(model);
+  const TimeNs pess = path_latency(model, responses, path, false, lat);
+  const TimeNs dep = path_latency(model, responses, path, true, lat);
+
+  std::printf("pedal -> front actuator worst-case latency "
+              "(deadline %llu ms):\n",
+              static_cast<unsigned long long>(kBrakeDeadline / kTimeNsPerMs));
+  std::printf("  all-independent assumption : %4llu ms  -> %s\n",
+              static_cast<unsigned long long>(pess / kTimeNsPerMs),
+              pess <= kBrakeDeadline ? "deadline met"
+                                     : "cannot prove the deadline");
+  std::printf("  learned dependency model   : %4llu ms  -> %s\n",
+              static_cast<unsigned long long>(dep / kTimeNsPerMs),
+              dep <= kBrakeDeadline ? "deadline PROVED" : "still unprovable");
+  return 0;
+}

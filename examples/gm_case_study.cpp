@@ -1,0 +1,83 @@
+// The GM-like case study end to end (paper §3.4, Fig. 5):
+//
+//   1. build the 18-task distributed design model (4 ECUs, one CAN bus);
+//   2. simulate 27 periods on the OSEK+CAN platform substrate;
+//   3. learn the dependency model from the bus trace with the bounded
+//      heuristic;
+//   4. classify nodes, check the paper's published properties, and report
+//      the dependencies the design model never stated.
+//
+//   $ ./examples/gm_case_study [periods] [bound] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/compare.hpp"
+#include "analysis/dependency_graph.hpp"
+#include "core/heuristic_learner.hpp"
+#include "gen/gm_case_study.hpp"
+#include "model/design_truth.hpp"
+#include "sim/simulator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bbmg;
+
+  const std::size_t periods =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : kGmCaseStudyPeriods;
+  const std::size_t bound = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 32;
+  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 7;
+
+  const SystemModel model = gm_case_study_model();
+  SimConfig sim_config;
+  sim_config.seed = seed;
+  const SimReport sim = simulate(model, periods, sim_config);
+
+  std::printf("simulated %zu periods: %zu messages, %zu task executions, "
+              "%zu event pairs, %llu preemptions\n",
+              sim.trace.num_periods(), sim.trace.total_messages(),
+              sim.trace.total_executions(), sim.trace.total_event_pairs(),
+              static_cast<unsigned long long>(sim.preemptions));
+
+  const LearnResult result = learn_heuristic(sim.trace, bound);
+  std::printf("heuristic learner (bound %zu): %zu hypotheses in %.3f s\n\n",
+              bound, result.hypotheses.size(), result.stats.wall_seconds);
+
+  const DependencyMatrix learned = result.lub();
+  const DependencyGraph graph(learned, sim.trace.task_names());
+
+  std::printf("node classification (learned):\n");
+  for (std::size_t i = 0; i < graph.num_tasks(); ++i) {
+    const TaskId t{i};
+    const char* role = "";
+    switch (graph.role(t)) {
+      case NodeRole::Disjunction: role = "disjunction"; break;
+      case NodeRole::Conjunction: role = "conjunction"; break;
+      case NodeRole::Both:        role = "disjunction+conjunction"; break;
+      case NodeRole::Plain:       continue;
+    }
+    std::printf("  %-2s %s\n", graph.name(t).c_str(), role);
+  }
+
+  const TaskId A = graph.by_name("A");
+  const TaskId B = graph.by_name("B");
+  const TaskId L = graph.by_name("L");
+  const TaskId M = graph.by_name("M");
+  const TaskId O = graph.by_name("O");
+  const TaskId Q = graph.by_name("Q");
+  std::printf("\nproperties proved from the learned model:\n");
+  std::printf("  d(A,L) = %s  (\"no matter which mode A chooses, L executes\")\n",
+              std::string(dep_to_string(graph.value(A, L))).c_str());
+  std::printf("  d(B,M) = %s  (\"no matter which mode B chooses, M executes\")\n",
+              std::string(dep_to_string(graph.value(B, M))).c_str());
+  std::printf("  d(Q,O) = %s  (dependency on the infrastructure heartbeat;\n"
+              "                absent from the design model)\n",
+              std::string(dep_to_string(graph.value(Q, O))).c_str());
+
+  const DependencyMatrix design = design_dependency(model);
+  const auto emergent = emergent_pairs(design, learned);
+  std::printf("\n%zu ordered pairs carry a learned dependency the design "
+              "never stated.\n", emergent.size());
+
+  std::printf("\nGraphviz dependency graph (paper Fig. 5 analogue):\n%s",
+              graph.to_dot().c_str());
+  return 0;
+}

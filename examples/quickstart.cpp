@@ -1,0 +1,56 @@
+// Quickstart: learn a dependency model from the paper's own worked example
+// (§3.3).  Builds the Fig. 2 trace, runs the exact learner and the bounded
+// heuristic, and prints the surviving hypotheses and their least upper
+// bound — the matrix of the paper's Fig. 4.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+#include <string>
+
+#include "analysis/dependency_graph.hpp"
+#include "core/exact_learner.hpp"
+#include "core/heuristic_learner.hpp"
+#include "gen/scenarios.hpp"
+
+int main() {
+  using namespace bbmg;
+
+  // The trace a bus logging device would record: task start/end plus
+  // anonymous message rise/fall.  No senders, no receivers, no design.
+  const Trace trace = paper_example_trace();
+  std::printf("trace: %zu tasks, %zu periods, %zu messages\n\n",
+              trace.num_tasks(), trace.num_periods(), trace.total_messages());
+
+  // 1. The exact learner: the complete set of most specific dependency
+  //    functions matching every period.
+  const LearnResult exact = learn_exact(trace);
+  std::printf("exact learner: %zu most specific hypotheses%s\n",
+              exact.hypotheses.size(),
+              exact.converged() ? " (converged)" : "");
+  for (std::size_t i = 0; i < exact.hypotheses.size(); ++i) {
+    std::printf("\nhypothesis %zu (weight %llu):\n%s", i + 1,
+                static_cast<unsigned long long>(exact.hypotheses[i].weight()),
+                exact.hypotheses[i].to_table(trace.task_names()).c_str());
+  }
+
+  // 2. Their least upper bound — the paper's dLUB (Fig. 4).
+  const DependencyMatrix dlub = exact.lub();
+  std::printf("\ndLUB (least upper bound of all hypotheses):\n%s",
+              dlub.to_table(trace.task_names()).c_str());
+
+  // 3. The bounded heuristic with bound 1 maintains a single running LUB
+  //    and lands on the same matrix (the paper's convergence theorem).
+  const LearnResult h1 = learn_heuristic(trace, 1);
+  std::printf("\nheuristic (bound 1) result %s dLUB\n",
+              h1.hypotheses.front() == dlub ? "==" : "!=");
+
+  // 4. Query the result as a graph.
+  const DependencyGraph graph(dlub, trace.task_names());
+  const TaskId t1 = graph.by_name("t1");
+  const TaskId t4 = graph.by_name("t4");
+  std::printf(
+      "\nd(t1,t4) = %s  — t1 always determines t4, a fact no single design\n"
+      "message states; the learner found it from the trace alone.\n",
+      std::string(dep_to_string(graph.value(t1, t4))).c_str());
+  return 0;
+}

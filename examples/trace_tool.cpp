@@ -1,0 +1,133 @@
+// bbmg trace tool: the file-based workflow an integrator would script.
+//
+//   trace_tool gen <out.trace> [periods] [seed]   simulate the GM-like
+//                                                 system and save a trace
+//   trace_tool learn <in.trace> <out.model> [bound]
+//                                                 learn a dependency model
+//   trace_tool check <in.trace> <in.model>        conformance-check a
+//                                                 trace against a model
+//   trace_tool show <in.model>                    pretty-print a model
+//   trace_tool stats <in.trace>                   workload statistics
+//   trace_tool segment <in.events> <out.trace> <gap-ns>
+//                                                 split a flat event
+//                                                 stream at idle gaps
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "analysis/conformance.hpp"
+#include "analysis/dependency_graph.hpp"
+#include "core/heuristic_learner.hpp"
+#include "gen/gm_case_study.hpp"
+#include "lattice/matrix_io.hpp"
+#include "sim/simulator.hpp"
+#include "trace/segmentation.hpp"
+#include "trace/serialize.hpp"
+#include "trace/stats.hpp"
+
+using namespace bbmg;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  trace_tool gen <out.trace> [periods] [seed]\n"
+               "  trace_tool learn <in.trace> <out.model> [bound]\n"
+               "  trace_tool check <in.trace> <in.model>\n"
+               "  trace_tool show <in.model>\n"
+               "  trace_tool stats <in.trace>\n"
+               "  trace_tool segment <in.trace> <out.trace> <gap-ns>\n");
+  return 2;
+}
+
+int cmd_gen(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::size_t periods =
+      argc > 3 ? std::strtoul(argv[3], nullptr, 10) : kGmCaseStudyPeriods;
+  SimConfig cfg;
+  cfg.seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 7;
+  const Trace trace = simulate_trace(gm_case_study_model(), periods, cfg);
+  save_trace_file(argv[2], trace);
+  std::printf("wrote %s: %zu periods, %zu messages\n", argv[2],
+              trace.num_periods(), trace.total_messages());
+  return 0;
+}
+
+int cmd_learn(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::size_t bound = argc > 4 ? std::strtoul(argv[4], nullptr, 10) : 16;
+  const Trace trace = load_trace_file(argv[2]);
+  const LearnResult result = learn_heuristic(trace, bound);
+  const DependencyMatrix model = result.lub();
+  save_matrix_file(argv[3], model, trace.task_names());
+  std::printf("learned from %zu periods (%zu hypotheses, %s) -> %s\n",
+              trace.num_periods(), result.hypotheses.size(),
+              result.converged() ? "converged" : "not converged", argv[3]);
+  return 0;
+}
+
+int cmd_check(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const Trace trace = load_trace_file(argv[2]);
+  const NamedMatrix model = load_matrix_file(argv[3]);
+  if (model.task_names != trace.task_names()) {
+    std::fprintf(stderr, "error: trace and model use different task sets\n");
+    return 2;
+  }
+  const ConformanceReport report = check_conformance(model.matrix, trace);
+  std::printf("%zu periods checked, %zu violations\n", report.periods_checked,
+              report.violations.size());
+  for (const auto& v : report.violations) {
+    std::printf("  %s\n", describe_violation(v, model.task_names).c_str());
+  }
+  return report.conforms() ? 0 : 1;
+}
+
+int cmd_show(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const NamedMatrix model = load_matrix_file(argv[2]);
+  std::printf("%s\n", model.matrix.to_table(model.task_names).c_str());
+  const DependencyGraph graph(model.matrix, model.task_names);
+  std::printf("%s", graph.to_dot().c_str());
+  return 0;
+}
+
+int cmd_stats(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const Trace trace = load_trace_file(argv[2]);
+  std::printf("%s", stats_to_string(compute_stats(trace),
+                                    trace.task_names()).c_str());
+  return 0;
+}
+
+int cmd_segment(int argc, char** argv) {
+  if (argc < 5) return usage();
+  // Re-segment an existing trace's flattened event stream by idle gaps —
+  // the workflow for loggers that do not mark period boundaries.
+  const Trace in = load_trace_file(argv[2]);
+  const TimeNs gap = std::strtoull(argv[4], nullptr, 10);
+  const Trace out = segment_by_gap(flatten(in), in.task_names(), gap);
+  save_trace_file(argv[3], out);
+  std::printf("segmented %zu events into %zu periods -> %s\n",
+              flatten(in).size(), out.num_periods(), argv[3]);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  try {
+    if (std::strcmp(argv[1], "gen") == 0) return cmd_gen(argc, argv);
+    if (std::strcmp(argv[1], "learn") == 0) return cmd_learn(argc, argv);
+    if (std::strcmp(argv[1], "check") == 0) return cmd_check(argc, argv);
+    if (std::strcmp(argv[1], "show") == 0) return cmd_show(argc, argv);
+    if (std::strcmp(argv[1], "stats") == 0) return cmd_stats(argc, argv);
+    if (std::strcmp(argv[1], "segment") == 0) return cmd_segment(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  return usage();
+}

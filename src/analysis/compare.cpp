@@ -1,0 +1,55 @@
+#include "analysis/compare.hpp"
+
+#include "common/error.hpp"
+
+namespace bbmg {
+
+MatrixComparison compare_matrices(const DependencyMatrix& reference,
+                                  const DependencyMatrix& candidate) {
+  BBMG_REQUIRE(reference.num_tasks() == candidate.num_tasks(),
+               "matrix size mismatch");
+  const std::size_t n = reference.num_tasks();
+  MatrixComparison cmp;
+  cmp.weight_reference = reference.weight();
+  cmp.weight_candidate = candidate.weight();
+  cmp.candidate_geq_reference = reference.leq(candidate);
+
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a == b) continue;
+      ++cmp.total_pairs;
+      const DepValue r = reference.at(a, b);
+      const DepValue c = candidate.at(a, b);
+      if (r == c) {
+        ++cmp.equal;
+      } else if (dep_leq(r, c)) {
+        ++cmp.candidate_more_general;
+      } else if (dep_leq(c, r)) {
+        ++cmp.candidate_more_specific;
+      } else {
+        ++cmp.incomparable;
+      }
+    }
+  }
+  return cmp;
+}
+
+std::vector<std::pair<TaskId, TaskId>> emergent_pairs(
+    const DependencyMatrix& reference, const DependencyMatrix& candidate) {
+  BBMG_REQUIRE(reference.num_tasks() == candidate.num_tasks(),
+               "matrix size mismatch");
+  std::vector<std::pair<TaskId, TaskId>> out;
+  const std::size_t n = reference.num_tasks();
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a == b) continue;
+      if (reference.at(a, b) == DepValue::Parallel &&
+          candidate.at(a, b) != DepValue::Parallel) {
+        out.emplace_back(TaskId{a}, TaskId{b});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace bbmg

@@ -1,0 +1,38 @@
+// Comparing dependency functions: learned vs ground truth, heuristic vs
+// exact, learned vs the pessimistic baseline.  Powers the accuracy columns
+// of the benches and the E7 ablations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "lattice/dependency_matrix.hpp"
+
+namespace bbmg {
+
+struct MatrixComparison {
+  std::size_t total_pairs{0};  // ordered, off-diagonal
+  std::size_t equal{0};
+  /// candidate strictly above reference in the lattice (more general).
+  std::size_t candidate_more_general{0};
+  /// candidate strictly below reference (more specific).
+  std::size_t candidate_more_specific{0};
+  std::size_t incomparable{0};
+  /// candidate >= reference pointwise (soundness direction for a
+  /// conservative learner against the exact result).
+  bool candidate_geq_reference{false};
+  std::uint64_t weight_reference{0};
+  std::uint64_t weight_candidate{0};
+};
+
+[[nodiscard]] MatrixComparison compare_matrices(
+    const DependencyMatrix& reference, const DependencyMatrix& candidate);
+
+/// Ordered pairs that the candidate raised (non-Parallel) while the
+/// reference keeps them Parallel — e.g. dependencies the learner found
+/// that the design model never states (the paper's t1-t4 and Q-O).
+[[nodiscard]] std::vector<std::pair<TaskId, TaskId>> emergent_pairs(
+    const DependencyMatrix& reference, const DependencyMatrix& candidate);
+
+}  // namespace bbmg

@@ -1,0 +1,64 @@
+// Conformance checking: does a new execution period conform to a learned
+// dependency model?
+//
+// This is the paper's application side ("The generated models facilitate
+// verification of safety of real-time embedded systems", §1): once a
+// dependency function has been learned from known-good traces, later
+// executions can be checked against it online.  A violation pinpoints
+// either a requirement failure (a task ran without the partner its -> / <-
+// entry promises) or a permission failure (the period's messages cannot be
+// explained by the permitted sender/receiver pairs), i.e. behaviour the
+// training traces never exhibited — a regression, a faulty component, or
+// an integration change.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/candidates.hpp"
+#include "lattice/dependency_matrix.hpp"
+#include "trace/trace.hpp"
+
+namespace bbmg {
+
+enum class ViolationKind : std::uint8_t {
+  /// d(a,b) requires b to execute whenever a does; a ran, b did not.
+  UnmetRequirement,
+  /// No injective assignment of the period's messages to permitted
+  /// sender/receiver pairs exists.
+  UnexplainableMessages,
+};
+
+struct ConformanceViolation {
+  ViolationKind kind{ViolationKind::UnmetRequirement};
+  std::size_t period_index{0};
+  // UnmetRequirement: the ordered pair whose claim failed.
+  TaskId a{};
+  TaskId b{};
+  DepValue entry{DepValue::Parallel};
+  // UnexplainableMessages: index of the first message the backtracking
+  // search could not place (a lower bound on where the explanation died).
+  std::size_t message_index{0};
+};
+
+struct ConformanceReport {
+  std::vector<ConformanceViolation> violations;
+  std::size_t periods_checked{0};
+  [[nodiscard]] bool conforms() const { return violations.empty(); }
+};
+
+/// Check one period; violations are appended with the given period index.
+void check_period_conformance(const DependencyMatrix& model,
+                              const Period& period, std::size_t num_tasks,
+                              std::size_t period_index,
+                              std::vector<ConformanceViolation>& out);
+
+/// Check every period of a trace against the model.
+[[nodiscard]] ConformanceReport check_conformance(const DependencyMatrix& model,
+                                                  const Trace& trace);
+
+/// Human-readable rendering of a violation.
+[[nodiscard]] std::string describe_violation(const ConformanceViolation& v,
+                                             const std::vector<std::string>& names);
+
+}  // namespace bbmg

@@ -1,0 +1,68 @@
+// Dependency-graph views of a learned dependency function: node
+// classification (disjunction / conjunction, §2.1), reachability queries,
+// and Graphviz export in the style of the paper's Fig. 5.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "lattice/dependency_matrix.hpp"
+
+namespace bbmg {
+
+enum class NodeRole : std::uint8_t {
+  /// Conditionally determines two or more other tasks — it chooses
+  /// execution paths (the paper's t1, A, B).
+  Disjunction,
+  /// Conditionally depends on two or more other tasks — it passively
+  /// receives from whichever upstream mode ran (the paper's t4, H, P, Q).
+  Conjunction,
+  /// Both of the above.
+  Both,
+  Plain,
+};
+
+class DependencyGraph {
+ public:
+  DependencyGraph(DependencyMatrix d, std::vector<std::string> task_names);
+
+  [[nodiscard]] const DependencyMatrix& matrix() const { return d_; }
+  [[nodiscard]] std::size_t num_tasks() const { return d_.num_tasks(); }
+  [[nodiscard]] const std::string& name(TaskId t) const {
+    return names_[t.index()];
+  }
+  [[nodiscard]] TaskId by_name(const std::string& name) const;
+
+  [[nodiscard]] DepValue value(TaskId a, TaskId b) const { return d_.at(a, b); }
+
+  /// Classification by the learned matrix: t is a disjunction node if it
+  /// conditionally determines (->?) at least `threshold` tasks, a
+  /// conjunction node if it conditionally depends on (<-?) at least
+  /// `threshold` tasks.
+  [[nodiscard]] NodeRole role(TaskId t, std::size_t threshold = 2) const;
+
+  /// Tasks whose execution t always determines: d(t, x) == ->.
+  [[nodiscard]] std::vector<TaskId> always_determines(TaskId t) const;
+  /// Tasks t always depends on: d(t, x) == <-.
+  [[nodiscard]] std::vector<TaskId> always_depends_on(TaskId t) const;
+
+  /// Is b reachable from a over must-determine (->) entries?  With a
+  /// learned matrix this proves "whenever a executes, b executes".
+  [[nodiscard]] bool must_lead_to(TaskId a, TaskId b) const;
+
+  /// Is b reachable from a over {->, ->?} entries (may-influence)?
+  [[nodiscard]] bool may_influence(TaskId a, TaskId b) const;
+
+  /// Graphviz export; one styled edge per unordered pair with any
+  /// dependency, annotated with the pair's two oriented values.
+  [[nodiscard]] std::string to_dot() const;
+
+ private:
+  [[nodiscard]] bool reachable(TaskId a, TaskId b, bool include_maybe) const;
+
+  DependencyMatrix d_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace bbmg

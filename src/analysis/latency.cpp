@@ -1,0 +1,94 @@
+#include "analysis/latency.hpp"
+
+#include "common/error.hpp"
+#include "sim/can_frame.hpp"
+
+namespace bbmg {
+
+namespace {
+
+/// Can j ever run concurrently with i, given the learned dependencies?
+/// A required dependency in either orientation means the MoC serializes
+/// the two tasks within a period (a message chain connects them, and a
+/// task only starts after its inputs' senders completed).
+bool may_overlap(const DependencyMatrix& d, std::size_t i, std::size_t j,
+                 bool exclude_conditional) {
+  const DepValue ij = d.at(i, j);
+  if (dep_requires_forward(ij) || dep_requires_backward(ij)) return false;
+  if (exclude_conditional &&
+      (ij == DepValue::MaybeForward || ij == DepValue::MaybeBackward)) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<TaskResponse> response_times(const SystemModel& model,
+                                         const DependencyMatrix& learned,
+                                         const LatencyConfig& config) {
+  BBMG_REQUIRE(learned.num_tasks() == model.num_tasks(),
+               "matrix size does not match model");
+  const std::size_t n = model.num_tasks();
+  std::vector<TaskResponse> out;
+  out.reserve(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const TaskSpec& ti = model.tasks()[i];
+    TaskResponse r;
+    r.task = TaskId{i};
+    r.wcet = ti.exec_max;
+    r.response_pessimistic = ti.exec_max;
+    r.response_informed = ti.exec_max;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const TaskSpec& tj = model.tasks()[j];
+      const bool higher = tj.ecu == ti.ecu &&
+                          (tj.priority > ti.priority ||
+                           (tj.priority == ti.priority && j < i));
+      if (!higher) continue;
+      r.response_pessimistic += tj.exec_max;
+      if (may_overlap(learned, i, j, config.exclude_conditional)) {
+        r.response_informed += tj.exec_max;
+      } else {
+        r.excluded.push_back(TaskId{j});
+      }
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+TimeNs path_latency(const SystemModel& model,
+                    const std::vector<TaskResponse>& responses,
+                    const std::vector<TaskId>& path, bool informed,
+                    const LatencyConfig& config) {
+  BBMG_REQUIRE(!path.empty(), "empty path");
+  BBMG_REQUIRE(responses.size() == model.num_tasks(),
+               "responses do not cover the model");
+
+  TimeNs total = 0;
+  for (std::size_t k = 0; k < path.size(); ++k) {
+    const TaskResponse& r = responses[path[k].index()];
+    total += informed ? r.response_informed : r.response_pessimistic;
+    if (k + 1 == path.size()) break;
+
+    // Find the design edge connecting path[k] -> path[k+1].
+    const EdgeSpec* edge = nullptr;
+    for (std::size_t ei : model.out_edges(path[k])) {
+      if (model.edges()[ei].to == path[k + 1]) {
+        edge = &model.edges()[ei];
+        break;
+      }
+    }
+    BBMG_REQUIRE(edge != nullptr,
+                 "path tasks '" + model.task(path[k]).name + "' and '" +
+                     model.task(path[k + 1]).name +
+                     "' are not connected by a design edge");
+    total += can_frame_time(edge->dlc, config.bus_bitrate,
+                            config.worst_case_stuffing);
+  }
+  return total;
+}
+
+}  // namespace bbmg

@@ -1,0 +1,66 @@
+// End-to-end latency analysis (experiment E5, paper §3.4).
+//
+// Without a dependency model, a schedulability analysis must assume every
+// higher-priority task on the same ECU can preempt — "assuming that all
+// messages and tasks are potentially independent at the system level ...
+// is extremely pessimistic" (paper §1, citing Tindell & Clark's holistic
+// analysis).  A learned dependency model removes interference that cannot
+// happen: if d(i,j) is -> or <- then i and j are ordered by the
+// control-flow MoC within every period (one's completion precedes the
+// other's start), so j can never preempt i.
+//
+// Every task runs at most once per period, so the worst-case response time
+// of task i is simply
+//
+//     R_i = C_i + sum of C_j over j in interferers(i)
+//
+// with interferers(i) = { j on the same ECU, higher priority, not excluded
+// by a dependency }.  End-to-end path latency adds the CAN frame times of
+// the connecting messages.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "lattice/dependency_matrix.hpp"
+#include "model/system_model.hpp"
+
+namespace bbmg {
+
+struct LatencyConfig {
+  /// Also exclude interference for conditional dependencies (->?, <-?).
+  /// Unsound in general (the dependency does not hold in every period);
+  /// exposed for the ablation bench only.
+  bool exclude_conditional = false;
+  /// Bus bitrate used for frame times on end-to-end paths.
+  std::uint64_t bus_bitrate = 500'000;
+  bool worst_case_stuffing = false;
+};
+
+struct TaskResponse {
+  TaskId task{};
+  TimeNs wcet{0};
+  /// All higher-priority same-ECU tasks interfere.
+  TimeNs response_pessimistic{0};
+  /// Interference filtered through the dependency model.
+  TimeNs response_informed{0};
+  /// Tasks whose preemption the dependency model excluded.
+  std::vector<TaskId> excluded;
+};
+
+/// Per-task worst-case response times under both assumptions.
+[[nodiscard]] std::vector<TaskResponse> response_times(
+    const SystemModel& model, const DependencyMatrix& learned,
+    const LatencyConfig& config = {});
+
+/// Worst-case end-to-end latency of a task chain: sum of the chain tasks'
+/// response times plus the worst-case frame time of each connecting design
+/// edge.  Consecutive path tasks must be connected by a design edge.
+[[nodiscard]] TimeNs path_latency(const SystemModel& model,
+                                  const std::vector<TaskResponse>& responses,
+                                  const std::vector<TaskId>& path,
+                                  bool informed,
+                                  const LatencyConfig& config = {});
+
+}  // namespace bbmg

@@ -1,0 +1,18 @@
+// The paper's strawman: with black-box components and no learned model,
+// system-level analysis must assume "that all messages and tasks are
+// potentially independent at the system level" — every pair may or may not
+// depend on each other, i.e. the lattice top everywhere.
+#pragma once
+
+#include "lattice/dependency_matrix.hpp"
+
+namespace bbmg {
+
+/// d_top: every ordered pair <->?.  Trivially matches every trace and
+/// carries zero information; its weight is the worst possible.
+[[nodiscard]] inline DependencyMatrix pessimistic_baseline(
+    std::size_t num_tasks) {
+  return DependencyMatrix::top(num_tasks);
+}
+
+}  // namespace bbmg

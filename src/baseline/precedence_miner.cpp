@@ -1,0 +1,49 @@
+#include "baseline/precedence_miner.hpp"
+
+namespace bbmg {
+
+DependencyMatrix mine_precedence(const Trace& trace) {
+  const std::size_t n = trace.num_tasks();
+
+  // co[a][b]       - periods where both executed
+  // ordered[a][b]  - periods where both executed and end(a) <= start(b)
+  // a_only[a][b]   - periods where a executed and b did not
+  std::vector<std::size_t> co(n * n, 0);
+  std::vector<std::size_t> ordered(n * n, 0);
+  std::vector<std::size_t> a_only(n * n, 0);
+
+  for (const auto& period : trace.periods()) {
+    for (const auto& ea : period.executions()) {
+      const std::size_t a = ea.task.index();
+      for (std::size_t b = 0; b < n; ++b) {
+        if (b == a) continue;
+        const TaskExecution* eb = period.execution_of(TaskId{b});
+        if (eb == nullptr) {
+          ++a_only[a * n + b];
+        } else {
+          ++co[a * n + b];
+          if (ea.end <= eb->start) ++ordered[a * n + b];
+        }
+      }
+    }
+  }
+
+  DependencyMatrix d(n);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a == b) continue;
+      const std::size_t idx = a * n + b;
+      if (co[idx] == 0 || ordered[idx] != co[idx]) continue;
+      // a consistently finished before b started whenever both ran.
+      const DepValue fwd =
+          (a_only[idx] == 0) ? DepValue::Forward : DepValue::MaybeForward;
+      d.set(a, b, dep_lub(d.at(a, b), fwd));
+      const DepValue bwd = (a_only[b * n + a] == 0) ? DepValue::Backward
+                                                    : DepValue::MaybeBackward;
+      d.set(b, a, dep_lub(d.at(b, a), bwd));
+    }
+  }
+  return d;
+}
+
+}  // namespace bbmg

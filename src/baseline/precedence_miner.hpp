@@ -1,0 +1,27 @@
+// A naive temporal-precedence miner, the kind of ad-hoc analysis an
+// engineer might code up instead of the paper's version-space learner.
+// Used as a comparison baseline in the ablation bench.
+//
+// For each ordered pair (a,b):
+//   * if a and b never co-executed, or they co-executed with interleaved
+//     activity windows, the miner claims || (it cannot see indirect
+//     dependencies and does not reason about modes);
+//   * if in every co-executed period a's end precedes b's start, it claims
+//     a determines b — -> when b ran in every period a did, ->? otherwise —
+//     and mirrors <-/<-? on (b,a).
+//
+// The miner over-claims: consistent temporal order does not imply a data
+// dependency (two independent chains on one bus are always ordered if
+// their priorities are), and it under-claims conditional relations hidden
+// by scheduling noise.  compare_matrices against the learner quantifies
+// both failure modes.
+#pragma once
+
+#include "lattice/dependency_matrix.hpp"
+#include "trace/trace.hpp"
+
+namespace bbmg {
+
+[[nodiscard]] DependencyMatrix mine_precedence(const Trace& trace);
+
+}  // namespace bbmg

@@ -1,0 +1,84 @@
+// A small dynamic bitset.
+//
+// The learner tracks, per hypothesis and per period, the set of assumed
+// sender->receiver pairs as a t*t bitset (paper §3.1 condition 3: a pair may
+// carry at most one message per period).  std::vector<bool> is too slow for
+// the hash/equality/merge operations that dominate the exact learner, so we
+// keep an explicit word array.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bbmg {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(std::size_t bits)
+      : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  [[nodiscard]] std::size_t size() const { return bits_; }
+
+  [[nodiscard]] bool test(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  void set(std::size_t i) { words_[i >> 6] |= (1ull << (i & 63)); }
+  void reset(std::size_t i) { words_[i >> 6] &= ~(1ull << (i & 63)); }
+
+  void clear() {
+    for (auto& w : words_) w = 0;
+  }
+
+  [[nodiscard]] std::size_t count() const {
+    std::size_t n = 0;
+    for (auto w : words_) n += static_cast<std::size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  [[nodiscard]] bool any() const {
+    for (auto w : words_)
+      if (w != 0) return true;
+    return false;
+  }
+
+  /// In-place union; both operands must have the same size.
+  void unite(const DynamicBitset& other) {
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  }
+
+  /// In-place intersection; both operands must have the same size.
+  void intersect(const DynamicBitset& other) {
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  }
+
+  /// True iff every bit of this is also set in other.
+  [[nodiscard]] bool is_subset_of(const DynamicBitset& other) const {
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      if ((words_[i] & ~other.words_[i]) != 0) return false;
+    return true;
+  }
+
+  friend bool operator==(const DynamicBitset& a, const DynamicBitset& b) {
+    return a.bits_ == b.bits_ && a.words_ == b.words_;
+  }
+  friend bool operator!=(const DynamicBitset& a, const DynamicBitset& b) {
+    return !(a == b);
+  }
+
+  [[nodiscard]] std::uint64_t hash_mix(std::uint64_t seed) const {
+    std::uint64_t h = seed ^ (bits_ * 0x9e3779b97f4a7c15ull);
+    for (auto w : words_) {
+      h ^= w + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+
+ private:
+  std::size_t bits_{0};
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace bbmg

@@ -1,0 +1,37 @@
+// Error handling: bbmodelgen throws bbmg::Error for contract violations and
+// malformed inputs (bad traces, inconsistent models).  BBMG_REQUIRE is used
+// at public API boundaries; internal invariants use BBMG_ASSERT which is
+// compiled out in release-with-assertions-off builds only.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace bbmg {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void raise(const std::string& message) {
+  throw Error(message);
+}
+
+}  // namespace bbmg
+
+#define BBMG_REQUIRE(cond, message)                                    \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::bbmg::raise(std::string("bbmg: requirement failed: ") +        \
+                    (message) + " [" #cond "]");                       \
+    }                                                                  \
+  } while (false)
+
+#define BBMG_ASSERT(cond, message)                                     \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::bbmg::raise(std::string("bbmg: internal invariant failed: ") + \
+                    (message) + " [" #cond "]");                       \
+    }                                                                  \
+  } while (false)

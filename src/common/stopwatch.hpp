@@ -1,0 +1,26 @@
+// Wall-clock stopwatch used by the benchmark harnesses to reproduce the
+// paper's runtime tables (§3.4).
+#pragma once
+
+#include <chrono>
+
+namespace bbmg {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace bbmg

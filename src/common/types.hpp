@@ -1,0 +1,87 @@
+// Core vocabulary types shared by every bbmodelgen library.
+//
+// The paper's universe is a fixed, known set of tasks T executed in periods;
+// everything else (messages, hypotheses, traces) is expressed relative to
+// task indices.  We use small strong types rather than raw integers so that
+// a task index can never be silently confused with a message occurrence
+// index or an ECU index.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace bbmg {
+
+/// Simulated/trace time in nanoseconds since the start of the trace.
+using TimeNs = std::uint64_t;
+
+constexpr TimeNs kTimeNsPerUs = 1000ull;
+constexpr TimeNs kTimeNsPerMs = 1000ull * 1000ull;
+constexpr TimeNs kTimeNsPerSec = 1000ull * 1000ull * 1000ull;
+
+namespace detail {
+
+/// CRTP strong index. Tag makes each instantiation a distinct type.
+template <class Tag>
+struct StrongIndex {
+  std::uint32_t value{0};
+
+  constexpr StrongIndex() = default;
+  constexpr explicit StrongIndex(std::uint32_t v) : value(v) {}
+  constexpr explicit StrongIndex(std::size_t v)
+      : value(static_cast<std::uint32_t>(v)) {}
+
+  [[nodiscard]] constexpr std::size_t index() const { return value; }
+
+  friend constexpr bool operator==(StrongIndex a, StrongIndex b) {
+    return a.value == b.value;
+  }
+  friend constexpr bool operator!=(StrongIndex a, StrongIndex b) {
+    return a.value != b.value;
+  }
+  friend constexpr bool operator<(StrongIndex a, StrongIndex b) {
+    return a.value < b.value;
+  }
+  friend constexpr bool operator<=(StrongIndex a, StrongIndex b) {
+    return a.value <= b.value;
+  }
+  friend constexpr bool operator>(StrongIndex a, StrongIndex b) {
+    return a.value > b.value;
+  }
+  friend constexpr bool operator>=(StrongIndex a, StrongIndex b) {
+    return a.value >= b.value;
+  }
+};
+
+}  // namespace detail
+
+/// Index of a task in the system's task set T.
+struct TaskTag {};
+using TaskId = detail::StrongIndex<TaskTag>;
+
+/// Index of a message *occurrence* within one period of a trace.
+struct MsgOccTag {};
+using MsgOccId = detail::StrongIndex<MsgOccTag>;
+
+/// Index of an ECU (processing node) in the simulated platform.
+struct EcuTag {};
+using EcuId = detail::StrongIndex<EcuTag>;
+
+/// CAN identifier (11-bit base format); doubles as bus arbitration priority
+/// (numerically lower id wins arbitration).
+using CanId = std::uint32_t;
+
+/// OSEK-style static task priority; numerically higher value preempts lower.
+using TaskPriority = std::int32_t;
+
+}  // namespace bbmg
+
+namespace std {
+template <class Tag>
+struct hash<bbmg::detail::StrongIndex<Tag>> {
+  size_t operator()(bbmg::detail::StrongIndex<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};
+}  // namespace std

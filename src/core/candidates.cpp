@@ -1,0 +1,33 @@
+#include "core/candidates.hpp"
+
+namespace bbmg {
+
+PeriodCandidates::PeriodCandidates(const Period& period, std::size_t num_tasks)
+    : executed_(num_tasks, false) {
+  for (const auto& e : period.executions()) executed_[e.task.index()] = true;
+
+  per_message_.reserve(period.messages().size());
+  for (const auto& m : period.messages()) {
+    std::vector<CandidatePair> pairs;
+    for (const auto& s : period.executions()) {
+      if (s.end > m.rise) continue;  // sender must have finished before rise
+      for (const auto& r : period.executions()) {
+        if (r.start < m.fall) continue;  // receiver starts after delivery
+        if (s.task == r.task) continue;
+        pairs.push_back(CandidatePair{
+            s.task, r.task,
+            static_cast<std::uint32_t>(s.task.index() * num_tasks +
+                                       r.task.index())});
+      }
+    }
+    per_message_.push_back(std::move(pairs));
+  }
+}
+
+std::size_t PeriodCandidates::total_candidates() const {
+  std::size_t n = 0;
+  for (const auto& v : per_message_) n += v.size();
+  return n;
+}
+
+}  // namespace bbmg

@@ -1,0 +1,28 @@
+#include "core/convergence.hpp"
+
+namespace bbmg {
+
+bool ConvergenceDetector::observe(const DependencyMatrix& summary) {
+  ++periods_;
+  if (last_.has_value() && *last_ == summary) {
+    ++streak_;
+  } else {
+    streak_ = 0;
+    last_ = summary;
+  }
+  stable_ = streak_ >= window_ && periods_ >= min_periods_;
+  return stable_;
+}
+
+std::size_t learn_until_stable(OnlineLearner& learner, const Trace& trace,
+                               ConvergenceDetector& detector) {
+  std::size_t consumed = 0;
+  for (const auto& period : trace.periods()) {
+    learner.observe_period(period);
+    ++consumed;
+    if (detector.observe(learner.snapshot().lub())) break;
+  }
+  return consumed;
+}
+
+}  // namespace bbmg

@@ -1,0 +1,53 @@
+// Convergence detection for streaming learning runs.
+//
+// §3.1: "If only one hypothesis is left at the end, we say that the
+// algorithm converges to a unique most specific solution.  If two or more
+// hypotheses are left, more periods in the trace are needed."  In a live
+// deployment the dual question matters: how many more periods are worth
+// tracing?  ConvergenceDetector watches the summary (LUB) of the current
+// hypothesis set and reports stability once it has not changed for a
+// configurable window — the natural stopping rule, since the summary is
+// monotonically non-decreasing in information until the trace stops
+// exhibiting new behaviour.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "core/online_learner.hpp"
+#include "lattice/dependency_matrix.hpp"
+
+namespace bbmg {
+
+class ConvergenceDetector {
+ public:
+  /// `window`: periods of unchanged summary required; `min_periods`: never
+  /// report stability earlier than this many periods in total.
+  explicit ConvergenceDetector(std::size_t window = 5,
+                               std::size_t min_periods = 10)
+      : window_(window), min_periods_(min_periods) {}
+
+  /// Feed the summary after one more period; returns true once stable.
+  bool observe(const DependencyMatrix& summary);
+
+  [[nodiscard]] bool stable() const { return stable_; }
+  [[nodiscard]] std::size_t periods_seen() const { return periods_; }
+  /// Periods since the summary last changed.
+  [[nodiscard]] std::size_t stable_streak() const { return streak_; }
+
+ private:
+  std::size_t window_;
+  std::size_t min_periods_;
+  std::optional<DependencyMatrix> last_;
+  std::size_t periods_{0};
+  std::size_t streak_{0};
+  bool stable_{false};
+};
+
+/// Drive an OnlineLearner over a trace until the detector reports
+/// stability (or the trace ends); returns the number of periods consumed.
+[[nodiscard]] std::size_t learn_until_stable(OnlineLearner& learner,
+                                             const Trace& trace,
+                                             ConvergenceDetector& detector);
+
+}  // namespace bbmg

@@ -1,0 +1,134 @@
+#include "core/exact_learner.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "common/stopwatch.hpp"
+#include "core/history.hpp"
+#include "core/hypothesis.hpp"
+#include "core/post_process.hpp"
+
+namespace bbmg {
+
+namespace {
+
+/// Remove every hypothesis dominated by another (see
+/// ExactConfig::dominance_pruning).
+void prune_dominated(std::vector<Hypothesis>& frontier) {
+  std::vector<bool> dead(frontier.size(), false);
+  for (std::size_t i = 0; i < frontier.size(); ++i) {
+    if (dead[i]) continue;
+    for (std::size_t j = 0; j < frontier.size(); ++j) {
+      if (i == j || dead[j]) continue;
+      if (frontier[j].d.leq(frontier[i].d) &&
+          frontier[j].used.is_subset_of(frontier[i].used) &&
+          !(frontier[j] == frontier[i])) {
+        dead[i] = true;
+        break;
+      }
+    }
+  }
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < frontier.size(); ++i) {
+    if (!dead[i]) {
+      if (w != i) frontier[w] = std::move(frontier[i]);
+      ++w;
+    }
+  }
+  frontier.resize(w);
+}
+
+/// Insert h into out unless an equal (matrix, assumptions) state exists.
+/// `index` maps hash -> indices into out for collision resolution.
+void insert_deduped(std::vector<Hypothesis>& out,
+                    std::unordered_map<std::uint64_t, std::vector<std::size_t>>& index,
+                    Hypothesis h) {
+  const std::uint64_t hash = h.hash();
+  auto it = index.find(hash);
+  if (it != index.end()) {
+    for (std::size_t i : it->second) {
+      if (out[i] == h) return;
+    }
+    it->second.push_back(out.size());
+  } else {
+    index.emplace(hash, std::vector<std::size_t>{out.size()});
+  }
+  out.push_back(std::move(h));
+}
+
+}  // namespace
+
+LearnResult learn_exact(const Trace& trace, const ExactConfig& config) {
+  const std::size_t n = trace.num_tasks();
+  BBMG_REQUIRE(n >= 1, "trace has no tasks");
+
+  Stopwatch watch;
+  LearnResult result;
+  LearnStats& stats = result.stats;
+
+  std::vector<Hypothesis> frontier;
+  frontier.emplace_back(n);  // D0 = { d_bot }
+  stats.peak_hypotheses = 1;
+
+  CoExecutionHistory history(n);
+
+  std::size_t period_no = 0;
+  for (const auto& period : trace.periods()) {
+    ++period_no;
+    const PeriodCandidates pc(period, n);
+
+    for (std::size_t msg = 0; msg < pc.num_messages(); ++msg) {
+      ++stats.messages_processed;
+      const auto& cands = pc.candidates(msg);
+
+      std::vector<Hypothesis> next;
+      std::unordered_map<std::uint64_t, std::vector<std::size_t>> index;
+      next.reserve(frontier.size());
+
+      for (const Hypothesis& h : frontier) {
+        for (const CandidatePair& p : cands) {
+          if (h.pair_used(p)) continue;
+          Hypothesis child = h;
+          child.assume(p, history);
+          ++stats.hypotheses_created;
+          insert_deduped(next, index, std::move(child));
+        }
+      }
+
+      if (next.empty()) {
+        raise("exact learner: hypothesis set became empty at period " +
+              std::to_string(period_no) + ", message " + std::to_string(msg) +
+              " — the trace violates the MoC assumptions or the "
+              "generalization language cannot express it");
+      }
+      if (next.size() > config.max_frontier) {
+        raise("exact learner: hypothesis set exceeded max_frontier (" +
+              std::to_string(config.max_frontier) + ") at period " +
+              std::to_string(period_no) +
+              " — use the heuristic learner for this trace");
+      }
+      stats.peak_hypotheses = std::max(stats.peak_hypotheses, next.size());
+      frontier = std::move(next);
+      if (config.dominance_pruning && frontier.size() <= config.dominance_limit) {
+        prune_dominated(frontier);
+      }
+    }
+
+    post_process_period(frontier, pc);
+    ++stats.periods_processed;
+    stats.frontier_after_period.push_back(frontier.size());
+    history.record_period(pc);
+  }
+
+  result.hypotheses.reserve(frontier.size());
+  for (auto& h : frontier) result.hypotheses.push_back(std::move(h.d));
+  std::sort(result.hypotheses.begin(), result.hypotheses.end(),
+            [](const DependencyMatrix& a, const DependencyMatrix& b) {
+              return a.weight() < b.weight();
+            });
+  stats.wall_seconds = watch.elapsed_seconds();
+  return result;
+}
+
+}  // namespace bbmg

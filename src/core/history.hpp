@@ -1,0 +1,45 @@
+// Trace-level co-execution history.
+//
+// The dependency values ->, <- and <-> claim *determination of execution*
+// ("if t1 executes in a period, it always determines the execution of t2",
+// Definition 5) — the paper's dependency models deliberately cover indirect
+// influence with no explicit message between the two tasks (§2.1).  Such a
+// claim is refuted exactly by a period in which the determining/depending
+// task ran but the other did not.  CoExecutionHistory records, over the
+// periods processed so far, for every ordered pair (a,b) whether a ever
+// executed in a period where b did not.  It is a property of the trace
+// prefix, shared by all hypotheses.
+#pragma once
+
+#include <vector>
+
+#include "core/candidates.hpp"
+
+namespace bbmg {
+
+class CoExecutionHistory {
+ public:
+  explicit CoExecutionHistory(std::size_t num_tasks)
+      : n_(num_tasks), ran_without_(num_tasks * num_tasks, 0) {}
+
+  /// Has task a executed in some recorded period where b did not?
+  [[nodiscard]] bool ran_without(std::size_t a, std::size_t b) const {
+    return ran_without_[a * n_ + b] != 0;
+  }
+
+  /// Fold one completed period into the history.
+  void record_period(const PeriodCandidates& pc) {
+    for (std::size_t a = 0; a < n_; ++a) {
+      if (!pc.executed(a)) continue;
+      for (std::size_t b = 0; b < n_; ++b) {
+        if (!pc.executed(b)) ran_without_[a * n_ + b] = 1;
+      }
+    }
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<char> ran_without_;
+};
+
+}  // namespace bbmg

@@ -1,0 +1,79 @@
+// A hypothesis of the version-space learner: a dependency function plus the
+// sender->receiver assumptions made so far in the *current* period.
+//
+// The assumption set enforces the paper's condition 3 (§3.1): between any
+// two data-dependent tasks there is at most one message per period, so a
+// pair assumed once cannot explain a second message in the same period.
+// Assumptions are discarded at every period boundary by the post-processing
+// step; only the matrix persists across periods.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitset.hpp"
+#include "core/candidates.hpp"
+#include "lattice/dependency_matrix.hpp"
+
+namespace bbmg {
+
+struct Hypothesis {
+  DependencyMatrix d;
+  DynamicBitset used;  // num_tasks^2 bits; bit s*n+r = pair (s,r) assumed
+
+  Hypothesis() = default;
+  explicit Hypothesis(std::size_t num_tasks)
+      : d(num_tasks), used(num_tasks * num_tasks) {}
+  Hypothesis(DependencyMatrix matrix, DynamicBitset assumptions)
+      : d(std::move(matrix)), used(std::move(assumptions)) {}
+
+  /// Minimal generalization admitting a message sent from `s` to `r`
+  /// (paper §3.1): d(s,r) is raised just enough to permit a forward
+  /// dependency, d(r,s) just enough to permit a backward one, and the pair
+  /// is recorded as assumed.
+  ///
+  /// `history` is the trace-level CoExecutionHistory of the already
+  /// completed periods.  It keeps the generalization minimal *and* correct:
+  /// raising d(s,r) to a value that newly *requires* determination asserts
+  /// "whenever s executes, r executes too" — which any earlier period where
+  /// s ran without r refutes, so the requirement is weakened to its
+  /// conditional form on the spot.  This is what makes the paper's d81
+  /// carry d(t1,t3) = ->? rather than -> when the (t1,t3) message is first
+  /// seen in period 2 (t1 ran alone with respect to t3 in period 1), while
+  /// d(t3,t1) stays <- (t3 never ran without t1).
+  template <class CoExecutionHistory>
+  void assume(const CandidatePair& pair, const CoExecutionHistory& history) {
+    const std::size_t s = pair.sender.index();
+    const std::size_t r = pair.receiver.index();
+
+    const DepValue old_fwd = d.at(s, r);
+    DepValue fwd = dep_generalize_permit_forward(old_fwd);
+    if (fwd != old_fwd && dep_requires_forward(fwd) &&
+        history.ran_without(s, r)) {
+      fwd = dep_weaken_forward_requirement(fwd);
+    }
+    d.set(s, r, fwd);
+
+    const DepValue old_bwd = d.at(r, s);
+    DepValue bwd = dep_generalize_permit_backward(old_bwd);
+    if (bwd != old_bwd && dep_requires_backward(bwd) &&
+        history.ran_without(r, s)) {
+      bwd = dep_weaken_backward_requirement(bwd);
+    }
+    d.set(r, s, bwd);
+
+    used.set(pair.pair_index);
+  }
+
+  [[nodiscard]] bool pair_used(const CandidatePair& pair) const {
+    return used.test(pair.pair_index);
+  }
+
+  [[nodiscard]] std::uint64_t hash() const { return used.hash_mix(d.hash()); }
+
+  friend bool operator==(const Hypothesis& a, const Hypothesis& b) {
+    return a.d == b.d && a.used == b.used;
+  }
+};
+
+}  // namespace bbmg

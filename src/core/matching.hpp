@@ -1,0 +1,34 @@
+// The matching function M : H x I -> bool (paper Definitions 3 and 5).
+//
+// A dependency function d matches a period i iff there EXISTS an assignment
+// of every message occurrence in i to a timing-feasible sender/receiver
+// pair such that
+//
+//   * no ordered pair explains two messages (condition 3 of §3.1);
+//   * every assigned pair (s,r) is permitted: d(s,r) permits a forward
+//     dependency and d(r,s) permits a backward one;
+//   * every *requirement* holds: the values ->, <- and <-> claim
+//     determination of execution (possibly through indirect influence,
+//     §2.1), so for each ordered pair (a,b) with a executed in i,
+//     d(a,b) in {->,<-,<->} implies that b executed in i as well.
+//
+// This is the reference oracle the property tests use to check Theorem 2
+// (correctness: every hypothesis the learners return matches every period)
+// and Theorem 3 (completeness/optimality spot checks).  It is a worst-case
+// exponential backtracking search, fine for test-sized periods.
+#pragma once
+
+#include "core/candidates.hpp"
+#include "lattice/dependency_matrix.hpp"
+#include "trace/trace.hpp"
+
+namespace bbmg {
+
+/// Does d match the period described by pc?
+[[nodiscard]] bool matches_period(const DependencyMatrix& d,
+                                  const PeriodCandidates& pc);
+
+/// Does d match every period of the trace?
+[[nodiscard]] bool matches_trace(const DependencyMatrix& d, const Trace& trace);
+
+}  // namespace bbmg

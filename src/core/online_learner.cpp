@@ -1,0 +1,138 @@
+#include "core/online_learner.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "core/post_process.hpp"
+
+namespace bbmg {
+
+namespace {
+
+struct Scored {
+  Hypothesis h;
+  std::uint64_t weight;
+};
+
+/// The bounded, weight-ascending hypothesis list of §3.2: adding a
+/// hypothesis beyond the bound merges the two least-weight (most specific)
+/// members into their least upper bound, with the union of their
+/// assumption sets (see DESIGN.md §2 for this choice).
+class BoundedList {
+ public:
+  BoundedList(std::size_t bound, LearnStats& stats)
+      : bound_(bound), stats_(stats) {}
+
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+
+  void add(Hypothesis h) {
+    Scored scored{std::move(h), 0};
+    scored.weight = scored.h.d.weight();
+    if (is_duplicate(scored)) return;
+    insert_sorted(std::move(scored));
+    while (items_.size() > bound_) merge_two_least();
+  }
+
+  std::vector<Hypothesis> take() {
+    std::vector<Hypothesis> out;
+    out.reserve(items_.size());
+    for (auto& s : items_) out.push_back(std::move(s.h));
+    items_.clear();
+    return out;
+  }
+
+ private:
+  /// Set semantics: duplicates would burn bound slots for nothing (the
+  /// exact learner unifies eagerly too).
+  [[nodiscard]] bool is_duplicate(const Scored& s) const {
+    for (const Scored& x : items_) {
+      if (x.weight == s.weight && x.h == s.h) return true;
+    }
+    return false;
+  }
+
+  void insert_sorted(Scored s) {
+    auto it = std::upper_bound(
+        items_.begin(), items_.end(), s.weight,
+        [](std::uint64_t w, const Scored& x) { return w < x.weight; });
+    items_.insert(it, std::move(s));
+  }
+
+  void merge_two_least() {
+    BBMG_ASSERT(items_.size() >= 2, "merge requires two hypotheses");
+    Scored a = std::move(items_[0]);
+    Scored b = std::move(items_[1]);
+    items_.erase(items_.begin(), items_.begin() + 2);
+    Hypothesis merged(a.h.d.lub(b.h.d), std::move(a.h.used));
+    merged.used.unite(b.h.used);
+    ++stats_.merges;
+    Scored scored{std::move(merged), 0};
+    scored.weight = scored.h.d.weight();
+    if (is_duplicate(scored)) return;
+    insert_sorted(std::move(scored));
+  }
+
+  std::size_t bound_;
+  LearnStats& stats_;
+  std::vector<Scored> items_;
+};
+
+}  // namespace
+
+OnlineLearner::OnlineLearner(std::size_t num_tasks, const OnlineConfig& config)
+    : num_tasks_(num_tasks), config_(config), history_(num_tasks) {
+  BBMG_REQUIRE(num_tasks >= 1, "learner needs at least one task");
+  BBMG_REQUIRE(config.bound >= 1, "heuristic bound must be >= 1");
+  frontier_.emplace_back(num_tasks);
+  stats_.peak_hypotheses = 1;
+}
+
+void OnlineLearner::observe_period(const Period& period) {
+  const PeriodCandidates pc(period, num_tasks_);
+
+  for (std::size_t msg = 0; msg < pc.num_messages(); ++msg) {
+    ++stats_.messages_processed;
+    const auto& cands = pc.candidates(msg);
+
+    BoundedList list(config_.bound, stats_);
+    for (const Hypothesis& h : frontier_) {
+      for (const CandidatePair& p : cands) {
+        if (h.pair_used(p)) continue;
+        Hypothesis child = h;
+        child.assume(p, history_);
+        ++stats_.hypotheses_created;
+        list.add(std::move(child));
+      }
+    }
+
+    if (list.empty()) {
+      // No hypothesis could explain this message (every candidate pair
+      // already assumed).  The exact learner fails here; the bounded
+      // learner keeps the current list unchanged — conservative, every
+      // member remains an upper bound of a matching hypothesis.
+      ++stats_.unexplained_messages;
+    } else {
+      frontier_ = list.take();
+    }
+    stats_.peak_hypotheses = std::max(stats_.peak_hypotheses, frontier_.size());
+  }
+
+  post_process_period(frontier_, pc);
+  ++stats_.periods_processed;
+  stats_.frontier_after_period.push_back(frontier_.size());
+  history_.record_period(pc);
+}
+
+LearnResult OnlineLearner::snapshot() const {
+  LearnResult result;
+  result.stats = stats_;
+  result.hypotheses.reserve(frontier_.size());
+  for (const auto& h : frontier_) result.hypotheses.push_back(h.d);
+  std::sort(result.hypotheses.begin(), result.hypotheses.end(),
+            [](const DependencyMatrix& a, const DependencyMatrix& b) {
+              return a.weight() < b.weight();
+            });
+  return result;
+}
+
+}  // namespace bbmg

@@ -1,0 +1,54 @@
+// Streaming variant of the bounded heuristic learner (§3.2).
+//
+// The batch API (learn_heuristic) assumes the whole trace is on disk; in
+// the intended deployment the logging device delivers periods one at a
+// time, and the integrator wants the current dependency model after every
+// period — e.g. to stop tracing once the learner has converged, or to
+// monitor a live system against the model learned so far.  OnlineLearner
+// exposes exactly the per-period step of the algorithm; feeding it every
+// period of a trace reproduces learn_heuristic bit for bit (tested).
+#pragma once
+
+#include <vector>
+
+#include "core/candidates.hpp"
+#include "core/history.hpp"
+#include "core/hypothesis.hpp"
+#include "core/learn_result.hpp"
+#include "trace/trace.hpp"
+
+namespace bbmg {
+
+struct OnlineConfig {
+  /// Maximum number of hypotheses kept (the paper's bound); >= 1.
+  std::size_t bound = 16;
+};
+
+class OnlineLearner {
+ public:
+  OnlineLearner(std::size_t num_tasks, const OnlineConfig& config);
+
+  /// Run one full period of the algorithm: message-guided generalization
+  /// over the period's candidate sets, then period-end post-processing.
+  void observe_period(const Period& period);
+
+  /// The current hypothesis set (post-processed, weight-ascending).
+  [[nodiscard]] const std::vector<Hypothesis>& hypotheses() const {
+    return frontier_;
+  }
+  [[nodiscard]] bool converged() const { return frontier_.size() == 1; }
+  [[nodiscard]] const LearnStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t num_tasks() const { return num_tasks_; }
+
+  /// Copy out matrices + stats in the batch-result shape.
+  [[nodiscard]] LearnResult snapshot() const;
+
+ private:
+  std::size_t num_tasks_;
+  OnlineConfig config_;
+  CoExecutionHistory history_;
+  std::vector<Hypothesis> frontier_;
+  LearnStats stats_;
+};
+
+}  // namespace bbmg

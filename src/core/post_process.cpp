@@ -1,0 +1,79 @@
+#include "core/post_process.hpp"
+
+#include <unordered_set>
+
+namespace bbmg {
+
+void weaken_unmet_requirements(Hypothesis& h, const PeriodCandidates& pc) {
+  const std::size_t n = h.d.num_tasks();
+  for (std::size_t a = 0; a < n; ++a) {
+    if (!pc.executed(a)) continue;  // requirements on a are vacuous
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a == b || pc.executed(b)) continue;
+      // a ran, b did not: both "a always determines b" (->, needs b to have
+      // executed) and "a always depends on b" (<-, needs b to have
+      // executed) are refuted by this period and weakened to their
+      // conditional forms.  <-> loses both claims and becomes <->?.
+      DepValue v = h.d.at(a, b);
+      if (dep_requires_forward(v)) v = dep_weaken_forward_requirement(v);
+      if (dep_requires_backward(v)) v = dep_weaken_backward_requirement(v);
+      if (v != h.d.at(a, b)) h.d.set(a, b, v);
+    }
+  }
+}
+
+void remove_duplicates_and_redundant(std::vector<Hypothesis>& frontier) {
+  // Unify equal matrices (assumptions are expected to be cleared already,
+  // but equality on Hypothesis covers both fields, so this is safe either
+  // way).
+  std::unordered_set<std::uint64_t> seen_hashes;
+  std::vector<Hypothesis> unique;
+  unique.reserve(frontier.size());
+  for (auto& h : frontier) {
+    const std::uint64_t hash = h.hash();
+    if (seen_hashes.contains(hash)) {
+      bool dup = false;
+      for (const auto& u : unique) {
+        if (u.hash() == hash && u == h) {
+          dup = true;
+          break;
+        }
+      }
+      if (dup) continue;
+    }
+    seen_hashes.insert(hash);
+    unique.push_back(std::move(h));
+  }
+
+  // Remove non-minimal elements: h is redundant iff some other (distinct)
+  // h' in the set satisfies h' <= h.
+  std::vector<bool> redundant(unique.size(), false);
+  for (std::size_t i = 0; i < unique.size(); ++i) {
+    if (redundant[i]) continue;
+    for (std::size_t j = 0; j < unique.size(); ++j) {
+      if (i == j || redundant[j]) continue;
+      if (unique[j].d.leq(unique[i].d) && unique[j].d != unique[i].d) {
+        redundant[i] = true;
+        break;
+      }
+    }
+  }
+
+  std::vector<Hypothesis> out;
+  out.reserve(unique.size());
+  for (std::size_t i = 0; i < unique.size(); ++i) {
+    if (!redundant[i]) out.push_back(std::move(unique[i]));
+  }
+  frontier = std::move(out);
+}
+
+void post_process_period(std::vector<Hypothesis>& frontier,
+                         const PeriodCandidates& pc) {
+  for (auto& h : frontier) {
+    weaken_unmet_requirements(h, pc);
+    h.used.clear();
+  }
+  remove_duplicates_and_redundant(frontier);
+}
+
+}  // namespace bbmg

@@ -1,0 +1,36 @@
+// Period-end post-processing shared by the exact and the heuristic learner
+// (paper §3.1):
+//
+//   1. "test conditional dependencies" — every entry that *requires* a
+//      dependency which the just-finished period did not exhibit is
+//      minimally weakened (-> becomes ->?, <- becomes <-?, <-> becomes
+//      <->?).  The test conditions on the row task having executed: a
+//      requirement on t1 is vacuous in periods where t1 did not run.
+//   2. assumptions are removed (the `used` sets are cleared);
+//   3. hypotheses that became equal are unified;
+//   4. redundant hypotheses are deleted: d is redundant iff some strictly
+//      more specific d' remains in the set (we search for the most
+//      specific hypotheses, and every more general one matches whatever
+//      the more specific one matches).
+#pragma once
+
+#include <vector>
+
+#include "core/candidates.hpp"
+#include "core/hypothesis.hpp"
+
+namespace bbmg {
+
+/// Step 1 for a single hypothesis; uses (and does not clear) h.used.
+void weaken_unmet_requirements(Hypothesis& h, const PeriodCandidates& pc);
+
+/// Steps 1-4 applied to a whole frontier, in place.  The surviving
+/// hypotheses have empty assumption sets.
+void post_process_period(std::vector<Hypothesis>& frontier,
+                         const PeriodCandidates& pc);
+
+/// Steps 3-4 only (unification + redundancy removal), used by result
+/// finalization and by tests.
+void remove_duplicates_and_redundant(std::vector<Hypothesis>& frontier);
+
+}  // namespace bbmg

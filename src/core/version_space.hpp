@@ -1,0 +1,67 @@
+// Version-space learning with negative examples — the extension the paper
+// names in its conclusion: "It could also be extended by version space
+// techniques provided negative examples in the execution traces."
+//
+// With positives only, the paper's learner maintains just the specific
+// boundary S (the most specific dependency functions matching every
+// observed period).  Given *negative* periods — executions the integrator
+// knows are forbidden, e.g. recorded during a fault injection campaign or
+// written down from the requirements — full candidate elimination
+// (Mitchell 1982) also maintains the general boundary G:
+//
+//   S = minimal hypotheses matching all positives (the exact learner),
+//       pruned to those below some member of G;
+//   G = maximal hypotheses matching all positives and rejecting every
+//       negative, computed by minimal specialization steps down the
+//       lattice.
+//
+// The version space is { h : exists s in S, g in G with s <= h <= g }.
+// If it collapses (either boundary empties), the examples are
+// inconsistent with the generalization language — e.g. a negative period
+// that every dependency function matching the positives must match.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lattice/dependency_matrix.hpp"
+#include "trace/trace.hpp"
+
+namespace bbmg {
+
+struct VersionSpaceConfig {
+  /// Safety cap on the general boundary (specialization can branch).
+  std::size_t max_general = 512;
+  /// Cap for the exact learner computing the specific boundary.
+  std::size_t max_frontier = 1'000'000;
+};
+
+struct VersionSpaceResult {
+  /// Specific boundary, weight-ascending.
+  std::vector<DependencyMatrix> specific;
+  /// General boundary, weight-descending.
+  std::vector<DependencyMatrix> general;
+
+  [[nodiscard]] bool collapsed() const {
+    return specific.empty() || general.empty();
+  }
+
+  /// Is h inside the version space (bounded by both boundaries)?
+  [[nodiscard]] bool admits(const DependencyMatrix& h) const;
+
+  /// Has the version space narrowed to a single hypothesis?
+  [[nodiscard]] bool converged() const {
+    return specific.size() == 1 && general.size() == 1 &&
+           specific.front() == general.front();
+  }
+};
+
+/// Run candidate elimination: `positives` drive the specific boundary
+/// exactly as in the paper; every period of `negatives` specializes the
+/// general boundary just enough to reject it.  Both traces must use the
+/// same task set.
+[[nodiscard]] VersionSpaceResult learn_version_space(
+    const Trace& positives, const Trace& negatives,
+    const VersionSpaceConfig& config = {});
+
+}  // namespace bbmg

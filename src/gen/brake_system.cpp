@@ -1,0 +1,72 @@
+#include "gen/brake_system.hpp"
+
+namespace bbmg {
+
+SystemModel brake_system_model() {
+  SystemModel m;
+
+  auto task = [&](const char* name, std::uint32_t ecu, TaskPriority prio,
+                  ActivationPolicy act, OutputPolicy out, TimeNs wcet_ms) {
+    TaskSpec spec;
+    spec.name = name;
+    spec.ecu = EcuId{ecu};
+    spec.priority = prio;
+    spec.activation = act;
+    spec.output = out;
+    spec.exec_min = wcet_ms * kTimeNsPerMs / 2;
+    spec.exec_max = wcet_ms * kTimeNsPerMs;
+    return m.add_task(std::move(spec));
+  };
+
+  using AP = ActivationPolicy;
+  using OP = OutputPolicy;
+
+  // ECU 0 — pedal node.
+  const TaskId pedal = task("PedalSensor", 0, 9, AP::Source, OP::All, 30);
+  const TaskId proc = task("PedalProc", 0, 5, AP::AnyInput, OP::All, 40);
+
+  // ECU 1 — vehicle dynamics node.
+  const TaskId wheel_fl = task("WheelSpeedFL", 1, 9, AP::Source, OP::All, 20);
+  const TaskId wheel_fr = task("WheelSpeedFR", 1, 8, AP::Source, OP::All, 20);
+  const TaskId slip = task("SlipDetect", 1, 6, AP::AllInputs, OP::All, 30);
+  const TaskId ctrl = task("BrakeCtrl", 1, 4, AP::AnyInput, OP::All, 40);
+
+  // ECU 2 — actuator node; Diag is the infrastructure heartbeat.
+  TaskSpec diag;
+  diag.name = "Diag";
+  diag.ecu = EcuId{2u};
+  diag.priority = 9;
+  diag.activation = AP::Source;
+  diag.output = OP::All;
+  diag.exec_min = 10 * kTimeNsPerMs;
+  diag.exec_max = 25 * kTimeNsPerMs;
+  diag.broadcasts.push_back(BroadcastSpec{0x008, 2});
+  m.add_task(std::move(diag));
+  const TaskId arbiter =
+      task("AbsArbiter", 2, 5, AP::AllInputs, OP::NonEmptySubset, 30);
+  const TaskId act_front = task("ActuatorFront", 2, 4, AP::AnyInput, OP::All, 40);
+  const TaskId act_rear = task("ActuatorRear", 2, 3, AP::AnyInput, OP::All, 30);
+
+  auto edge = [&](TaskId from, TaskId to, CanId id) {
+    m.add_edge(EdgeSpec{from, to, id, 8, 1.0});
+  };
+  edge(pedal, proc, 0x100);
+  edge(proc, ctrl, 0x101);
+  edge(wheel_fl, slip, 0x110);
+  edge(wheel_fr, slip, 0x111);
+  edge(ctrl, arbiter, 0x120);
+  edge(slip, arbiter, 0x121);
+  edge(arbiter, act_front, 0x130);
+  edge(arbiter, act_rear, 0x131);
+
+  m.validate();
+  return m;
+}
+
+std::vector<TaskId> brake_critical_path(const SystemModel& m) {
+  return {m.task_by_name("PedalSensor"), m.task_by_name("PedalProc"),
+          m.task_by_name("BrakeCtrl"), m.task_by_name("AbsArbiter"),
+          m.task_by_name("ActuatorFront")};
+}
+
+}  // namespace bbmg

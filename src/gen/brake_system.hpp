@@ -1,0 +1,30 @@
+// A brake-by-wire scenario, the paper's motivating high-level property:
+// "if the brake is pressed, then brake actuator must react within 300
+// msec" (§3.4).  Ten tasks on three ECUs and one CAN bus:
+//
+//   PedalSensor (source)  --> PedalProc --> BrakeCtrl
+//   WheelSpeedFL/FR (sources) --> SlipDetect (conjunction)
+//   BrakeCtrl + SlipDetect --> AbsArbiter (disjunction: normal braking or
+//                              ABS modulation, per period)
+//   AbsArbiter --> ActuatorFront, ActuatorRear (whichever mode demands)
+//   Diag (infrastructure heartbeat on the actuator ECU, no design edges)
+//
+// The model exercises the same learnability features as the GM study —
+// conjunction (SlipDetect), disjunction (AbsArbiter), an infrastructure
+// task (Diag) — in a setting where the end-to-end deadline of the
+// pedal-to-actuator path is the headline analysis.
+#pragma once
+
+#include "model/system_model.hpp"
+
+namespace bbmg {
+
+[[nodiscard]] SystemModel brake_system_model();
+
+/// The pedal-to-front-actuator path whose latency the requirement bounds.
+[[nodiscard]] std::vector<TaskId> brake_critical_path(const SystemModel& m);
+
+/// The requirement's deadline: 300 ms.
+inline constexpr TimeNs kBrakeDeadline = 300 * kTimeNsPerMs;
+
+}  // namespace bbmg

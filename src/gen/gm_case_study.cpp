@@ -1,0 +1,101 @@
+#include "gen/gm_case_study.hpp"
+
+namespace bbmg {
+
+SystemModel gm_case_study_model() {
+  SystemModel m;
+
+  auto task = [&](const char* name, std::uint32_t ecu, TaskPriority prio,
+                  ActivationPolicy act, OutputPolicy out) {
+    TaskSpec spec;
+    spec.name = name;
+    spec.ecu = EcuId{ecu};
+    spec.priority = prio;
+    spec.activation = act;
+    spec.output = out;
+    spec.exec_min = 200 * kTimeNsPerUs;
+    spec.exec_max = 600 * kTimeNsPerUs;
+    return m.add_task(spec);
+  };
+
+  using AP = ActivationPolicy;
+  using OP = OutputPolicy;
+
+  // ECU 0: the A-branch body controller.
+  const TaskId S = task("S", 0, 10, AP::Source, OP::All);
+  const TaskId A = task("A", 0, 8, AP::AnyInput, OP::ExactlyOne);
+  const TaskId C = task("C", 0, 6, AP::AnyInput, OP::All);
+  const TaskId D = task("D", 0, 5, AP::AnyInput, OP::All);
+  const TaskId E = task("E", 0, 4, AP::AnyInput, OP::All);
+  const TaskId L = task("L", 0, 2, AP::AnyInput, OP::All);
+
+  // ECU 1: the B-branch chassis controller.
+  const TaskId B = task("B", 1, 9, AP::AnyInput, OP::ExactlyOne);
+  const TaskId F = task("F", 1, 7, AP::AnyInput, OP::All);
+  const TaskId G = task("G", 1, 6, AP::AnyInput, OP::All);
+  const TaskId K = task("K", 1, 3, AP::AnyInput, OP::All);
+  const TaskId M = task("M", 1, 2, AP::AnyInput, OP::All);
+
+  // ECU 2: downstream aggregation.
+  const TaskId H = task("H", 2, 8, AP::AnyInput, OP::All);
+  const TaskId I = task("I", 2, 7, AP::AnyInput, OP::All);
+  const TaskId J = task("J", 2, 6, AP::AnyInput, OP::All);
+  const TaskId N = task("N", 2, 4, AP::AnyInput, OP::All);
+  const TaskId P = task("P", 2, 2, AP::AnyInput, OP::All);
+
+  // ECU 3: the actuator node, shared by the infrastructure heartbeat O
+  // (higher priority) and the functional conjunction task Q.  O has no
+  // design edge anywhere — only a high-priority (low CAN id) network
+  // management broadcast every period.
+  TaskSpec o_spec;
+  o_spec.name = "O";
+  o_spec.ecu = EcuId{3u};
+  o_spec.priority = 9;
+  o_spec.activation = AP::Source;
+  o_spec.output = OP::All;
+  o_spec.exec_min = 100 * kTimeNsPerUs;
+  o_spec.exec_max = 200 * kTimeNsPerUs;
+  o_spec.broadcasts.push_back(BroadcastSpec{0x010, 4});
+  const TaskId O = m.add_task(std::move(o_spec));
+  const TaskId Q = task("Q", 3, 1, AP::AnyInput, OP::All);
+
+  auto edge = [&](TaskId from, TaskId to, CanId id) {
+    m.add_edge(EdgeSpec{from, to, id, 8, 1.0});
+  };
+
+  // Trigger fan-out.
+  edge(S, A, 0x120);
+  edge(S, B, 0x121);
+  // A's modes: exactly one of C, D, E per period.
+  edge(A, C, 0x130);
+  edge(A, D, 0x131);
+  edge(A, E, 0x132);
+  // B's modes: exactly one of F, G per period.
+  edge(B, F, 0x140);
+  edge(B, G, 0x141);
+  // Every A-mode reaches L; C also feeds the conjunction node H.
+  edge(C, H, 0x150);
+  edge(C, L, 0x151);
+  edge(D, I, 0x152);
+  edge(D, L, 0x153);
+  edge(E, J, 0x154);
+  edge(E, L, 0x155);
+  // Every B-mode reaches M; F also feeds H, G also feeds K.
+  edge(F, H, 0x160);
+  edge(F, M, 0x161);
+  edge(G, K, 0x162);
+  edge(G, M, 0x163);
+  // Aggregation towards the conjunction nodes P and Q.
+  edge(H, N, 0x170);
+  edge(I, N, 0x171);
+  edge(J, P, 0x180);
+  edge(K, P, 0x181);
+  edge(L, P, 0x182);
+  edge(M, Q, 0x190);
+  edge(N, Q, 0x191);
+
+  (void)O;
+  return m;
+}
+
+}  // namespace bbmg

@@ -1,0 +1,36 @@
+// The GM-like case-study system (experiment E4, paper §3.4 and Fig. 5).
+//
+// The paper's system is proprietary: "a distributed system comprised of 18
+// tasks and 330 messages transmitted on one CAN bus", traced for 27
+// periods (~700 event-pair executions), tasks anonymized to letters A-Q
+// and S.  We rebuild a model of the same shape with the published
+// properties baked in:
+//
+//   * 18 tasks named S, A..Q on 4 ECUs sharing one CAN bus;
+//   * A and B are disjunction nodes (each picks exactly one of its
+//     successor branches per period);
+//   * H, P and Q are conjunction nodes (several potential senders);
+//   * every branch A can choose leads through C/D/E to L, so "no matter
+//     which mode task A chooses, task L must execute" (d(A,L) = ->);
+//   * symmetrically every branch of B leads through F/G to M (d(B,M) = ->);
+//   * O is an *infrastructure* task (network management heartbeat): it has
+//     no design edge to any functional task, but it runs on Q's ECU at
+//     higher priority and broadcasts one high-priority frame per period —
+//     the CAN/OSEK interaction from which the learner discovers the Q-O
+//     dependency that is absent from the design.
+//
+// At the default settings one simulated period carries ~12-13 messages and
+// ~12-13 task executions, i.e. ~340 messages and ~700 event pairs over the
+// paper's 27 periods.
+#pragma once
+
+#include "model/system_model.hpp"
+
+namespace bbmg {
+
+/// Number of periods the paper's case-study trace contains.
+inline constexpr std::size_t kGmCaseStudyPeriods = 27;
+
+[[nodiscard]] SystemModel gm_case_study_model();
+
+}  // namespace bbmg

@@ -1,0 +1,84 @@
+#include "gen/random_model.hpp"
+
+#include <set>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace bbmg {
+
+SystemModel random_model(const RandomModelParams& params) {
+  BBMG_REQUIRE(params.num_tasks >= 2, "need at least two tasks");
+  BBMG_REQUIRE(params.num_layers >= 2 && params.num_layers <= params.num_tasks,
+               "layer count must be in [2, num_tasks]");
+  BBMG_REQUIRE(params.num_ecus >= 1, "need at least one ECU");
+
+  Rng rng(params.seed);
+  const std::size_t n = params.num_tasks;
+
+  // Layer assignment: evenly spread, layer 0 and the last layer non-empty.
+  std::vector<std::size_t> layer(n);
+  std::vector<std::vector<std::size_t>> by_layer(params.num_layers);
+  for (std::size_t i = 0; i < n; ++i) {
+    layer[i] = i * params.num_layers / n;
+    by_layer[layer[i]].push_back(i);
+  }
+
+  // Plan edges first (output policies depend on final out-degrees).
+  std::set<std::pair<std::size_t, std::size_t>> edge_set;
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  auto add_planned = [&](std::size_t from, std::size_t to) {
+    // The MoC allows at most one message per ordered pair and period, so
+    // the design carries at most one edge per ordered pair.
+    if (edge_set.emplace(from, to).second) edges.emplace_back(from, to);
+  };
+
+  for (std::size_t k = 1; k < params.num_layers; ++k) {
+    for (std::size_t to : by_layer[k]) {
+      const auto& parents = by_layer[k - 1];
+      add_planned(parents[rng.pick_index(parents.size())], to);
+    }
+    for (std::size_t from : by_layer[k - 1]) {
+      for (std::size_t to : by_layer[k]) {
+        if (rng.next_bool(params.extra_edge_density)) add_planned(from, to);
+      }
+    }
+  }
+
+  std::vector<std::size_t> out_degree(n, 0);
+  for (const auto& [from, to] : edges) ++out_degree[from];
+
+  SystemModel model;
+  CanId next_broadcast_id = 0x020;
+  for (std::size_t i = 0; i < n; ++i) {
+    TaskSpec spec;
+    spec.name = "T" + std::to_string(i);
+    spec.ecu = EcuId{static_cast<std::uint32_t>(i % params.num_ecus)};
+    // Earlier layers run at higher priority: upstream producers preempting
+    // downstream consumers is the realistic automotive arrangement.
+    spec.priority = static_cast<TaskPriority>(1000 - i);
+    spec.exec_min = params.exec_min;
+    spec.exec_max = params.exec_max;
+    spec.activation = (layer[i] == 0) ? ActivationPolicy::Source
+                                      : ActivationPolicy::AnyInput;
+    spec.output = (out_degree[i] >= 2 &&
+                   rng.next_bool(params.disjunction_fraction))
+                      ? OutputPolicy::NonEmptySubset
+                      : OutputPolicy::All;
+    if (rng.next_bool(params.broadcast_fraction)) {
+      spec.broadcasts.push_back(BroadcastSpec{next_broadcast_id++, 4});
+    }
+    model.add_task(std::move(spec));
+  }
+
+  CanId next_edge_id = 0x100;
+  for (const auto& [from, to] : edges) {
+    model.add_edge(EdgeSpec{TaskId{from}, TaskId{to}, next_edge_id++, 8, 1.0});
+  }
+
+  model.validate();
+  return model;
+}
+
+}  // namespace bbmg

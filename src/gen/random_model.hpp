@@ -1,0 +1,34 @@
+// Random layered design models for property tests, scaling benches and
+// ablations.  Tasks are arranged in layers; layer 0 holds the sources;
+// every task in layer k > 0 draws at least one in-edge from layer k-1 (so
+// everything is reachable) plus extra edges by density; a configurable
+// fraction of multi-successor tasks become disjunction nodes.
+#pragma once
+
+#include <cstdint>
+
+#include "model/system_model.hpp"
+
+namespace bbmg {
+
+struct RandomModelParams {
+  std::size_t num_tasks = 12;
+  std::size_t num_layers = 4;
+  std::size_t num_ecus = 2;
+  /// Probability of an extra edge between tasks in adjacent layers (beyond
+  /// the one guaranteed in-edge per non-source task).
+  double extra_edge_density = 0.25;
+  /// Fraction of tasks with >= 2 out-edges that choose successors
+  /// conditionally (NonEmptySubset) instead of messaging all of them.
+  double disjunction_fraction = 0.5;
+  /// Fraction of tasks that additionally emit one infrastructure
+  /// broadcast frame per execution.
+  double broadcast_fraction = 0.0;
+  TimeNs exec_min = 100 * kTimeNsPerUs;
+  TimeNs exec_max = 400 * kTimeNsPerUs;
+  std::uint64_t seed = 42;
+};
+
+[[nodiscard]] SystemModel random_model(const RandomModelParams& params);
+
+}  // namespace bbmg

@@ -1,0 +1,174 @@
+#include "gen/scenarios.hpp"
+
+#include "common/rng.hpp"
+#include "model/behavior.hpp"
+
+namespace bbmg {
+
+SystemModel paper_example_model() {
+  SystemModel m;
+  TaskSpec t1;
+  t1.name = "t1";
+  t1.ecu = EcuId{0u};
+  t1.priority = 4;
+  t1.activation = ActivationPolicy::Source;
+  t1.output = OutputPolicy::NonEmptySubset;
+  const TaskId id1 = m.add_task(t1);
+
+  TaskSpec t2;
+  t2.name = "t2";
+  t2.ecu = EcuId{0u};
+  t2.priority = 3;
+  t2.activation = ActivationPolicy::AnyInput;
+  t2.output = OutputPolicy::All;
+  const TaskId id2 = m.add_task(t2);
+
+  TaskSpec t3;
+  t3.name = "t3";
+  t3.ecu = EcuId{0u};
+  t3.priority = 2;
+  t3.activation = ActivationPolicy::AnyInput;
+  t3.output = OutputPolicy::All;
+  const TaskId id3 = m.add_task(t3);
+
+  TaskSpec t4;
+  t4.name = "t4";
+  t4.ecu = EcuId{0u};
+  t4.priority = 1;
+  t4.activation = ActivationPolicy::AnyInput;
+  t4.output = OutputPolicy::All;
+  const TaskId id4 = m.add_task(t4);
+
+  m.add_edge(EdgeSpec{id1, id2, 0x101, 8, 1.0});
+  m.add_edge(EdgeSpec{id1, id3, 0x102, 8, 1.0});
+  m.add_edge(EdgeSpec{id2, id4, 0x103, 8, 1.0});
+  m.add_edge(EdgeSpec{id3, id4, 0x104, 8, 1.0});
+  m.validate();
+  return m;
+}
+
+Trace paper_example_trace() {
+  constexpr TaskId T1{0u};
+  constexpr TaskId T2{1u};
+  constexpr TaskId T3{2u};
+  constexpr TaskId T4{3u};
+  TraceBuilder b({"t1", "t2", "t3", "t4"});
+
+  // period 1: t1 m1 t2 m2 t4
+  b.begin_period();
+  b.add_event(Event::task_start(0, T1));
+  b.add_event(Event::task_end(10, T1));
+  b.add_event(Event::msg_rise(12, 1));
+  b.add_event(Event::msg_fall(14, 1));
+  b.add_event(Event::task_start(16, T2));
+  b.add_event(Event::task_end(20, T2));
+  b.add_event(Event::msg_rise(22, 2));
+  b.add_event(Event::msg_fall(24, 2));
+  b.add_event(Event::task_start(26, T4));
+  b.add_event(Event::task_end(30, T4));
+  b.end_period();
+
+  // period 2: t1 m3 t3 m4 t4
+  b.begin_period();
+  b.add_event(Event::task_start(100, T1));
+  b.add_event(Event::task_end(110, T1));
+  b.add_event(Event::msg_rise(112, 3));
+  b.add_event(Event::msg_fall(114, 3));
+  b.add_event(Event::task_start(116, T3));
+  b.add_event(Event::task_end(120, T3));
+  b.add_event(Event::msg_rise(122, 4));
+  b.add_event(Event::msg_fall(124, 4));
+  b.add_event(Event::task_start(126, T4));
+  b.add_event(Event::task_end(130, T4));
+  b.end_period();
+
+  // period 3: t1 m5 m6 t3 t2 m7 m8 t4 — t1 chose both successors; its two
+  // messages leave back to back before either receiver starts.
+  b.begin_period();
+  b.add_event(Event::task_start(200, T1));
+  b.add_event(Event::task_end(210, T1));
+  b.add_event(Event::msg_rise(212, 5));
+  b.add_event(Event::msg_fall(214, 5));
+  b.add_event(Event::msg_rise(215, 6));
+  b.add_event(Event::msg_fall(217, 6));
+  b.add_event(Event::task_start(218, T3));
+  b.add_event(Event::task_end(224, T3));
+  b.add_event(Event::task_start(226, T2));
+  b.add_event(Event::task_end(230, T2));
+  b.add_event(Event::msg_rise(232, 7));
+  b.add_event(Event::msg_fall(234, 7));
+  b.add_event(Event::msg_rise(236, 8));
+  b.add_event(Event::msg_fall(238, 8));
+  b.add_event(Event::task_start(240, T4));
+  b.add_event(Event::task_end(244, T4));
+  b.end_period();
+
+  return b.take();
+}
+
+namespace {
+
+/// Lay one resolved behaviour out as a period, Fig. 2 style: executing
+/// tasks in topological order, each followed immediately by its outgoing
+/// frames (design messages in edge order, then broadcasts).
+void layout_period(const SystemModel& model, const PeriodBehavior& behavior,
+                   TraceBuilder& builder, TimeNs& clock) {
+  constexpr TimeNs kTaskDur = 100 * kTimeNsPerUs;
+  constexpr TimeNs kMsgDur = 20 * kTimeNsPerUs;
+  constexpr TimeNs kGap = 5 * kTimeNsPerUs;
+
+  std::vector<bool> edge_sent(model.edges().size(), false);
+  for (std::size_t ei : behavior.sent_edges) edge_sent[ei] = true;
+
+  builder.begin_period();
+  for (TaskId t : model.topological_order()) {
+    if (!behavior.executed[t.index()]) continue;
+    builder.add_event(Event::task_start(clock, t));
+    clock += kTaskDur;
+    builder.add_event(Event::task_end(clock, t));
+    clock += kGap;
+    for (std::size_t ei : model.out_edges(t)) {
+      if (!edge_sent[ei]) continue;
+      const EdgeSpec& e = model.edges()[ei];
+      builder.add_event(Event::msg_rise(clock, e.can_id));
+      clock += kMsgDur;
+      builder.add_event(Event::msg_fall(clock, e.can_id));
+      clock += kGap;
+    }
+    for (const BroadcastSpec& bc : model.task(t).broadcasts) {
+      builder.add_event(Event::msg_rise(clock, bc.can_id));
+      clock += kMsgDur;
+      builder.add_event(Event::msg_fall(clock, bc.can_id));
+      clock += kGap;
+    }
+  }
+  builder.end_period();
+  clock += kGap;
+}
+
+}  // namespace
+
+Trace idealized_trace(const SystemModel& model, std::size_t num_periods,
+                      std::uint64_t seed) {
+  model.validate();
+  Rng rng(seed);
+  TraceBuilder builder(model.task_names());
+  TimeNs clock = 0;
+  for (std::size_t p = 0; p < num_periods; ++p) {
+    layout_period(model, resolve_period(model, rng), builder, clock);
+  }
+  return builder.take();
+}
+
+Trace exhaustive_trace(const SystemModel& model, std::size_t max_behaviors) {
+  model.validate();
+  TraceBuilder builder(model.task_names());
+  TimeNs clock = 0;
+  for (const PeriodBehavior& behavior :
+       enumerate_behaviors(model, max_behaviors)) {
+    layout_period(model, behavior, builder, clock);
+  }
+  return builder.take();
+}
+
+}  // namespace bbmg

@@ -1,0 +1,43 @@
+// Canonical scenarios and trace synthesis helpers.
+//
+// The paper's traces come from a logging device on a GM vehicle bus; we
+// have no such data, so every experiment here synthesizes traces from
+// design models.  Three generators with different fidelity/needs:
+//
+//  * simulate_trace (src/sim)  — full platform: ECUs, priorities,
+//    preemption, CAN arbitration.  Timing is emergent.
+//  * idealized_trace           — the paper's Fig. 2 layout: tasks laid out
+//    sequentially in topological order, each immediately followed by its
+//    outgoing messages.  No platform effects; ideal for learner-focused
+//    unit tests and benches.
+//  * exhaustive_trace          — one idealized period per *distinct
+//    behaviour* of the model; the learner's result on it is the best any
+//    trace of the model can teach ("assuming that the trace is exhaustive
+//    so that it exhibits all allowable behavior", §3.4).
+#pragma once
+
+#include <cstdint>
+
+#include "model/system_model.hpp"
+#include "trace/trace.hpp"
+
+namespace bbmg {
+
+/// The paper's Fig. 1 design model: t1 is a disjunction node messaging t2
+/// or t3 or both; t2 and t3 independently message the conjunction node t4.
+[[nodiscard]] SystemModel paper_example_model();
+
+/// The paper's Fig. 2 execution trace of that model (three periods:
+/// t1 m1 t2 m2 t4 / t1 m3 t3 m4 t4 / t1 m5 m6 t3 t2 m7 m8 t4).
+[[nodiscard]] Trace paper_example_trace();
+
+/// Random idealized periods of `model` (see file comment).
+[[nodiscard]] Trace idealized_trace(const SystemModel& model,
+                                    std::size_t num_periods,
+                                    std::uint64_t seed);
+
+/// One idealized period per distinct behaviour of `model`.
+[[nodiscard]] Trace exhaustive_trace(const SystemModel& model,
+                                     std::size_t max_behaviors = 100000);
+
+}  // namespace bbmg

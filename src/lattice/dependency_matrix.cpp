@@ -1,0 +1,125 @@
+#include "lattice/dependency_matrix.hpp"
+
+#include "common/error.hpp"
+
+namespace bbmg {
+
+DependencyMatrix::DependencyMatrix(std::size_t num_tasks)
+    : n_(num_tasks), cells_(num_tasks * num_tasks, DepValue::Parallel) {}
+
+DependencyMatrix DependencyMatrix::top(std::size_t num_tasks) {
+  DependencyMatrix m(num_tasks);
+  for (std::size_t a = 0; a < num_tasks; ++a) {
+    for (std::size_t b = 0; b < num_tasks; ++b) {
+      if (a != b) m.cells_[a * num_tasks + b] = DepValue::MaybeMutual;
+    }
+  }
+  return m;
+}
+
+void DependencyMatrix::set(std::size_t a, std::size_t b, DepValue v) {
+  BBMG_REQUIRE(a < n_ && b < n_, "task index out of range");
+  BBMG_REQUIRE(a != b, "diagonal entries are fixed to ||");
+  cells_[a * n_ + b] = v;
+}
+
+void DependencyMatrix::set_pair(std::size_t a, std::size_t b, DepValue v) {
+  set(a, b, v);
+  set(b, a, dep_mirror(v));
+}
+
+bool DependencyMatrix::leq(const DependencyMatrix& other) const {
+  BBMG_REQUIRE(n_ == other.n_, "matrix size mismatch");
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (!dep_leq(cells_[i], other.cells_[i])) return false;
+  }
+  return true;
+}
+
+DependencyMatrix DependencyMatrix::lub(const DependencyMatrix& other) const {
+  BBMG_REQUIRE(n_ == other.n_, "matrix size mismatch");
+  DependencyMatrix out(n_);
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    out.cells_[i] = dep_lub(cells_[i], other.cells_[i]);
+  }
+  return out;
+}
+
+DependencyMatrix DependencyMatrix::glb(const DependencyMatrix& other) const {
+  BBMG_REQUIRE(n_ == other.n_, "matrix size mismatch");
+  DependencyMatrix out(n_);
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    out.cells_[i] = dep_glb(cells_[i], other.cells_[i]);
+  }
+  return out;
+}
+
+std::uint64_t DependencyMatrix::weight() const {
+  std::uint64_t w = 0;
+  for (DepValue v : cells_) w += dep_distance(v);
+  return w;
+}
+
+std::uint64_t DependencyMatrix::hash() const {
+  std::uint64_t h = 0xcbf29ce484222325ull ^ n_;
+  for (DepValue v : cells_) {
+    h ^= static_cast<std::uint64_t>(v);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string DependencyMatrix::to_table(
+    const std::vector<std::string>& names) const {
+  auto name_of = [&](std::size_t i) -> std::string {
+    if (i < names.size()) return names[i];
+    return "t" + std::to_string(i);
+  };
+
+  // Compute column widths.
+  std::size_t label_w = 0;
+  for (std::size_t i = 0; i < n_; ++i) label_w = std::max(label_w, name_of(i).size());
+  std::vector<std::size_t> col_w(n_);
+  for (std::size_t b = 0; b < n_; ++b) {
+    col_w[b] = name_of(b).size();
+    for (std::size_t a = 0; a < n_; ++a) {
+      col_w[b] = std::max(col_w[b], dep_to_string(at(a, b)).size());
+    }
+  }
+
+  auto pad = [](std::string s, std::size_t w) {
+    s.resize(std::max(s.size(), w), ' ');
+    return s;
+  };
+
+  std::string out = pad("", label_w);
+  for (std::size_t b = 0; b < n_; ++b) out += "  " + pad(name_of(b), col_w[b]);
+  out += "\n";
+  for (std::size_t a = 0; a < n_; ++a) {
+    out += pad(name_of(a), label_w);
+    for (std::size_t b = 0; b < n_; ++b) {
+      out += "  " + pad(std::string(dep_to_string(at(a, b))), col_w[b]);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::size_t DependencyMatrix::count_value(DepValue v) const {
+  std::size_t c = 0;
+  for (std::size_t a = 0; a < n_; ++a) {
+    for (std::size_t b = 0; b < n_; ++b) {
+      if (a != b && at(a, b) == v) ++c;
+    }
+  }
+  return c;
+}
+
+DependencyMatrix lub_all(const std::vector<DependencyMatrix>& ms) {
+  BBMG_REQUIRE(!ms.empty(), "lub_all needs a non-empty set");
+  DependencyMatrix acc = ms.front();
+  for (std::size_t i = 1; i < ms.size(); ++i) acc = acc.lub(ms[i]);
+  return acc;
+}
+
+}  // namespace bbmg

@@ -1,0 +1,34 @@
+#include "lattice/dependency_value.hpp"
+
+#include "common/error.hpp"
+
+namespace bbmg {
+
+std::string_view dep_to_string(DepValue v) {
+  switch (v) {
+    case DepValue::Parallel:
+      return "||";
+    case DepValue::Forward:
+      return "->";
+    case DepValue::Backward:
+      return "<-";
+    case DepValue::Mutual:
+      return "<->";
+    case DepValue::MaybeForward:
+      return "->?";
+    case DepValue::MaybeBackward:
+      return "<-?";
+    case DepValue::MaybeMutual:
+      return "<->?";
+  }
+  return "?";  // unreachable
+}
+
+DepValue dep_from_string(std::string_view s) {
+  for (DepValue v : kAllDepValues) {
+    if (dep_to_string(v) == s) return v;
+  }
+  raise("unknown dependency value token: '" + std::string(s) + "'");
+}
+
+}  // namespace bbmg

@@ -1,0 +1,101 @@
+#include "lattice/matrix_io.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/text.hpp"
+
+namespace bbmg {
+
+void write_matrix(std::ostream& os, const DependencyMatrix& m,
+                  const std::vector<std::string>& task_names) {
+  BBMG_REQUIRE(task_names.size() == m.num_tasks(),
+               "task-name count must match matrix size");
+  os << "dep-matrix 1\n";
+  os << "tasks";
+  for (const auto& name : task_names) os << ' ' << name;
+  os << '\n';
+  for (std::size_t a = 0; a < m.num_tasks(); ++a) {
+    for (std::size_t b = 0; b < m.num_tasks(); ++b) {
+      if (b != 0) os << ' ';
+      os << dep_to_string(m.at(a, b));
+    }
+    os << '\n';
+  }
+}
+
+std::string matrix_to_string(const DependencyMatrix& m,
+                             const std::vector<std::string>& task_names) {
+  std::ostringstream oss;
+  write_matrix(oss, m, task_names);
+  return oss.str();
+}
+
+NamedMatrix read_matrix(std::istream& is) {
+  std::string line;
+  std::size_t line_no = 0;
+  auto next_meaningful = [&](std::vector<std::string>& toks) -> bool {
+    while (std::getline(is, line)) {
+      ++line_no;
+      const auto trimmed = trim(line);
+      if (trimmed.empty() || trimmed.front() == '#') continue;
+      toks = split_ws(trimmed);
+      return true;
+    }
+    return false;
+  };
+
+  std::vector<std::string> toks;
+  BBMG_REQUIRE(next_meaningful(toks) && toks.size() == 2 &&
+                   toks[0] == "dep-matrix" && toks[1] == "1",
+               "matrix file must start with 'dep-matrix 1'");
+  BBMG_REQUIRE(next_meaningful(toks) && toks.size() >= 2 && toks[0] == "tasks",
+               "expected 'tasks <name>...' header");
+
+  NamedMatrix out;
+  out.task_names.assign(toks.begin() + 1, toks.end());
+  const std::size_t n = out.task_names.size();
+  out.matrix = DependencyMatrix(n);
+
+  for (std::size_t a = 0; a < n; ++a) {
+    BBMG_REQUIRE(next_meaningful(toks),
+                 "matrix file truncated at row " + std::to_string(a));
+    BBMG_REQUIRE(toks.size() == n, "matrix row " + std::to_string(a) +
+                                       " has wrong width at line " +
+                                       std::to_string(line_no));
+    for (std::size_t b = 0; b < n; ++b) {
+      const DepValue v = dep_from_string(toks[b]);
+      if (a == b) {
+        BBMG_REQUIRE(v == DepValue::Parallel,
+                     "diagonal entries must be || (line " +
+                         std::to_string(line_no) + ")");
+      } else {
+        out.matrix.set(a, b, v);
+      }
+    }
+  }
+  return out;
+}
+
+NamedMatrix matrix_from_string(const std::string& text) {
+  std::istringstream iss(text);
+  return read_matrix(iss);
+}
+
+void save_matrix_file(const std::string& path, const DependencyMatrix& m,
+                      const std::vector<std::string>& task_names) {
+  std::ofstream ofs(path);
+  BBMG_REQUIRE(ofs.good(), "cannot open matrix file for writing: " + path);
+  write_matrix(ofs, m, task_names);
+  BBMG_REQUIRE(ofs.good(), "failed writing matrix file: " + path);
+}
+
+NamedMatrix load_matrix_file(const std::string& path) {
+  std::ifstream ifs(path);
+  BBMG_REQUIRE(ifs.good(), "cannot open matrix file: " + path);
+  return read_matrix(ifs);
+}
+
+}  // namespace bbmg

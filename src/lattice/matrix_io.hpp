@@ -1,0 +1,40 @@
+// Text serialization of dependency matrices, so learned models can be
+// stored next to the traces they came from and fed to downstream tools
+// (conformance monitors, schedulability analyses) without re-learning.
+//
+// Format:
+//
+//   dep-matrix 1
+//   tasks <name> <name> ...
+//   <row of values for task 0>   # '||', '->', '<-', '<->', '->?', ...
+//   ...
+//
+// The diagonal must be '||'.  Blank lines and '#' comments are ignored.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "lattice/dependency_matrix.hpp"
+
+namespace bbmg {
+
+void write_matrix(std::ostream& os, const DependencyMatrix& m,
+                  const std::vector<std::string>& task_names);
+[[nodiscard]] std::string matrix_to_string(
+    const DependencyMatrix& m, const std::vector<std::string>& task_names);
+
+struct NamedMatrix {
+  DependencyMatrix matrix;
+  std::vector<std::string> task_names;
+};
+
+[[nodiscard]] NamedMatrix read_matrix(std::istream& is);
+[[nodiscard]] NamedMatrix matrix_from_string(const std::string& text);
+
+void save_matrix_file(const std::string& path, const DependencyMatrix& m,
+                      const std::vector<std::string>& task_names);
+[[nodiscard]] NamedMatrix load_matrix_file(const std::string& path);
+
+}  // namespace bbmg

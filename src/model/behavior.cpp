@@ -1,0 +1,161 @@
+#include "model/behavior.hpp"
+
+#include <functional>
+
+#include "common/error.hpp"
+
+namespace bbmg {
+
+namespace {
+
+bool activation_satisfied(const SystemModel& model, TaskId t,
+                          const std::vector<bool>& edge_carried) {
+  const TaskSpec& spec = model.task(t);
+  const auto& in = model.in_edges(t);
+  switch (spec.activation) {
+    case ActivationPolicy::Source:
+      return true;
+    case ActivationPolicy::AnyInput:
+      for (std::size_t ei : in) {
+        if (edge_carried[ei]) return true;
+      }
+      return false;
+    case ActivationPolicy::AllInputs:
+      for (std::size_t ei : in) {
+        if (!edge_carried[ei]) return false;
+      }
+      return !in.empty();
+  }
+  return false;
+}
+
+}  // namespace
+
+PeriodBehavior resolve_period(const SystemModel& model, Rng& rng) {
+  const std::size_t n = model.num_tasks();
+  PeriodBehavior behavior;
+  behavior.executed.assign(n, false);
+  std::vector<bool> edge_carried(model.edges().size(), false);
+
+  for (TaskId t : model.topological_order()) {
+    if (!activation_satisfied(model, t, edge_carried)) continue;
+    behavior.executed[t.index()] = true;
+
+    const auto& out = model.out_edges(t);
+    if (out.empty()) continue;
+
+    std::vector<std::size_t> chosen;
+    switch (model.task(t).output) {
+      case OutputPolicy::All:
+        chosen = out;
+        break;
+      case OutputPolicy::NonEmptySubset: {
+        const std::uint64_t mask = rng.nonempty_subset_mask(out.size());
+        for (std::size_t i = 0; i < out.size(); ++i) {
+          if (mask & (1ull << i)) chosen.push_back(out[i]);
+        }
+        break;
+      }
+      case OutputPolicy::ExactlyOne:
+        chosen.push_back(out[rng.pick_index(out.size())]);
+        break;
+      case OutputPolicy::PerEdgeProbability:
+        for (std::size_t ei : out) {
+          if (rng.next_bool(model.edges()[ei].probability)) chosen.push_back(ei);
+        }
+        break;
+    }
+    for (std::size_t ei : chosen) {
+      edge_carried[ei] = true;
+      behavior.sent_edges.push_back(ei);
+    }
+  }
+  return behavior;
+}
+
+std::vector<PeriodBehavior> enumerate_behaviors(const SystemModel& model,
+                                                std::size_t max_behaviors) {
+  const std::size_t n = model.num_tasks();
+  const std::vector<TaskId> topo = model.topological_order();
+  std::vector<PeriodBehavior> result;
+
+  PeriodBehavior current;
+  current.executed.assign(n, false);
+  std::vector<bool> edge_carried(model.edges().size(), false);
+
+  // Depth-first search over the disjunctive choice points, walking the
+  // topological order so that every activation test sees its complete set
+  // of upstream decisions.
+  std::function<void(std::size_t)> visit = [&](std::size_t pos) {
+    if (pos == topo.size()) {
+      BBMG_REQUIRE(result.size() < max_behaviors,
+                   "behaviour space larger than max_behaviors");
+      result.push_back(current);
+      return;
+    }
+    const TaskId t = topo[pos];
+    if (!activation_satisfied(model, t, edge_carried)) {
+      visit(pos + 1);
+      return;
+    }
+    current.executed[t.index()] = true;
+    const auto& out = model.out_edges(t);
+
+    auto try_mask = [&](std::uint64_t mask) {
+      std::vector<std::size_t> chosen;
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        if (mask & (1ull << i)) chosen.push_back(out[i]);
+      }
+      for (std::size_t ei : chosen) {
+        edge_carried[ei] = true;
+        current.sent_edges.push_back(ei);
+      }
+      visit(pos + 1);
+      for (std::size_t ei : chosen) edge_carried[ei] = false;
+      current.sent_edges.resize(current.sent_edges.size() - chosen.size());
+    };
+
+    switch (out.empty() ? OutputPolicy::All : model.task(t).output) {
+      case OutputPolicy::All:
+        try_mask(out.empty() ? 0 : ((1ull << out.size()) - 1));
+        break;
+      case OutputPolicy::NonEmptySubset: {
+        BBMG_REQUIRE(out.size() <= 20, "fan-out too large to enumerate");
+        for (std::uint64_t mask = 1; mask < (1ull << out.size()); ++mask) {
+          try_mask(mask);
+        }
+        break;
+      }
+      case OutputPolicy::ExactlyOne:
+        for (std::size_t i = 0; i < out.size(); ++i) try_mask(1ull << i);
+        break;
+      case OutputPolicy::PerEdgeProbability: {
+        BBMG_REQUIRE(out.size() <= 20, "fan-out too large to enumerate");
+        // Enumerate all subsets consistent with the edge probabilities
+        // (an edge with probability 0 can never carry, probability 1 must).
+        std::uint64_t forced = 0;
+        std::uint64_t variable = 0;
+        for (std::size_t i = 0; i < out.size(); ++i) {
+          const double p = model.edges()[out[i]].probability;
+          if (p >= 1.0) forced |= (1ull << i);
+          else if (p > 0.0) variable |= (1ull << i);
+        }
+        // Iterate subsets of `variable` (standard submask walk), always
+        // including `forced`.
+        std::uint64_t sub = variable;
+        for (;;) {
+          try_mask(forced | sub);
+          if (sub == 0) break;
+          sub = (sub - 1) & variable;
+        }
+        break;
+      }
+    }
+    current.executed[t.index()] = false;
+  };
+
+  visit(0);
+  return result;
+}
+
+}  // namespace bbmg

@@ -1,0 +1,42 @@
+// Logical (untimed) behaviour of a design model within one period.
+//
+// Resolving a period answers two questions before any timing is simulated:
+// which tasks execute, and which edges carry a message.  Resolution walks
+// the tasks in topological order, applies each executing task's
+// OutputPolicy to choose out-edges, and fires downstream tasks according to
+// their ActivationPolicy.  The timed simulator (src/sim) then schedules
+// exactly this behaviour on ECUs and the CAN bus; the idealized trace
+// generator (src/gen) lays it out sequentially like the paper's Fig. 2.
+//
+// Besides random resolution, the behaviour space can be enumerated
+// exhaustively (every combination of disjunctive choices), which gives
+// "perfect" traces for convergence experiments and the design-truth
+// dependency function.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "model/system_model.hpp"
+
+namespace bbmg {
+
+struct PeriodBehavior {
+  /// executed[t] - did task t run this period?
+  std::vector<bool> executed;
+  /// Indices into model.edges() of the edges that carried a message, in
+  /// causal (sender topological) order.
+  std::vector<std::size_t> sent_edges;
+};
+
+/// Resolve one period with random disjunctive choices drawn from rng.
+[[nodiscard]] PeriodBehavior resolve_period(const SystemModel& model, Rng& rng);
+
+/// Enumerate every distinct behaviour the model allows in a period.
+/// Throws bbmg::Error if the count would exceed `max_behaviors` (the space
+/// is exponential in the number of disjunctive choices).
+[[nodiscard]] std::vector<PeriodBehavior> enumerate_behaviors(
+    const SystemModel& model, std::size_t max_behaviors = 100000);
+
+}  // namespace bbmg

@@ -1,0 +1,70 @@
+#include "model/design_truth.hpp"
+
+namespace bbmg {
+
+DependencyMatrix design_dependency(const SystemModel& model) {
+  const std::size_t n = model.num_tasks();
+  DependencyMatrix d(n);
+
+  // The spec-reader view: each design edge is a dependency; whether it is
+  // unconditional is read off the sender's output policy alone, and the
+  // receiver side is simply the mirror.  No cross-edge reasoning — that is
+  // exactly the pessimism the paper wants to improve on.
+  for (const auto& e : model.edges()) {
+    const auto& sender = model.task(e.from);
+    const bool unconditional =
+        sender.output == OutputPolicy::All ||
+        (sender.output == OutputPolicy::PerEdgeProbability &&
+         e.probability >= 1.0) ||
+        (sender.output == OutputPolicy::ExactlyOne &&
+         model.out_edges(e.from).size() == 1) ||
+        (sender.output == OutputPolicy::NonEmptySubset &&
+         model.out_edges(e.from).size() == 1);
+    const std::size_t a = e.from.index();
+    const std::size_t b = e.to.index();
+    const DepValue fwd =
+        unconditional ? DepValue::Forward : DepValue::MaybeForward;
+    d.set(a, b, dep_lub(d.at(a, b), fwd));
+    d.set(b, a, dep_lub(d.at(b, a), dep_mirror(fwd)));
+  }
+  return d;
+}
+
+DependencyMatrix behavioral_dependency(const SystemModel& model) {
+  const std::size_t n = model.num_tasks();
+  const std::vector<PeriodBehavior> behaviors = enumerate_behaviors(model);
+
+  // ran_without[a][b]: a executed in some behaviour where b did not.
+  std::vector<char> ran_without(n * n, 0);
+  // carried[a][b]: some behaviour has a message a -> b.
+  std::vector<char> carried(n * n, 0);
+
+  for (const auto& beh : behaviors) {
+    for (std::size_t a = 0; a < n; ++a) {
+      if (!beh.executed[a]) continue;
+      for (std::size_t b = 0; b < n; ++b) {
+        if (!beh.executed[b]) ran_without[a * n + b] = 1;
+      }
+    }
+    for (std::size_t ei : beh.sent_edges) {
+      const auto& e = model.edges()[ei];
+      carried[e.from.index() * n + e.to.index()] = 1;
+    }
+  }
+
+  DependencyMatrix d(n);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a == b || !carried[a * n + b]) continue;
+      const DepValue fwd = ran_without[a * n + b] ? DepValue::MaybeForward
+                                                  : DepValue::Forward;
+      const DepValue bwd = ran_without[b * n + a] ? DepValue::MaybeBackward
+                                                  : DepValue::Backward;
+      d.set(a, b, dep_lub(d.at(a, b), fwd));
+      d.set(b, a, dep_lub(d.at(b, a), bwd));
+    }
+  }
+  return d;
+}
+
+}  // namespace bbmg

@@ -1,0 +1,37 @@
+// Ground-truth dependency functions derived from a design model.
+//
+// The learner's output lives in the dependency-model world (paper §2.1:
+// edges mean dependency, possibly indirect), which is deliberately NOT the
+// design-model world (edges mean messages).  Two ground truths are useful:
+//
+//  * design_dependency(): the dependency function induced by *direct*
+//    design messages plus execution determination — what an engineer would
+//    read off the component specs.  Used to show which learned
+//    dependencies are design-intended and which are emergent.
+//
+//  * behavioral_dependency(): the most specific dependency function
+//    consistent with *every* behaviour the model allows — the ideal
+//    learning target.  Computed from the exhaustive behaviour enumeration:
+//    the pairwise co-execution analysis gives the requirement level, and
+//    message evidence gives which pairs are raised at all.
+#pragma once
+
+#include "lattice/dependency_matrix.hpp"
+#include "model/behavior.hpp"
+#include "model/system_model.hpp"
+
+namespace bbmg {
+
+/// Dependency function from direct design edges only: an edge a->b yields
+/// d(a,b) = -> if b executes whenever a does across all behaviours
+/// (unconditional determination), ->? otherwise; mirrored on (b,a).
+/// Pairs with no direct edge stay ||.
+[[nodiscard]] DependencyMatrix design_dependency(const SystemModel& model);
+
+/// The ideal learning target: pairs connected by at least one message in
+/// some behaviour are raised, and the level (required vs conditional) is
+/// decided by co-execution over all behaviours, exactly mirroring the
+/// learner's semantics with perfect knowledge of senders and receivers.
+[[nodiscard]] DependencyMatrix behavioral_dependency(const SystemModel& model);
+
+}  // namespace bbmg

@@ -1,0 +1,139 @@
+#include "model/system_model.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace bbmg {
+
+TaskId SystemModel::add_task(TaskSpec spec) {
+  const TaskId id{tasks_.size()};
+  tasks_.push_back(std::move(spec));
+  out_edges_.emplace_back();
+  in_edges_.emplace_back();
+  return id;
+}
+
+std::size_t SystemModel::add_edge(EdgeSpec spec) {
+  BBMG_REQUIRE(spec.from.index() < tasks_.size() &&
+                   spec.to.index() < tasks_.size(),
+               "edge references unknown task");
+  const std::size_t index = edges_.size();
+  out_edges_[spec.from.index()].push_back(index);
+  in_edges_[spec.to.index()].push_back(index);
+  edges_.push_back(spec);
+  return index;
+}
+
+TaskId SystemModel::task_by_name(const std::string& name) const {
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (tasks_[i].name == name) return TaskId{i};
+  }
+  raise("unknown task name in model: '" + name + "'");
+}
+
+std::vector<std::string> SystemModel::task_names() const {
+  std::vector<std::string> names;
+  names.reserve(tasks_.size());
+  for (const auto& t : tasks_) names.push_back(t.name);
+  return names;
+}
+
+std::size_t SystemModel::num_ecus() const {
+  std::size_t n = 0;
+  for (const auto& t : tasks_) n = std::max(n, t.ecu.index() + 1);
+  return n;
+}
+
+void SystemModel::validate() const {
+  BBMG_REQUIRE(!tasks_.empty(), "model has no tasks");
+
+  std::unordered_set<std::string> names;
+  for (const auto& t : tasks_) {
+    BBMG_REQUIRE(!t.name.empty(), "task with empty name");
+    BBMG_REQUIRE(names.insert(t.name).second,
+                 "duplicate task name: " + t.name);
+    BBMG_REQUIRE(t.exec_min > 0 && t.exec_min <= t.exec_max,
+                 "task '" + t.name + "' has invalid execution-time range");
+    for (const auto& b : t.broadcasts) {
+      BBMG_REQUIRE(b.dlc <= 8, "broadcast dlc > 8 on task " + t.name);
+    }
+  }
+
+  std::unordered_set<CanId> can_ids;
+  for (const auto& e : edges_) {
+    BBMG_REQUIRE(e.from != e.to, "self-edge on task " + task(e.from).name);
+    BBMG_REQUIRE(e.dlc <= 8, "edge dlc > 8");
+    BBMG_REQUIRE(e.probability >= 0.0 && e.probability <= 1.0,
+                 "edge probability outside [0,1]");
+    BBMG_REQUIRE(can_ids.insert(e.can_id).second,
+                 "duplicate CAN id " + std::to_string(e.can_id));
+  }
+  for (const auto& t : tasks_) {
+    for (const auto& b : t.broadcasts) {
+      BBMG_REQUIRE(can_ids.insert(b.can_id).second,
+                   "duplicate CAN id " + std::to_string(b.can_id) +
+                       " (broadcast of " + t.name + ")");
+    }
+  }
+
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    const auto& t = tasks_[i];
+    if (t.activation == ActivationPolicy::Source) {
+      BBMG_REQUIRE(in_edges_[i].empty(),
+                   "Source task '" + t.name + "' has in-edges");
+    } else {
+      BBMG_REQUIRE(!in_edges_[i].empty(),
+                   "non-Source task '" + t.name + "' has no in-edges");
+    }
+  }
+
+  (void)topological_order();  // throws on cycles
+}
+
+std::vector<TaskId> SystemModel::topological_order() const {
+  std::vector<std::size_t> in_degree(tasks_.size(), 0);
+  for (const auto& e : edges_) ++in_degree[e.to.index()];
+
+  std::vector<TaskId> order;
+  order.reserve(tasks_.size());
+  std::vector<std::size_t> ready;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (in_degree[i] == 0) ready.push_back(i);
+  }
+  while (!ready.empty()) {
+    const std::size_t t = ready.back();
+    ready.pop_back();
+    order.push_back(TaskId{t});
+    for (std::size_t ei : out_edges_[t]) {
+      const std::size_t to = edges_[ei].to.index();
+      if (--in_degree[to] == 0) ready.push_back(to);
+    }
+  }
+  BBMG_REQUIRE(order.size() == tasks_.size(),
+               "design model has a message cycle");
+  return order;
+}
+
+std::string SystemModel::to_dot() const {
+  std::string out = "digraph design {\n  rankdir=TB;\n  node [shape=circle];\n";
+  for (const auto& t : tasks_) {
+    out += "  \"" + t.name + "\"";
+    if (t.activation == ActivationPolicy::Source) {
+      out += " [style=bold]";
+    }
+    out += ";\n";
+  }
+  for (const auto& e : edges_) {
+    const bool conditional =
+        task(e.from).output != OutputPolicy::All;
+    out += "  \"" + task(e.from).name + "\" -> \"" + task(e.to).name + "\"";
+    out += conditional ? " [style=dashed]" : "";
+    out += ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace bbmg

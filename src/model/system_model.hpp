@@ -1,0 +1,136 @@
+// System *design* models under the paper's control-flow model of
+// computation (§2.1): a fixed set of tasks executes repeatedly in periods;
+// tasks fire in a data-driven manner; after a task completes it may send
+// messages to other tasks within the same period; messages never cross
+// period boundaries.
+//
+// Nodes may be disjunctive (conditionally choosing which successors to
+// message, like t1/A/B in the paper) or conjunctive (passively receiving
+// from several potential senders, like t4/H/P/Q).  The design model is the
+// generator of behaviour; the learner never sees it — it reconstructs a
+// *dependency* model from bus traces, and the analysis layer compares the
+// two.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace bbmg {
+
+/// When does a task with in-edges execute in a period?
+enum class ActivationPolicy : std::uint8_t {
+  /// No inputs required: released at every period start (root tasks and
+  /// infrastructure tasks).
+  Source,
+  /// Executes iff at least one message was addressed to it this period
+  /// (typical conjunction node downstream of disjunctive choices).
+  AnyInput,
+  /// Executes iff messages arrived on *all* of its in-edges this period
+  /// (strict join; only sensible if all predecessors send unconditionally).
+  AllInputs,
+};
+
+/// Which out-edges does an executing task send messages on?
+enum class OutputPolicy : std::uint8_t {
+  /// All out-edges, every time (deterministic fan-out).
+  All,
+  /// A uniformly random non-empty subset (the paper's "t1 sends to t2 or
+  /// t3 or both").
+  NonEmptySubset,
+  /// Exactly one out-edge, chosen uniformly.
+  ExactlyOne,
+  /// Each out-edge independently with its EdgeSpec::probability.
+  PerEdgeProbability,
+};
+
+/// A frame a task puts on the bus with no receiver in the design model —
+/// status broadcasts, network management, and other infrastructure traffic.
+/// These are exactly the messages through which the execution environment
+/// introduces dependencies the design never stated (the paper's Q-O case).
+struct BroadcastSpec {
+  CanId can_id{0};
+  std::uint8_t dlc{8};  // CAN payload length, 0..8 bytes
+};
+
+struct TaskSpec {
+  std::string name;
+  EcuId ecu{};
+  TaskPriority priority{0};  // higher value preempts lower, per ECU
+  /// Uniform execution-time range, inclusive, nanoseconds of CPU time.
+  TimeNs exec_min{100 * kTimeNsPerUs};
+  TimeNs exec_max{500 * kTimeNsPerUs};
+  ActivationPolicy activation{ActivationPolicy::AnyInput};
+  OutputPolicy output{OutputPolicy::All};
+  std::vector<BroadcastSpec> broadcasts;
+  /// Source tasks only: fixed delay after the period start before release
+  /// (sensor phase offsets; ignored for non-source tasks, whose release is
+  /// input-driven).
+  TimeNs release_offset{0};
+};
+
+struct EdgeSpec {
+  TaskId from{};
+  TaskId to{};
+  CanId can_id{0};
+  std::uint8_t dlc{8};
+  /// Used only with OutputPolicy::PerEdgeProbability.
+  double probability{1.0};
+};
+
+class SystemModel {
+ public:
+  SystemModel() = default;
+
+  /// Add a task; returns its TaskId.  Name must be unique and non-empty.
+  TaskId add_task(TaskSpec spec);
+
+  /// Add a message edge; returns its index in edges().
+  std::size_t add_edge(EdgeSpec spec);
+
+  [[nodiscard]] std::size_t num_tasks() const { return tasks_.size(); }
+  [[nodiscard]] const std::vector<TaskSpec>& tasks() const { return tasks_; }
+  [[nodiscard]] const TaskSpec& task(TaskId t) const {
+    return tasks_[t.index()];
+  }
+  [[nodiscard]] const std::vector<EdgeSpec>& edges() const { return edges_; }
+
+  [[nodiscard]] TaskId task_by_name(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> task_names() const;
+
+  /// Indices into edges() of the out-edges of t, in insertion order.
+  [[nodiscard]] const std::vector<std::size_t>& out_edges(TaskId t) const {
+    return out_edges_[t.index()];
+  }
+  [[nodiscard]] const std::vector<std::size_t>& in_edges(TaskId t) const {
+    return in_edges_[t.index()];
+  }
+
+  [[nodiscard]] std::size_t num_ecus() const;
+
+  /// Checks structural sanity; throws bbmg::Error on the first violation:
+  /// unique non-empty task names, edges between distinct existing tasks,
+  /// unique CAN ids across edges and broadcasts, dlc <= 8, acyclic edge
+  /// graph, Source tasks without in-edges and non-Source tasks with at
+  /// least one, and a valid probability on every edge.
+  void validate() const;
+
+  /// A topological order of the tasks (edges point forward).  Throws if
+  /// the graph has a cycle.
+  [[nodiscard]] std::vector<TaskId> topological_order() const;
+
+  /// Graphviz rendering of the design model (solid = unconditional edge
+  /// from an All-output task, dashed = conditional).
+  [[nodiscard]] std::string to_dot() const;
+
+ private:
+  std::vector<TaskSpec> tasks_;
+  std::vector<EdgeSpec> edges_;
+  std::vector<std::vector<std::size_t>> out_edges_;
+  std::vector<std::vector<std::size_t>> in_edges_;
+};
+
+}  // namespace bbmg

@@ -1,0 +1,44 @@
+#include "sim/can_bus.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace bbmg {
+
+CanBus::CanBus(std::uint64_t bitrate_bits_per_sec, bool worst_case_stuffing)
+    : bitrate_(bitrate_bits_per_sec), stuffing_(worst_case_stuffing) {
+  BBMG_REQUIRE(bitrate_ > 0, "bus bitrate must be positive");
+}
+
+void CanBus::enqueue(const CanFrame& frame) {
+  pending_.emplace_back(frame, next_seq_++);
+}
+
+std::optional<BusTransmission> CanBus::try_start(TimeNs now) {
+  if (current_.has_value() || pending_.empty()) return std::nullopt;
+
+  const auto winner = std::min_element(
+      pending_.begin(), pending_.end(), [](const auto& a, const auto& b) {
+        if (a.first.can_id != b.first.can_id)
+          return a.first.can_id < b.first.can_id;
+        return a.second < b.second;
+      });
+
+  BusTransmission tx;
+  tx.frame = winner->first;
+  tx.rise = now;
+  tx.fall = now + can_frame_time(tx.frame.dlc, bitrate_, stuffing_);
+  pending_.erase(winner);
+  current_ = tx;
+  return tx;
+}
+
+BusTransmission CanBus::finish() {
+  BBMG_REQUIRE(current_.has_value(), "finish() on an idle bus");
+  BusTransmission tx = *current_;
+  current_.reset();
+  return tx;
+}
+
+}  // namespace bbmg

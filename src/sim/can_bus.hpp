@@ -1,0 +1,54 @@
+// Single shared CAN bus with identifier-based arbitration.
+//
+// The bus is passive: the Simulator enqueues frames and asks it to start
+// transmissions; the Simulator owns the clock and the event queue.  When
+// the bus is idle and frames are pending, the pending frame with the
+// numerically lowest CAN identifier wins arbitration (ties broken FIFO),
+// transmits for can_frame_time, and is delivered at its falling edge.
+// Transmission is non-preemptive, as on a real CAN bus.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/can_frame.hpp"
+
+namespace bbmg {
+
+struct BusTransmission {
+  CanFrame frame;
+  TimeNs rise{0};
+  TimeNs fall{0};
+};
+
+class CanBus {
+ public:
+  CanBus(std::uint64_t bitrate_bits_per_sec, bool worst_case_stuffing);
+
+  /// Queue a frame for arbitration.
+  void enqueue(const CanFrame& frame);
+
+  [[nodiscard]] bool busy() const { return current_.has_value(); }
+  [[nodiscard]] bool has_pending() const { return !pending_.empty(); }
+  [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
+
+  /// If idle and frames are pending, arbitrate and begin transmitting at
+  /// `now`; returns the started transmission (rise == now).  Returns
+  /// nullopt if busy or nothing is pending.
+  std::optional<BusTransmission> try_start(TimeNs now);
+
+  /// Complete the in-flight transmission; returns it.  Precondition: busy.
+  BusTransmission finish();
+
+ private:
+  std::uint64_t bitrate_;
+  bool stuffing_;
+  std::uint64_t next_seq_{0};
+  // (frame, fifo sequence) — arbitration picks min (can_id, seq).
+  std::vector<std::pair<CanFrame, std::uint64_t>> pending_;
+  std::optional<BusTransmission> current_;
+};
+
+}  // namespace bbmg

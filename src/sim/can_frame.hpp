@@ -1,0 +1,48 @@
+// CAN 2.0A frame timing (Bosch CAN specification 2.0, base frame format).
+//
+// A data frame with an 11-bit identifier carries
+//   SOF(1) + ID(11) + RTR(1) + IDE(1) + r0(1) + DLC(4) + data(8*dlc)
+//   + CRC(15) + CRC delimiter(1) + ACK(2) + EOF(7) = 44 + 8*dlc bits,
+// followed by a 3-bit interframe space before the bus is free again.
+// Bit stuffing (one stuff bit after every five equal bits, applied to the
+// 34 + 8*dlc stuffable bits) adds at most floor((34 + 8*dlc - 1)/4) bits.
+//
+// The identifier doubles as the arbitration priority: numerically lower
+// identifiers win (dominant bits win arbitration).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace bbmg {
+
+/// Number of edges() index used for frames with no design receiver
+/// (infrastructure broadcasts).
+inline constexpr std::size_t kBroadcastEdge = static_cast<std::size_t>(-1);
+
+struct CanFrame {
+  CanId can_id{0};
+  std::uint8_t dlc{8};
+  /// Index into SystemModel::edges(), or kBroadcastEdge.
+  std::size_t edge_index{kBroadcastEdge};
+  TimeNs enqueue_time{0};
+};
+
+/// Bus occupancy of one frame in bits, including the interframe space.
+[[nodiscard]] constexpr std::uint64_t can_frame_bits(std::uint8_t dlc,
+                                                     bool worst_case_stuffing) {
+  const std::uint64_t data_bits = 8ull * dlc;
+  std::uint64_t bits = 44 + data_bits + 3;  // frame + interframe space
+  if (worst_case_stuffing) bits += (34 + data_bits - 1) / 4;
+  return bits;
+}
+
+/// Transmission time of one frame at the given bitrate.
+[[nodiscard]] constexpr TimeNs can_frame_time(std::uint8_t dlc,
+                                              std::uint64_t bitrate,
+                                              bool worst_case_stuffing) {
+  return can_frame_bits(dlc, worst_case_stuffing) * kTimeNsPerSec / bitrate;
+}
+
+}  // namespace bbmg

@@ -1,0 +1,60 @@
+#include "sim/ecu.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace bbmg {
+
+namespace {
+
+/// Highest priority wins; ties broken by lower task index for determinism.
+bool higher_priority(const EcuJob& a, const EcuJob& b) {
+  if (a.priority != b.priority) return a.priority > b.priority;
+  return a.task < b.task;
+}
+
+}  // namespace
+
+bool Ecu::should_preempt() const {
+  if (!running_.has_value() || ready_.empty()) return false;
+  const auto best = std::max_element(
+      ready_.begin(), ready_.end(),
+      [](const EcuJob& a, const EcuJob& b) { return higher_priority(b, a); });
+  return higher_priority(*best, *running_);
+}
+
+void Ecu::preempt(TimeNs now) {
+  BBMG_REQUIRE(running_.has_value(), "preempt on idle ECU");
+  EcuJob job = *running_;
+  const TimeNs consumed = now - slice_start_;
+  BBMG_ASSERT(consumed <= job.work_remaining,
+              "job consumed more CPU than it had remaining");
+  job.work_remaining -= consumed;
+  running_.reset();
+  ++generation_;
+  ready_.push_back(job);
+}
+
+EcuJob& Ecu::dispatch(TimeNs now) {
+  BBMG_REQUIRE(!running_.has_value(), "dispatch on busy ECU");
+  BBMG_REQUIRE(!ready_.empty(), "dispatch with empty ready list");
+  const auto best = std::max_element(
+      ready_.begin(), ready_.end(),
+      [](const EcuJob& a, const EcuJob& b) { return higher_priority(b, a); });
+  running_ = *best;
+  ready_.erase(best);
+  slice_start_ = now;
+  ++generation_;
+  return *running_;
+}
+
+EcuJob Ecu::complete() {
+  BBMG_REQUIRE(running_.has_value(), "complete on idle ECU");
+  EcuJob job = *running_;
+  running_.reset();
+  ++generation_;
+  return job;
+}
+
+}  // namespace bbmg

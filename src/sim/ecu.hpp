@@ -1,0 +1,67 @@
+// One ECU running an OSEK-like fixed-priority fully-preemptive scheduler.
+//
+// Like the bus, the ECU is passive state plus scheduling decisions; the
+// Simulator owns the clock and turns decisions into events.  Tasks are
+// released when their inputs have arrived, dispatched
+// highest-priority-first, and a newly released higher-priority task
+// preempts the running one (execution resumes later; total CPU demand is
+// preserved).  "Start" in the trace sense is the first dispatch; "end" is
+// completion — matching what a bus logging device can observe of a task's
+// activity window.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace bbmg {
+
+struct EcuJob {
+  TaskId task{};
+  TaskPriority priority{0};
+  TimeNs work_remaining{0};
+  bool started{false};  // has it ever been dispatched this period?
+};
+
+class Ecu {
+ public:
+  /// Make a job ready for dispatch.
+  void release(const EcuJob& job) { ready_.push_back(job); }
+
+  [[nodiscard]] bool idle() const { return !running_.has_value(); }
+  [[nodiscard]] bool has_ready() const { return !ready_.empty(); }
+  [[nodiscard]] const std::optional<EcuJob>& running() const {
+    return running_;
+  }
+  [[nodiscard]] TimeNs slice_start() const { return slice_start_; }
+
+  /// Generation counter used to lazily invalidate scheduled completion
+  /// events after a preemption.
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+
+  /// Would the best ready job preempt the currently running one?
+  [[nodiscard]] bool should_preempt() const;
+
+  /// Preempt the running job at time `now`: its consumed CPU time is
+  /// deducted and it goes back to the ready list.  Bumps the generation.
+  void preempt(TimeNs now);
+
+  /// Dispatch the highest-priority ready job at `now` (ECU must be idle,
+  /// ready must be non-empty).  Returns a reference to the running job —
+  /// the caller schedules its completion at now + work_remaining and, if
+  /// !started (first dispatch), records the TaskStart event and marks it.
+  EcuJob& dispatch(TimeNs now);
+
+  /// Complete the running job (at its scheduled completion time).
+  EcuJob complete();
+
+ private:
+  std::optional<EcuJob> running_;
+  TimeNs slice_start_{0};
+  std::uint64_t generation_{0};
+  std::vector<EcuJob> ready_;
+};
+
+}  // namespace bbmg

@@ -1,0 +1,242 @@
+#include "sim/simulator.hpp"
+
+#include <queue>
+#include <vector>
+
+#include "common/error.hpp"
+#include "model/behavior.hpp"
+#include "sim/can_bus.hpp"
+#include "sim/ecu.hpp"
+
+namespace bbmg {
+
+namespace {
+
+enum class EvKind : std::uint8_t { Release, Completion, BusDone };
+
+struct SimEvent {
+  TimeNs time{0};
+  std::uint64_t seq{0};  // FIFO tie-break for equal timestamps
+  EvKind kind{EvKind::Release};
+  std::size_t subject{0};      // Release: task index; Completion: ECU index
+  std::uint64_t generation{0}; // Completion: lazy-invalidation token
+};
+
+struct LaterEvent {
+  bool operator()(const SimEvent& a, const SimEvent& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+class SimulationRun {
+ public:
+  SimulationRun(const SystemModel& model, const SimConfig& config)
+      : model_(model),
+        config_(config),
+        rng_(config.seed),
+        bus_(config.bus_bitrate, config.worst_case_stuffing),
+        ecus_(model.num_ecus()),
+        builder_(model.task_names()) {}
+
+  SimReport run(std::size_t num_periods) {
+    for (std::size_t p = 0; p < num_periods; ++p) {
+      run_period(static_cast<TimeNs>(p) * config_.period_length);
+    }
+    SimReport report{builder_.take(), preemptions_, peak_bus_queue_,
+                     max_makespan_, retransmissions_};
+    return report;
+  }
+
+ private:
+  void schedule(TimeNs time, EvKind kind, std::size_t subject,
+                std::uint64_t generation = 0) {
+    queue_.push(SimEvent{time, next_seq_++, kind, subject, generation});
+  }
+
+  void run_period(TimeNs period_start) {
+    const std::size_t n = model_.num_tasks();
+    const PeriodBehavior behavior = resolve_period(model_, rng_);
+
+    // How many frames must fall before each task may start.
+    missing_inputs_.assign(n, 0);
+    out_frames_.assign(n, {});
+    for (std::size_t ei : behavior.sent_edges) {
+      const EdgeSpec& e = model_.edges()[ei];
+      ++missing_inputs_[e.to.index()];
+      out_frames_[e.from.index()].push_back(
+          CanFrame{e.can_id, e.dlc, ei, 0});
+    }
+    for (std::size_t t = 0; t < n; ++t) {
+      if (!behavior.executed[t]) continue;
+      for (const BroadcastSpec& b : model_.tasks()[t].broadcasts) {
+        out_frames_[t].push_back(CanFrame{b.can_id, b.dlc, kBroadcastEdge, 0});
+      }
+    }
+    executes_ = behavior.executed;
+    completed_.assign(n, false);
+
+    builder_.begin_period();
+    period_end_ = period_start;
+
+    // Phase-2 kickoff: tasks with no pending inputs are released at the
+    // period start (sources, including infrastructure tasks).
+    for (std::size_t t = 0; t < n; ++t) {
+      if (!executes_[t] || missing_inputs_[t] != 0) continue;
+      TimeNs release = period_start + model_.tasks()[t].release_offset;
+      if (config_.release_jitter_max > 0) {
+        release += rng_.next_below(config_.release_jitter_max + 1);
+      }
+      schedule(release, EvKind::Release, t);
+    }
+
+    while (!queue_.empty()) {
+      const SimEvent ev = queue_.top();
+      queue_.pop();
+      period_end_ = std::max(period_end_, ev.time);
+      switch (ev.kind) {
+        case EvKind::Release:
+          handle_release(ev.subject, ev.time);
+          break;
+        case EvKind::Completion:
+          handle_completion(ev.subject, ev.generation, ev.time);
+          break;
+        case EvKind::BusDone:
+          handle_bus_done(ev.time, ev.generation != 0);
+          break;
+      }
+    }
+
+    // Sanity: everything the behaviour promised actually happened and fit
+    // into the period.
+    for (std::size_t t = 0; t < n; ++t) {
+      BBMG_ASSERT(!executes_[t] || completed_[t],
+                  "task '" + model_.tasks()[t].name +
+                      "' did not complete within its period");
+    }
+    BBMG_ASSERT(!bus_.busy() && !bus_.has_pending(),
+                "bus still active at period end");
+    const TimeNs makespan = period_end_ - period_start;
+    BBMG_REQUIRE(makespan <= config_.period_length,
+                 "period activity (" + std::to_string(makespan) +
+                     " ns) exceeds period_length — increase the period or "
+                     "reduce load");
+    max_makespan_ = std::max(max_makespan_, makespan);
+    builder_.end_period();
+  }
+
+  void handle_release(std::size_t task, TimeNs now) {
+    const TaskSpec& spec = model_.tasks()[task];
+    EcuJob job;
+    job.task = TaskId{task};
+    job.priority = spec.priority;
+    job.work_remaining =
+        spec.exec_min +
+        rng_.next_below(spec.exec_max - spec.exec_min + 1);
+    job.started = false;
+    ecus_[spec.ecu.index()].release(job);
+    reschedule(spec.ecu.index(), now);
+  }
+
+  void reschedule(std::size_t ecu_index, TimeNs now) {
+    Ecu& ecu = ecus_[ecu_index];
+    if (ecu.should_preempt()) {
+      ecu.preempt(now);
+      ++preemptions_;
+    }
+    if (ecu.idle() && ecu.has_ready()) {
+      EcuJob& job = ecu.dispatch(now);
+      if (!job.started) {
+        job.started = true;
+        builder_.add_event(Event::task_start(now, job.task));
+      }
+      schedule(now + job.work_remaining, EvKind::Completion, ecu_index,
+               ecu.generation());
+    }
+  }
+
+  void handle_completion(std::size_t ecu_index, std::uint64_t generation,
+                         TimeNs now) {
+    Ecu& ecu = ecus_[ecu_index];
+    if (generation != ecu.generation()) return;  // preempted meanwhile
+    const EcuJob job = ecu.complete();
+    builder_.add_event(Event::task_end(now, job.task));
+    completed_[job.task.index()] = true;
+
+    for (CanFrame frame : out_frames_[job.task.index()]) {
+      frame.enqueue_time = now;
+      bus_.enqueue(frame);
+    }
+    try_start_bus(now);
+    reschedule(ecu_index, now);
+  }
+
+  void try_start_bus(TimeNs now) {
+    if (auto tx = bus_.try_start(now)) {
+      // A corrupted attempt occupies the bus but the logging device
+      // discards errored frames: no rise/fall recorded, frame retried.
+      const bool corrupted = config_.bus_error_rate > 0.0 &&
+                             rng_.next_bool(config_.bus_error_rate);
+      if (!corrupted) {
+        builder_.add_event(Event::msg_rise(tx->rise, tx->frame.can_id));
+      }
+      schedule(tx->fall, EvKind::BusDone, 0, corrupted ? 1 : 0);
+    }
+    // Frames still waiting behind the in-flight transmission.
+    peak_bus_queue_ = std::max(peak_bus_queue_, bus_.pending_count());
+  }
+
+  void handle_bus_done(TimeNs now, bool corrupted) {
+    const BusTransmission tx = bus_.finish();
+    if (corrupted) {
+      ++retransmissions_;
+      BBMG_REQUIRE(retransmissions_ < 100000,
+                   "bus error rate too high: retransmission storm");
+      bus_.enqueue(tx.frame);  // automatic CAN retransmission
+      try_start_bus(now);
+      return;
+    }
+    builder_.add_event(Event::msg_fall(now, tx.frame.can_id));
+    if (tx.frame.edge_index != kBroadcastEdge) {
+      const EdgeSpec& e = model_.edges()[tx.frame.edge_index];
+      const std::size_t to = e.to.index();
+      BBMG_ASSERT(missing_inputs_[to] > 0, "delivery to task expecting none");
+      if (--missing_inputs_[to] == 0) {
+        schedule(now, EvKind::Release, to);
+      }
+    }
+    try_start_bus(now);
+  }
+
+  const SystemModel& model_;
+  const SimConfig& config_;
+  Rng rng_;
+  CanBus bus_;
+  std::vector<Ecu> ecus_;
+  TraceBuilder builder_;
+
+  std::priority_queue<SimEvent, std::vector<SimEvent>, LaterEvent> queue_;
+  std::uint64_t next_seq_{0};
+
+  std::vector<bool> executes_;
+  std::vector<bool> completed_;
+  std::vector<std::uint32_t> missing_inputs_;
+  std::vector<std::vector<CanFrame>> out_frames_;
+  TimeNs period_end_{0};
+
+  std::uint64_t preemptions_{0};
+  std::size_t peak_bus_queue_{0};
+  TimeNs max_makespan_{0};
+  std::uint64_t retransmissions_{0};
+};
+
+}  // namespace
+
+SimReport simulate(const SystemModel& model, std::size_t num_periods,
+                   const SimConfig& config) {
+  model.validate();
+  SimulationRun run(model, config);
+  return run.run(num_periods);
+}
+
+}  // namespace bbmg

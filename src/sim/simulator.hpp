@@ -1,0 +1,79 @@
+// Discrete-event simulator tying together the design model, the per-ECU
+// OSEK-like schedulers, and the CAN bus — the platform substrate on which
+// traces are produced exactly the way the paper's GM logging device would
+// record them (task start/end plus anonymous message rise/fall).
+//
+// Each period is simulated in two phases:
+//
+//  1. *Behaviour resolution* (model/behavior.hpp): the disjunctive choices
+//     are drawn, fixing which tasks run and which edges carry messages.
+//     This mirrors the MoC's data-driven firing rule — a task fires on the
+//     arrival of all its required inputs, where "required" is what its
+//     upstream tasks decided to send this period.
+//
+//  2. *Timed execution*: source tasks are released at the period start
+//     (plus optional jitter); a receiving task becomes ready once every
+//     message addressed to it this period has been delivered (fallen) on
+//     the bus; ECUs run fixed-priority preemptive; completed tasks enqueue
+//     their frames, which arbitrate by CAN id.
+//
+// The phase split guarantees the learnability invariants the candidate
+// extraction relies on: a true sender finishes before its frame's rising
+// edge, a true receiver starts after all of its frames' falling edges.
+// The *timing* itself, however, is emergent — priorities, preemption and
+// arbitration decide the interleaving, which is how infrastructure-induced
+// dependencies (the paper's Q-O) end up in traces.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "model/system_model.hpp"
+#include "trace/trace.hpp"
+
+namespace bbmg {
+
+struct SimConfig {
+  /// Length of one system period; all activity must fit (checked).
+  TimeNs period_length = 100 * kTimeNsPerMs;
+  /// CAN bus bitrate in bits/second (500 kbit/s is a typical body bus).
+  std::uint64_t bus_bitrate = 500'000;
+  /// Account for worst-case bit stuffing in frame times.
+  bool worst_case_stuffing = false;
+  /// Source-task release jitter, uniform in [0, max], drawn per release.
+  TimeNs release_jitter_max = 0;
+  /// Probability that any one frame transmission is corrupted on the bus.
+  /// CAN controllers retransmit automatically: the failed attempt occupies
+  /// the bus (the logging device discards errored frames, so the trace
+  /// shows only the successful attempt), then the frame re-arbitrates.
+  double bus_error_rate = 0.0;
+  std::uint64_t seed = 1;
+};
+
+struct SimReport {
+  Trace trace;
+  /// Total CPU preemptions observed across the run.
+  std::uint64_t preemptions{0};
+  /// Maximum number of frames ever waiting for arbitration.
+  std::size_t peak_bus_queue{0};
+  /// Latest activity completion relative to its period start.
+  TimeNs max_period_makespan{0};
+  /// Failed frame transmissions that were retried (bus_error_rate > 0).
+  std::uint64_t retransmissions{0};
+};
+
+/// Simulate `num_periods` periods of `model` and return the recorded trace
+/// plus platform statistics.  Throws bbmg::Error if the model is invalid
+/// or a period's activity does not finish within period_length.
+[[nodiscard]] SimReport simulate(const SystemModel& model,
+                                 std::size_t num_periods,
+                                 const SimConfig& config = {});
+
+/// Convenience wrapper returning only the trace.
+[[nodiscard]] inline Trace simulate_trace(const SystemModel& model,
+                                          std::size_t num_periods,
+                                          const SimConfig& config = {}) {
+  return simulate(model, num_periods, config).trace;
+}
+
+}  // namespace bbmg

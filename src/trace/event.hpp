@@ -1,0 +1,44 @@
+// Raw trace events, exactly the observables of the paper's logging device
+// (§2.1): "an event is the start or end of a task, or the rising edge or
+// the falling edge of a message transmitted on the bus".  The bus reveals
+// no sender/receiver; a message event carries only its CAN identifier,
+// which the learner deliberately ignores (the paper's learner treats every
+// message occurrence as anonymous).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace bbmg {
+
+enum class EventKind : std::uint8_t {
+  TaskStart,
+  TaskEnd,
+  MsgRise,  // transmission begins on the bus
+  MsgFall,  // transmission ends; receivers may consume the payload
+};
+
+struct Event {
+  TimeNs time{0};
+  EventKind kind{EventKind::TaskStart};
+  // For TaskStart/TaskEnd: the task index.  For MsgRise/MsgFall: unused.
+  TaskId task{};
+  // For MsgRise/MsgFall: the CAN identifier observed on the bus.
+  CanId can_id{0};
+
+  static Event task_start(TimeNs t, TaskId task) {
+    return Event{t, EventKind::TaskStart, task, 0};
+  }
+  static Event task_end(TimeNs t, TaskId task) {
+    return Event{t, EventKind::TaskEnd, task, 0};
+  }
+  static Event msg_rise(TimeNs t, CanId id) {
+    return Event{t, EventKind::MsgRise, TaskId{}, id};
+  }
+  static Event msg_fall(TimeNs t, CanId id) {
+    return Event{t, EventKind::MsgFall, TaskId{}, id};
+  }
+};
+
+}  // namespace bbmg

@@ -1,0 +1,75 @@
+#include "trace/segmentation.hpp"
+
+#include "common/error.hpp"
+
+namespace bbmg {
+
+namespace {
+
+void require_time_ordered(const std::vector<Event>& events) {
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    BBMG_REQUIRE(events[i - 1].time <= events[i].time,
+                 "event stream is not time-ordered (index " +
+                     std::to_string(i) + ")");
+  }
+}
+
+/// Feed one run of events into the builder as a period.
+void emit_period(TraceBuilder& builder, const std::vector<Event>& events,
+                 std::size_t first, std::size_t last_exclusive) {
+  if (first == last_exclusive) return;
+  builder.begin_period();
+  for (std::size_t i = first; i < last_exclusive; ++i) {
+    builder.add_event(events[i]);
+  }
+  builder.end_period();
+}
+
+}  // namespace
+
+Trace segment_by_period(const std::vector<Event>& events,
+                        std::vector<std::string> task_names,
+                        TimeNs period_length) {
+  BBMG_REQUIRE(period_length > 0, "period_length must be positive");
+  require_time_ordered(events);
+
+  TraceBuilder builder(std::move(task_names));
+  std::size_t start = 0;
+  while (start < events.size()) {
+    const std::uint64_t bin = events[start].time / period_length;
+    std::size_t end = start;
+    while (end < events.size() && events[end].time / period_length == bin) {
+      ++end;
+    }
+    emit_period(builder, events, start, end);
+    start = end;
+  }
+  return builder.take();
+}
+
+Trace segment_by_gap(const std::vector<Event>& events,
+                     std::vector<std::string> task_names, TimeNs min_gap) {
+  BBMG_REQUIRE(min_gap > 0, "min_gap must be positive");
+  require_time_ordered(events);
+
+  TraceBuilder builder(std::move(task_names));
+  std::size_t start = 0;
+  for (std::size_t i = 1; i <= events.size(); ++i) {
+    const bool cut =
+        i == events.size() || events[i].time - events[i - 1].time >= min_gap;
+    if (!cut) continue;
+    emit_period(builder, events, start, i);
+    start = i;
+  }
+  return builder.take();
+}
+
+std::vector<Event> flatten(const Trace& trace) {
+  std::vector<Event> out;
+  for (const auto& period : trace.periods()) {
+    for (const Event& e : period.to_events()) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace bbmg

@@ -1,0 +1,38 @@
+// Period segmentation of flat event streams.
+//
+// The learner consumes period-structured traces, but a logging device
+// produces one flat, timestamped event stream.  When the system period is
+// known (the usual case — it is a design parameter), events are binned by
+// period index.  When it is not, the idle gaps between periods are much
+// longer than any intra-period gap (all activity completes well before the
+// deadline), so a gap threshold recovers the boundaries.
+//
+// Both segmenters refuse streams that violate the MoC at the boundary
+// (activity spanning a cut); the builder's validation catches the rest.
+#pragma once
+
+#include <vector>
+
+#include "trace/event.hpp"
+#include "trace/trace.hpp"
+
+namespace bbmg {
+
+/// Split by known period length: an event at time t belongs to period
+/// floor(t / period_length).  Empty periods (no events) are dropped.
+/// Events must be time-ordered.
+[[nodiscard]] Trace segment_by_period(const std::vector<Event>& events,
+                                      std::vector<std::string> task_names,
+                                      TimeNs period_length);
+
+/// Split at every silence of at least `min_gap` between consecutive
+/// events.  Events must be time-ordered.
+[[nodiscard]] Trace segment_by_gap(const std::vector<Event>& events,
+                                   std::vector<std::string> task_names,
+                                   TimeNs min_gap);
+
+/// Flatten a structured trace back into one time-ordered event stream
+/// (the inverse direction, for replay and for testing the segmenters).
+[[nodiscard]] std::vector<Event> flatten(const Trace& trace);
+
+}  // namespace bbmg

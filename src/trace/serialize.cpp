@@ -1,0 +1,148 @@
+#include "trace/serialize.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/text.hpp"
+
+namespace bbmg {
+
+void write_trace(std::ostream& os, const Trace& trace) {
+  os << "trace-version 1\n";
+  os << "tasks";
+  for (const auto& name : trace.task_names()) os << ' ' << name;
+  os << '\n';
+  for (const auto& period : trace.periods()) {
+    os << "period\n";
+    for (const Event& e : period.to_events()) {
+      switch (e.kind) {
+        case EventKind::TaskStart:
+          os << "start " << trace.task_name(e.task) << ' ' << e.time << '\n';
+          break;
+        case EventKind::TaskEnd:
+          os << "end " << trace.task_name(e.task) << ' ' << e.time << '\n';
+          break;
+        case EventKind::MsgRise:
+          os << "rise " << e.can_id << ' ' << e.time << '\n';
+          break;
+        case EventKind::MsgFall:
+          os << "fall " << e.can_id << ' ' << e.time << '\n';
+          break;
+      }
+    }
+    os << "end-period\n";
+  }
+}
+
+std::string trace_to_string(const Trace& trace) {
+  std::ostringstream oss;
+  write_trace(oss, trace);
+  return oss.str();
+}
+
+namespace {
+
+TimeNs parse_time(const std::string& tok, std::size_t line_no) {
+  std::uint64_t v = 0;
+  if (!parse_u64(tok, v)) {
+    raise("trace parse error at line " + std::to_string(line_no) +
+          ": bad time '" + tok + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+Trace read_trace(std::istream& is) {
+  std::string line;
+  std::size_t line_no = 0;
+
+  auto next_meaningful = [&](std::vector<std::string>& toks) -> bool {
+    while (std::getline(is, line)) {
+      ++line_no;
+      const auto trimmed = trim(line);
+      if (trimmed.empty() || trimmed.front() == '#') continue;
+      toks = split_ws(trimmed);
+      return true;
+    }
+    return false;
+  };
+
+  std::vector<std::string> toks;
+  BBMG_REQUIRE(next_meaningful(toks) && toks.size() == 2 &&
+                   toks[0] == "trace-version" && toks[1] == "1",
+               "trace must start with 'trace-version 1'");
+
+  BBMG_REQUIRE(next_meaningful(toks) && toks.size() >= 2 && toks[0] == "tasks",
+               "expected 'tasks <name>...' header");
+  std::vector<std::string> names(toks.begin() + 1, toks.end());
+
+  TraceBuilder builder(names);
+  // Local name->id map for O(1) lookup during parsing.
+  auto task_id = [&](const std::string& name) -> TaskId {
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == name) return TaskId{i};
+    }
+    raise("trace parse error at line " + std::to_string(line_no) +
+          ": unknown task '" + name + "'");
+  };
+
+  bool in_period = false;
+  while (next_meaningful(toks)) {
+    const std::string& kw = toks[0];
+    if (kw == "period") {
+      BBMG_REQUIRE(!in_period, "nested 'period' at line " + std::to_string(line_no));
+      builder.begin_period();
+      in_period = true;
+    } else if (kw == "end-period") {
+      BBMG_REQUIRE(in_period,
+                   "'end-period' without 'period' at line " + std::to_string(line_no));
+      builder.end_period();
+      in_period = false;
+    } else if (kw == "start" || kw == "end") {
+      BBMG_REQUIRE(in_period && toks.size() == 3,
+                   "bad task event at line " + std::to_string(line_no));
+      const TaskId t = task_id(toks[1]);
+      const TimeNs time = parse_time(toks[2], line_no);
+      builder.add_event(kw == "start" ? Event::task_start(time, t)
+                                      : Event::task_end(time, t));
+    } else if (kw == "rise" || kw == "fall") {
+      BBMG_REQUIRE(in_period && toks.size() == 3,
+                   "bad message event at line " + std::to_string(line_no));
+      std::uint64_t can_id = 0;
+      BBMG_REQUIRE(parse_u64(toks[1], can_id),
+                   "bad can id at line " + std::to_string(line_no));
+      const TimeNs time = parse_time(toks[2], line_no);
+      builder.add_event(kw == "rise"
+                            ? Event::msg_rise(time, static_cast<CanId>(can_id))
+                            : Event::msg_fall(time, static_cast<CanId>(can_id)));
+    } else {
+      raise("trace parse error at line " + std::to_string(line_no) +
+            ": unknown keyword '" + kw + "'");
+    }
+  }
+  BBMG_REQUIRE(!in_period, "trace ended inside a period");
+  return builder.take();
+}
+
+Trace trace_from_string(const std::string& text) {
+  std::istringstream iss(text);
+  return read_trace(iss);
+}
+
+void save_trace_file(const std::string& path, const Trace& trace) {
+  std::ofstream ofs(path);
+  BBMG_REQUIRE(ofs.good(), "cannot open trace file for writing: " + path);
+  write_trace(ofs, trace);
+  BBMG_REQUIRE(ofs.good(), "failed writing trace file: " + path);
+}
+
+Trace load_trace_file(const std::string& path) {
+  std::ifstream ifs(path);
+  BBMG_REQUIRE(ifs.good(), "cannot open trace file: " + path);
+  return read_trace(ifs);
+}
+
+}  // namespace bbmg

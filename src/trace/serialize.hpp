@@ -1,0 +1,35 @@
+// Line-based text format for traces, so recorded traces can be stored,
+// inspected and replayed without the simulator.  Grammar:
+//
+//   trace-version 1
+//   tasks <name> <name> ...
+//   period
+//   start <task-name> <time-ns>
+//   end <task-name> <time-ns>
+//   rise <can-id> <time-ns>
+//   fall <can-id> <time-ns>
+//   end-period
+//   ...
+//
+// Blank lines and lines starting with '#' are ignored.  Events inside a
+// period must be time-ordered (the writer emits them ordered; the parser
+// rebuilds periods through TraceBuilder, which re-validates everything).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace bbmg {
+
+void write_trace(std::ostream& os, const Trace& trace);
+[[nodiscard]] std::string trace_to_string(const Trace& trace);
+
+[[nodiscard]] Trace read_trace(std::istream& is);
+[[nodiscard]] Trace trace_from_string(const std::string& text);
+
+void save_trace_file(const std::string& path, const Trace& trace);
+[[nodiscard]] Trace load_trace_file(const std::string& path);
+
+}  // namespace bbmg

@@ -1,0 +1,71 @@
+// Matrix comparison metrics and emergent-dependency extraction.
+#include <gtest/gtest.h>
+
+#include "analysis/compare.hpp"
+#include "common/error.hpp"
+
+namespace bbmg {
+namespace {
+
+TEST(Compare, IdenticalMatrices) {
+  DependencyMatrix a(3);
+  a.set_pair(0, 1, DepValue::Forward);
+  const MatrixComparison cmp = compare_matrices(a, a);
+  EXPECT_EQ(cmp.total_pairs, 6u);
+  EXPECT_EQ(cmp.equal, 6u);
+  EXPECT_EQ(cmp.candidate_more_general, 0u);
+  EXPECT_EQ(cmp.incomparable, 0u);
+  EXPECT_TRUE(cmp.candidate_geq_reference);
+  EXPECT_EQ(cmp.weight_reference, cmp.weight_candidate);
+}
+
+TEST(Compare, CountsPerPairRelations) {
+  DependencyMatrix ref(3);
+  ref.set(0, 1, DepValue::Forward);        // candidate raises to ->?
+  ref.set(1, 2, DepValue::MaybeForward);   // candidate lowers to ->
+  ref.set(2, 0, DepValue::Forward);        // candidate flips to <- (incomp.)
+  DependencyMatrix cand(3);
+  cand.set(0, 1, DepValue::MaybeForward);
+  cand.set(1, 2, DepValue::Forward);
+  cand.set(2, 0, DepValue::Backward);
+  const MatrixComparison cmp = compare_matrices(ref, cand);
+  EXPECT_EQ(cmp.equal, 3u);  // the three untouched pairs
+  EXPECT_EQ(cmp.candidate_more_general, 1u);
+  EXPECT_EQ(cmp.candidate_more_specific, 1u);
+  EXPECT_EQ(cmp.incomparable, 1u);
+  EXPECT_FALSE(cmp.candidate_geq_reference);
+}
+
+TEST(Compare, GeqDirectionDetected) {
+  DependencyMatrix ref(2);
+  ref.set(0, 1, DepValue::Forward);
+  DependencyMatrix cand(2);
+  cand.set(0, 1, DepValue::MaybeMutual);
+  EXPECT_TRUE(compare_matrices(ref, cand).candidate_geq_reference);
+  EXPECT_FALSE(compare_matrices(cand, ref).candidate_geq_reference);
+}
+
+TEST(Compare, EmergentPairs) {
+  DependencyMatrix design(3);
+  design.set_pair(0, 1, DepValue::Forward);
+  DependencyMatrix learned(3);
+  learned.set_pair(0, 1, DepValue::Forward);
+  learned.set(0, 2, DepValue::Forward);  // emergent
+  learned.set(2, 0, DepValue::Backward); // emergent (mirror orientation)
+  const auto pairs = emergent_pairs(design, learned);
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0].first.index(), 0u);
+  EXPECT_EQ(pairs[0].second.index(), 2u);
+  EXPECT_EQ(pairs[1].first.index(), 2u);
+  EXPECT_EQ(pairs[1].second.index(), 0u);
+}
+
+TEST(Compare, SizeMismatchThrows) {
+  EXPECT_THROW((void)compare_matrices(DependencyMatrix(2), DependencyMatrix(3)),
+               Error);
+  EXPECT_THROW((void)emergent_pairs(DependencyMatrix(2), DependencyMatrix(3)),
+               Error);
+}
+
+}  // namespace
+}  // namespace bbmg

@@ -1,0 +1,126 @@
+// Conformance checking of traces against learned dependency models.
+#include <gtest/gtest.h>
+
+#include "analysis/conformance.hpp"
+#include "core/heuristic_learner.hpp"
+#include "gen/gm_case_study.hpp"
+#include "gen/scenarios.hpp"
+#include "sim/simulator.hpp"
+
+namespace bbmg {
+namespace {
+
+TEST(Conformance, TrainingTraceConformsToItsOwnModel) {
+  const Trace trace = paper_example_trace();
+  const DependencyMatrix model = learn_heuristic(trace, 8).lub();
+  const ConformanceReport report = check_conformance(model, trace);
+  EXPECT_TRUE(report.conforms());
+  EXPECT_EQ(report.periods_checked, 3u);
+}
+
+TEST(Conformance, UnmetRequirementDetected) {
+  // Model: a always determines b.  Offending trace: a runs alone.
+  DependencyMatrix model(2);
+  model.set_pair(0, 1, DepValue::Forward);
+  TraceBuilder builder({"a", "b"});
+  builder.begin_period();
+  builder.add_event(Event::task_start(0, TaskId{0u}));
+  builder.add_event(Event::task_end(10, TaskId{0u}));
+  builder.end_period();
+  const Trace offending = builder.take();
+
+  const ConformanceReport report = check_conformance(model, offending);
+  ASSERT_EQ(report.violations.size(), 1u);
+  const ConformanceViolation& v = report.violations[0];
+  EXPECT_EQ(v.kind, ViolationKind::UnmetRequirement);
+  EXPECT_EQ(v.a.index(), 0u);
+  EXPECT_EQ(v.b.index(), 1u);
+  EXPECT_EQ(v.entry, DepValue::Forward);
+  const std::string text = describe_violation(v, {"a", "b"});
+  EXPECT_NE(text.find("d(a,b) = ->"), std::string::npos);
+  EXPECT_NE(text.find("a executed without b"), std::string::npos);
+}
+
+TEST(Conformance, UnexplainableMessageDetected) {
+  // Model: everything parallel.  Any message is unexplainable.
+  const DependencyMatrix model(2);
+  TraceBuilder builder({"a", "b"});
+  builder.begin_period();
+  builder.add_event(Event::task_start(0, TaskId{0u}));
+  builder.add_event(Event::task_end(10, TaskId{0u}));
+  builder.add_event(Event::msg_rise(11, 1));
+  builder.add_event(Event::msg_fall(12, 1));
+  builder.add_event(Event::task_start(13, TaskId{1u}));
+  builder.add_event(Event::task_end(20, TaskId{1u}));
+  builder.end_period();
+  const Trace offending = builder.take();
+
+  const ConformanceReport report = check_conformance(model, offending);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].kind, ViolationKind::UnexplainableMessages);
+  const std::string text = describe_violation(report.violations[0], {"a", "b"});
+  EXPECT_NE(text.find("cannot be explained"), std::string::npos);
+}
+
+TEST(Conformance, ViolationCarriesPeriodIndex) {
+  DependencyMatrix model(2);
+  model.set_pair(0, 1, DepValue::Forward);
+  TraceBuilder builder({"a", "b"});
+  // Period 1 fine, period 2 offending.
+  builder.begin_period();
+  builder.add_event(Event::task_start(0, TaskId{0u}));
+  builder.add_event(Event::task_end(10, TaskId{0u}));
+  builder.add_event(Event::msg_rise(11, 1));
+  builder.add_event(Event::msg_fall(12, 1));
+  builder.add_event(Event::task_start(13, TaskId{1u}));
+  builder.add_event(Event::task_end(20, TaskId{1u}));
+  builder.end_period();
+  builder.begin_period();
+  builder.add_event(Event::task_start(1000, TaskId{0u}));
+  builder.add_event(Event::task_end(1010, TaskId{0u}));
+  builder.end_period();
+  const Trace t = builder.take();
+
+  const ConformanceReport report = check_conformance(model, t);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].period_index, 1u);
+}
+
+TEST(Conformance, GmModelCatchesForeignBehaviour) {
+  // Learn from the GM trace, then check a trace of the *paper* model
+  // padded into the same 18-task universe: its behaviour (only tasks 0..3
+  // active, none of the GM requirements) violates the learned model.
+  const Trace gm = simulate_trace(gm_case_study_model(), 10, SimConfig{});
+  const DependencyMatrix model = learn_heuristic(gm, 8).lub();
+
+  TraceBuilder builder(gm.task_names());
+  builder.begin_period();
+  builder.add_event(Event::task_start(0, TaskId{0u}));
+  builder.add_event(Event::task_end(10, TaskId{0u}));
+  builder.end_period();
+  const Trace foreign = builder.take();
+
+  const ConformanceReport report = check_conformance(model, foreign);
+  EXPECT_FALSE(report.conforms());
+  EXPECT_GE(report.violations.size(), 1u);
+}
+
+TEST(Conformance, HoldOutPeriodsConform) {
+  // Learn on the first 20 GM periods, check the next 7 — same system,
+  // same platform, so the held-out tail must conform.
+  SimConfig cfg;
+  cfg.seed = 7;
+  const Trace all = simulate_trace(gm_case_study_model(), 27, cfg);
+  Trace train(all.task_names());
+  Trace held(all.task_names());
+  for (std::size_t p = 0; p < all.num_periods(); ++p) {
+    (p < 20 ? train : held).add_period(all.periods()[p]);
+  }
+  const DependencyMatrix model = learn_heuristic(train, 16).lub();
+  const ConformanceReport report = check_conformance(model, held);
+  EXPECT_TRUE(report.conforms())
+      << report.violations.size() << " violations on held-out periods";
+}
+
+}  // namespace
+}  // namespace bbmg

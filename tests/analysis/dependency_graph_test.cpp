@@ -1,0 +1,106 @@
+// Dependency-graph analysis: node classification, must/may reachability,
+// DOT export.
+#include <gtest/gtest.h>
+
+#include "analysis/dependency_graph.hpp"
+#include "common/error.hpp"
+#include "core/exact_learner.hpp"
+#include "gen/scenarios.hpp"
+
+namespace bbmg {
+namespace {
+
+DependencyGraph paper_graph() {
+  const Trace trace = paper_example_trace();
+  const LearnResult exact = learn_exact(trace);
+  return DependencyGraph(exact.lub(), trace.task_names());
+}
+
+TEST(DependencyGraph, NameLookup) {
+  const DependencyGraph g = paper_graph();
+  EXPECT_EQ(g.by_name("t3").index(), 2u);
+  EXPECT_EQ(g.name(TaskId{1u}), "t2");
+  EXPECT_THROW((void)g.by_name("zz"), Error);
+  EXPECT_THROW(DependencyGraph(DependencyMatrix(3), {"a"}), Error);
+}
+
+TEST(DependencyGraph, PaperRoles) {
+  const DependencyGraph g = paper_graph();
+  // t1 conditionally determines t2 and t3: a disjunction node.
+  EXPECT_EQ(g.role(g.by_name("t1")), NodeRole::Disjunction);
+  // t4 conditionally depends on t2 and t3: a conjunction node.
+  EXPECT_EQ(g.role(g.by_name("t4")), NodeRole::Conjunction);
+  EXPECT_EQ(g.role(g.by_name("t2")), NodeRole::Plain);
+  EXPECT_EQ(g.role(g.by_name("t3")), NodeRole::Plain);
+}
+
+TEST(DependencyGraph, BothRoleDetected) {
+  DependencyMatrix d(5);
+  // Node 2 conditionally depends on 0,1 and conditionally determines 3,4.
+  d.set(2, 0, DepValue::MaybeBackward);
+  d.set(2, 1, DepValue::MaybeBackward);
+  d.set(2, 3, DepValue::MaybeForward);
+  d.set(2, 4, DepValue::MaybeForward);
+  const DependencyGraph g(d, {"a", "b", "c", "d", "e"});
+  EXPECT_EQ(g.role(TaskId{2u}), NodeRole::Both);
+  // With a higher threshold it is plain.
+  EXPECT_EQ(g.role(TaskId{2u}, 3), NodeRole::Plain);
+}
+
+TEST(DependencyGraph, AlwaysDeterminesAndDependsLists) {
+  const DependencyGraph g = paper_graph();
+  const auto det = g.always_determines(g.by_name("t1"));
+  ASSERT_EQ(det.size(), 1u);
+  EXPECT_EQ(det[0], g.by_name("t4"));
+  const auto dep = g.always_depends_on(g.by_name("t4"));
+  ASSERT_EQ(dep.size(), 1u);
+  EXPECT_EQ(dep[0], g.by_name("t1"));
+}
+
+TEST(DependencyGraph, MustLeadToFollowsRequiredEdgesOnly) {
+  DependencyMatrix d(4);
+  d.set(0, 1, DepValue::Forward);
+  d.set(1, 2, DepValue::Forward);
+  d.set(2, 3, DepValue::MaybeForward);
+  const DependencyGraph g(d, {"a", "b", "c", "d"});
+  EXPECT_TRUE(g.must_lead_to(TaskId{0u}, TaskId{2u}));   // via two ->
+  EXPECT_FALSE(g.must_lead_to(TaskId{0u}, TaskId{3u}));  // ->? breaks it
+  EXPECT_TRUE(g.may_influence(TaskId{0u}, TaskId{3u}));
+  EXPECT_FALSE(g.may_influence(TaskId{3u}, TaskId{0u}));
+  EXPECT_FALSE(g.must_lead_to(TaskId{0u}, TaskId{0u}));
+}
+
+TEST(DependencyGraph, PaperMustLeadToT4) {
+  const DependencyGraph g = paper_graph();
+  EXPECT_TRUE(g.must_lead_to(g.by_name("t1"), g.by_name("t4")));
+  EXPECT_FALSE(g.must_lead_to(g.by_name("t1"), g.by_name("t3")));
+}
+
+TEST(DependencyGraph, DotContainsRolesAndEdgeStyles) {
+  const DependencyGraph g = paper_graph();
+  const std::string dot = g.to_dot();
+  EXPECT_NE(dot.find("digraph dependencies"), std::string::npos);
+  EXPECT_NE(dot.find("\"t1\" [style=bold color=blue]"), std::string::npos);
+  EXPECT_NE(dot.find("\"t4\" [style=bold color=red]"), std::string::npos);
+  EXPECT_NE(dot.find("-> / <-"), std::string::npos);
+  // In the paper's dLUB every raised pair carries a hard requirement on
+  // one side, so no edge is dashed there; a purely conditional pair is.
+  EXPECT_EQ(dot.find("style=dashed"), std::string::npos);
+  DependencyMatrix cond(2);
+  cond.set_pair(0, 1, DepValue::MaybeForward);
+  const DependencyGraph gc(cond, {"a", "b"});
+  EXPECT_NE(gc.to_dot().find("style=dashed"), std::string::npos);
+}
+
+TEST(DependencyGraph, DotSkipsParallelPairs) {
+  DependencyMatrix d(3);
+  d.set_pair(0, 1, DepValue::Forward);
+  const DependencyGraph g(d, {"a", "b", "c"});
+  const std::string dot = g.to_dot();
+  EXPECT_EQ(dot.find("\"a\" -> \"c\""), std::string::npos);
+  EXPECT_EQ(dot.find("\"b\" -> \"c\""), std::string::npos);
+  EXPECT_NE(dot.find("\"a\" -> \"b\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bbmg

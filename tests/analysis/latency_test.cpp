@@ -1,0 +1,125 @@
+// Response-time and end-to-end latency analysis (experiment E5): the
+// hand-computable cases and the pessimistic-vs-informed invariants.
+#include <gtest/gtest.h>
+
+#include "analysis/latency.hpp"
+#include "common/error.hpp"
+#include "gen/gm_case_study.hpp"
+#include "sim/can_frame.hpp"
+
+namespace bbmg {
+namespace {
+
+/// Two tasks on one ECU (hp higher priority), one on another.
+SystemModel two_plus_one() {
+  SystemModel m;
+  TaskSpec hp;
+  hp.name = "hp";
+  hp.ecu = EcuId{0u};
+  hp.priority = 10;
+  hp.activation = ActivationPolicy::Source;
+  hp.exec_min = hp.exec_max = 100;
+  const TaskId ihp = m.add_task(std::move(hp));
+  TaskSpec lo;
+  lo.name = "lo";
+  lo.ecu = EcuId{0u};
+  lo.priority = 1;
+  lo.activation = ActivationPolicy::AnyInput;
+  lo.exec_min = lo.exec_max = 300;
+  const TaskId ilo = m.add_task(std::move(lo));
+  TaskSpec other;
+  other.name = "other";
+  other.ecu = EcuId{1u};
+  other.priority = 5;
+  other.activation = ActivationPolicy::AnyInput;
+  other.exec_min = other.exec_max = 50;
+  const TaskId iother = m.add_task(std::move(other));
+  m.add_edge({ihp, ilo, 1, 8, 1.0});
+  m.add_edge({ihp, iother, 2, 8, 1.0});
+  m.validate();
+  return m;
+}
+
+TEST(Latency, PessimisticAddsAllHigherPrioritySameEcu) {
+  const SystemModel m = two_plus_one();
+  const auto rs = response_times(m, DependencyMatrix(3));
+  ASSERT_EQ(rs.size(), 3u);
+  // hp: nothing above it.
+  EXPECT_EQ(rs[0].response_pessimistic, 100u);
+  // lo: hp interferes.
+  EXPECT_EQ(rs[1].response_pessimistic, 300u + 100u);
+  // other: alone on its ECU.
+  EXPECT_EQ(rs[2].response_pessimistic, 50u);
+}
+
+TEST(Latency, LearnedDependencyExcludesPreemption) {
+  const SystemModel m = two_plus_one();
+  DependencyMatrix learned(3);
+  learned.set(1, 0, DepValue::Backward);  // lo always depends on hp
+  const auto rs = response_times(m, learned);
+  EXPECT_EQ(rs[1].response_pessimistic, 400u);
+  EXPECT_EQ(rs[1].response_informed, 300u);  // hp's preemption excluded
+  ASSERT_EQ(rs[1].excluded.size(), 1u);
+  EXPECT_EQ(rs[1].excluded[0].index(), 0u);
+}
+
+TEST(Latency, ConditionalDependencyExcludedOnlyWithFlag) {
+  const SystemModel m = two_plus_one();
+  DependencyMatrix learned(3);
+  learned.set(1, 0, DepValue::MaybeBackward);
+  const auto sound = response_times(m, learned);
+  EXPECT_EQ(sound[1].response_informed, 400u);  // ->? is not a guarantee
+  LatencyConfig cfg;
+  cfg.exclude_conditional = true;
+  const auto aggressive = response_times(m, learned, cfg);
+  EXPECT_EQ(aggressive[1].response_informed, 300u);
+}
+
+TEST(Latency, InformedNeverExceedsPessimistic) {
+  const SystemModel m = gm_case_study_model();
+  const auto rs = response_times(m, DependencyMatrix::top(m.num_tasks()));
+  for (const auto& r : rs) {
+    EXPECT_LE(r.response_informed, r.response_pessimistic);
+    EXPECT_GE(r.response_informed, r.wcet);
+  }
+}
+
+TEST(Latency, PathLatencyAddsFrameTimes) {
+  const SystemModel m = two_plus_one();
+  const auto rs = response_times(m, DependencyMatrix(3));
+  const std::vector<TaskId> path{TaskId{0u}, TaskId{1u}};
+  const TimeNs expected =
+      100 + can_frame_time(8, 500'000, false) + 400;
+  EXPECT_EQ(path_latency(m, rs, path, /*informed=*/false), expected);
+}
+
+TEST(Latency, PathMustFollowDesignEdges) {
+  const SystemModel m = two_plus_one();
+  const auto rs = response_times(m, DependencyMatrix(3));
+  const std::vector<TaskId> bad{TaskId{1u}, TaskId{2u}};
+  EXPECT_THROW((void)path_latency(m, rs, bad, false), Error);
+  EXPECT_THROW((void)path_latency(m, rs, {}, false), Error);
+}
+
+TEST(Latency, GmCriticalPathThroughQImproves) {
+  // The paper's example: the learned Q-O dependency removes O's preemption
+  // from Q's response time on their shared ECU.
+  const SystemModel m = gm_case_study_model();
+  DependencyMatrix learned(m.num_tasks());
+  const TaskId O = m.task_by_name("O");
+  const TaskId Q = m.task_by_name("Q");
+  learned.set(Q, O, DepValue::Backward);
+  const auto rs = response_times(m, learned);
+  const auto& rq = rs[Q.index()];
+  EXPECT_GT(rq.response_pessimistic, rq.response_informed);
+  EXPECT_EQ(rq.response_pessimistic - rq.response_informed,
+            m.task(O).exec_max);
+}
+
+TEST(Latency, MatrixSizeMismatchThrows) {
+  const SystemModel m = two_plus_one();
+  EXPECT_THROW((void)response_times(m, DependencyMatrix(2)), Error);
+}
+
+}  // namespace
+}  // namespace bbmg

@@ -1,0 +1,143 @@
+// Integration: the full pipeline design model -> platform simulation ->
+// serialization -> learner -> analysis, including the headline GM
+// case-study properties (experiment E4).
+#include <gtest/gtest.h>
+
+#include "analysis/compare.hpp"
+#include "analysis/dependency_graph.hpp"
+#include "analysis/latency.hpp"
+#include "baseline/pessimistic.hpp"
+#include "core/heuristic_learner.hpp"
+#include "core/matching.hpp"
+#include "gen/gm_case_study.hpp"
+#include "gen/scenarios.hpp"
+#include "model/design_truth.hpp"
+#include "sim/simulator.hpp"
+#include "trace/serialize.hpp"
+
+namespace bbmg {
+namespace {
+
+struct GmRun {
+  SystemModel model = gm_case_study_model();
+  Trace trace;
+  DependencyMatrix learned{18};
+  GmRun() {
+    SimConfig cfg;
+    cfg.seed = 7;
+    trace = simulate_trace(model, kGmCaseStudyPeriods, cfg);
+    learned = learn_heuristic(trace, 16).lub();
+  }
+};
+
+const GmRun& gm_run() {
+  static const GmRun run;
+  return run;
+}
+
+TEST(EndToEnd, GmLearnedModelMatchesTheTrace) {
+  const GmRun& run = gm_run();
+  EXPECT_TRUE(matches_trace(run.learned, run.trace));
+}
+
+TEST(EndToEnd, GmHeadlineProperties) {
+  const GmRun& run = gm_run();
+  const DependencyGraph g(run.learned, run.trace.task_names());
+  // "Tasks A and B are disjunction nodes" (known in advance).
+  EXPECT_EQ(g.role(g.by_name("A")), NodeRole::Disjunction);
+  EXPECT_EQ(g.role(g.by_name("B")), NodeRole::Disjunction);
+  // "Tasks H, P and Q are conjunction nodes" (learned).
+  EXPECT_EQ(g.role(g.by_name("H")), NodeRole::Conjunction);
+  EXPECT_EQ(g.role(g.by_name("P")), NodeRole::Conjunction);
+  EXPECT_EQ(g.role(g.by_name("Q")), NodeRole::Conjunction);
+  // "No matter which mode task A chooses, task L must execute."
+  EXPECT_EQ(g.value(g.by_name("A"), g.by_name("L")), DepValue::Forward);
+  // "No matter which mode task B chooses, task M must execute."
+  EXPECT_EQ(g.value(g.by_name("B"), g.by_name("M")), DepValue::Forward);
+}
+
+TEST(EndToEnd, GmDiscoversInfrastructureDependency) {
+  // The Q-O dependency comes from the CAN/OSEK interplay, not the design.
+  const GmRun& run = gm_run();
+  const DependencyGraph g(run.learned, run.trace.task_names());
+  const TaskId Q = g.by_name("Q");
+  const TaskId O = g.by_name("O");
+  EXPECT_NE(g.value(Q, O), DepValue::Parallel);
+  // ... and it is absent from the design view.
+  const DependencyMatrix design = design_dependency(run.model);
+  EXPECT_EQ(design.at(Q, O), DepValue::Parallel);
+  bool found = false;
+  for (const auto& [a, b] : emergent_pairs(design, run.learned)) {
+    if (a == Q && b == O) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(EndToEnd, GmLatencyImprovesOverPessimistic) {
+  const GmRun& run = gm_run();
+  const auto informed = response_times(run.model, run.learned);
+  const auto pessimistic =
+      response_times(run.model, pessimistic_baseline(18));
+  const TaskId Q = run.model.task_by_name("Q");
+  // The pessimistic baseline excludes nothing.
+  EXPECT_EQ(pessimistic[Q.index()].response_informed,
+            pessimistic[Q.index()].response_pessimistic);
+  // The learned model strictly tightens Q (O can no longer preempt it).
+  EXPECT_LT(informed[Q.index()].response_informed,
+            informed[Q.index()].response_pessimistic);
+}
+
+TEST(EndToEnd, GmLearnedIsStrictlyMoreInformativeThanBaseline) {
+  const GmRun& run = gm_run();
+  const DependencyMatrix top = pessimistic_baseline(18);
+  EXPECT_TRUE(run.learned.leq(top));
+  EXPECT_LT(run.learned.weight(), top.weight());
+}
+
+TEST(EndToEnd, SerializationPreservesLearningResult) {
+  const GmRun& run = gm_run();
+  const Trace reloaded = trace_from_string(trace_to_string(run.trace));
+  const DependencyMatrix relearned = learn_heuristic(reloaded, 16).lub();
+  EXPECT_EQ(relearned, run.learned);
+}
+
+TEST(EndToEnd, MoreSeedsSameHeadlines) {
+  // The headline properties are robust to the platform RNG, not a lucky
+  // seed: check three more seeds at a smaller bound.
+  for (std::uint64_t seed : {11u, 23u, 31u}) {
+    SimConfig cfg;
+    cfg.seed = seed;
+    const Trace trace =
+        simulate_trace(gm_case_study_model(), kGmCaseStudyPeriods, cfg);
+    const DependencyMatrix learned = learn_heuristic(trace, 4).lub();
+    const DependencyGraph g(learned, trace.task_names());
+    EXPECT_EQ(g.value(g.by_name("A"), g.by_name("L")), DepValue::Forward)
+        << "seed " << seed;
+    EXPECT_EQ(g.value(g.by_name("B"), g.by_name("M")), DepValue::Forward)
+        << "seed " << seed;
+    EXPECT_NE(g.value(g.by_name("Q"), g.by_name("O")), DepValue::Parallel)
+        << "seed " << seed;
+  }
+}
+
+TEST(EndToEnd, IdealizedAndSimulatedTracesAgreeOnRequirements) {
+  // Platform timing (ECU scheduling, CAN arbitration) does not change what
+  // is learnable from the paper model: at a bound generous enough to keep
+  // all branch lineages alive, the simulated trace teaches the same
+  // emergent requirement d(t1,t4) = -> as the idealized one.  (At small
+  // bounds the merge pressure can drop the lineage that assumes (t1,t4) —
+  // the result is then a sound but less specific model.)
+  const SystemModel model = paper_example_model();
+  const DependencyMatrix ideal = learn_heuristic(
+      idealized_trace(model, 40, 3), 64).lub();
+  SimConfig cfg;
+  cfg.seed = 3;
+  const DependencyMatrix simulated =
+      learn_heuristic(simulate_trace(model, 40, cfg), 64).lub();
+  EXPECT_EQ(ideal.at(0, 3), DepValue::Forward);
+  EXPECT_EQ(simulated.at(0, 3), DepValue::Forward);
+  EXPECT_EQ(simulated.at(3, 0), DepValue::Backward);
+}
+
+}  // namespace
+}  // namespace bbmg

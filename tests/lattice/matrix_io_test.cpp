@@ -1,0 +1,82 @@
+// Dependency-matrix text serialization.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/heuristic_learner.hpp"
+#include "gen/scenarios.hpp"
+#include "lattice/matrix_io.hpp"
+
+namespace bbmg {
+namespace {
+
+TEST(MatrixIo, RoundTripLearnedModel) {
+  const Trace trace = paper_example_trace();
+  const DependencyMatrix m = learn_heuristic(trace, 8).lub();
+  const std::string text = matrix_to_string(m, trace.task_names());
+  const NamedMatrix back = matrix_from_string(text);
+  EXPECT_EQ(back.matrix, m);
+  EXPECT_EQ(back.task_names, trace.task_names());
+}
+
+TEST(MatrixIo, RoundTripRandomMatrices) {
+  Rng rng(17);
+  for (int iter = 0; iter < 20; ++iter) {
+    const std::size_t n = 2 + rng.pick_index(6);
+    DependencyMatrix m(n);
+    std::vector<std::string> names;
+    for (std::size_t i = 0; i < n; ++i) names.push_back("x" + std::to_string(i));
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t b = 0; b < n; ++b) {
+        if (a != b) m.set(a, b, kAllDepValues[rng.pick_index(kNumDepValues)]);
+      }
+    }
+    const NamedMatrix back = matrix_from_string(matrix_to_string(m, names));
+    EXPECT_EQ(back.matrix, m);
+  }
+}
+
+TEST(MatrixIo, CommentsIgnored) {
+  const Trace trace = paper_example_trace();
+  const DependencyMatrix m = learn_heuristic(trace, 1).lub();
+  std::string text = matrix_to_string(m, trace.task_names());
+  text = "# learned from fig2\n" + text;
+  EXPECT_EQ(matrix_from_string(text).matrix, m);
+}
+
+TEST(MatrixIo, RejectsMalformedInput) {
+  EXPECT_THROW((void)matrix_from_string("nope"), Error);
+  EXPECT_THROW((void)matrix_from_string("dep-matrix 2\ntasks a\n||\n"), Error);
+  // Wrong row width.
+  EXPECT_THROW((void)matrix_from_string(
+                   "dep-matrix 1\ntasks a b\n|| ->\n<-\n"),
+               Error);
+  // Truncated.
+  EXPECT_THROW((void)matrix_from_string("dep-matrix 1\ntasks a b\n|| ->\n"),
+               Error);
+  // Non-parallel diagonal.
+  EXPECT_THROW((void)matrix_from_string(
+                   "dep-matrix 1\ntasks a b\n-> ->\n<- ||\n"),
+               Error);
+  // Unknown value token.
+  EXPECT_THROW((void)matrix_from_string(
+                   "dep-matrix 1\ntasks a b\n|| =>\n<- ||\n"),
+               Error);
+}
+
+TEST(MatrixIo, NameCountMustMatch) {
+  const DependencyMatrix m(3);
+  EXPECT_THROW((void)matrix_to_string(m, {"a", "b"}), Error);
+}
+
+TEST(MatrixIo, FileRoundTrip) {
+  const Trace trace = paper_example_trace();
+  const DependencyMatrix m = learn_heuristic(trace, 4).lub();
+  const std::string path = ::testing::TempDir() + "/bbmg_matrix_test.txt";
+  save_matrix_file(path, m, trace.task_names());
+  EXPECT_EQ(load_matrix_file(path).matrix, m);
+  EXPECT_THROW((void)load_matrix_file("/nonexistent/x.txt"), Error);
+}
+
+}  // namespace
+}  // namespace bbmg

@@ -1,0 +1,110 @@
+// Convergence detection and the learn-until-stable driver, plus the
+// exact learner's dominance pruning (results must be identical with and
+// without it).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/convergence.hpp"
+#include "core/exact_learner.hpp"
+#include "gen/gm_case_study.hpp"
+#include "gen/random_model.hpp"
+#include "gen/scenarios.hpp"
+#include "sim/simulator.hpp"
+
+namespace bbmg {
+namespace {
+
+TEST(ConvergenceDetector, RequiresWindowAndMinimum) {
+  ConvergenceDetector det(/*window=*/3, /*min_periods=*/5);
+  DependencyMatrix m(2);
+  EXPECT_FALSE(det.observe(m));  // 1
+  EXPECT_FALSE(det.observe(m));  // 2
+  EXPECT_FALSE(det.observe(m));  // 3, streak 2
+  EXPECT_FALSE(det.observe(m));  // 4, streak 3 but min_periods unmet
+  EXPECT_TRUE(det.observe(m));   // 5
+  EXPECT_TRUE(det.stable());
+  EXPECT_EQ(det.periods_seen(), 5u);
+}
+
+TEST(ConvergenceDetector, ChangeResetsStreak) {
+  ConvergenceDetector det(2, 2);
+  DependencyMatrix a(2);
+  DependencyMatrix b(2);
+  b.set_pair(0, 1, DepValue::Forward);
+  EXPECT_FALSE(det.observe(a));
+  EXPECT_FALSE(det.observe(b));  // changed
+  EXPECT_EQ(det.stable_streak(), 0u);
+  EXPECT_FALSE(det.observe(b));
+  EXPECT_TRUE(det.observe(b));
+}
+
+TEST(ConvergenceDetector, GmStabilizesWellBeforeTheTraceEnds) {
+  SimConfig cfg;
+  cfg.seed = 7;
+  const Trace trace = simulate_trace(gm_case_study_model(), 60, cfg);
+  OnlineConfig oc;
+  oc.bound = 16;
+  OnlineLearner learner(trace.num_tasks(), oc);
+  ConvergenceDetector det(5, 10);
+  const std::size_t consumed = learn_until_stable(learner, trace, det);
+  EXPECT_TRUE(det.stable());
+  EXPECT_LT(consumed, 60u);
+  EXPECT_GE(consumed, 10u);
+}
+
+TEST(ConvergenceDetector, UnstableTraceConsumesEverything) {
+  // Two periods only: cannot satisfy min_periods=10.
+  const Trace trace = simulate_trace(gm_case_study_model(), 2, SimConfig{});
+  OnlineConfig oc;
+  OnlineLearner learner(trace.num_tasks(), oc);
+  ConvergenceDetector det(5, 10);
+  EXPECT_EQ(learn_until_stable(learner, trace, det), 2u);
+  EXPECT_FALSE(det.stable());
+}
+
+class DominancePruning : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DominancePruning, ResultsIdenticalWithAndWithout) {
+  RandomModelParams params;
+  params.num_tasks = 5;
+  params.num_layers = 3;
+  params.extra_edge_density = 0.25;
+  params.seed = GetParam();
+  const Trace trace =
+      idealized_trace(random_model(params), 6, GetParam() * 7 + 3);
+
+  ExactConfig plain;
+  plain.max_frontier = 100000;
+  ExactConfig pruned = plain;
+  pruned.dominance_pruning = true;
+
+  LearnResult a;
+  LearnResult b;
+  try {
+    a = learn_exact(trace, plain);
+    b = learn_exact(trace, pruned);
+  } catch (const Error&) {
+    GTEST_SKIP() << "frontier exploded for this seed";
+  }
+  ASSERT_EQ(a.hypotheses.size(), b.hypotheses.size());
+  for (const auto& h : a.hypotheses) {
+    bool found = false;
+    for (const auto& x : b.hypotheses) found |= (x == h);
+    EXPECT_TRUE(found);
+  }
+  // Pruning can only shrink the peak frontier.
+  EXPECT_LE(b.stats.peak_hypotheses, a.stats.peak_hypotheses);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DominancePruning,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(DominancePruning, PaperExampleUnchanged) {
+  ExactConfig pruned;
+  pruned.dominance_pruning = true;
+  const LearnResult r = learn_exact(paper_example_trace(), pruned);
+  EXPECT_EQ(r.hypotheses.size(), 5u);
+}
+
+}  // namespace
+}  // namespace bbmg

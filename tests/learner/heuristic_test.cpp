@@ -1,0 +1,121 @@
+// Heuristic-learner specifics: the weight-ordered bounded list, LUB
+// merging, convergence behaviour and instrumentation.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/heuristic_learner.hpp"
+#include "gen/gm_case_study.hpp"
+#include "gen/scenarios.hpp"
+#include "sim/simulator.hpp"
+
+namespace bbmg {
+namespace {
+
+TEST(Heuristic, BoundMustBePositive) {
+  const Trace trace = paper_example_trace();
+  EXPECT_THROW((void)learn_heuristic(trace, 0), Error);
+}
+
+TEST(Heuristic, ResultSizeNeverExceedsBound) {
+  const Trace trace = paper_example_trace();
+  for (std::size_t bound : {1, 2, 3, 4, 8}) {
+    const LearnResult r = learn_heuristic(trace, bound);
+    EXPECT_LE(r.hypotheses.size(), bound);
+    EXPECT_LE(r.stats.peak_hypotheses, bound);
+  }
+}
+
+TEST(Heuristic, ResultSortedByWeightAscending) {
+  const Trace trace = paper_example_trace();
+  const LearnResult r = learn_heuristic(trace, 4);
+  for (std::size_t i = 1; i < r.hypotheses.size(); ++i) {
+    EXPECT_LE(r.hypotheses[i - 1].weight(), r.hypotheses[i].weight());
+  }
+}
+
+TEST(Heuristic, SmallBoundForcesMerges) {
+  const Trace trace = paper_example_trace();
+  const LearnResult r1 = learn_heuristic(trace, 1);
+  EXPECT_GT(r1.stats.merges, 0u);
+  const LearnResult r64 = learn_heuristic(trace, 64);
+  EXPECT_EQ(r64.stats.merges, 0u);
+}
+
+TEST(Heuristic, MergedResultDominatesUnmergedSurvivors) {
+  // Every bound-1 entry is a LUB of things the unbounded run kept, so the
+  // bound-1 matrix dominates each unbounded survivor pointwise... not in
+  // general — but it must dominate at least one of them (it is an upper
+  // bound of a subset), and for the paper example it dominates them all.
+  const Trace trace = paper_example_trace();
+  const LearnResult r1 = learn_heuristic(trace, 1);
+  const LearnResult rbig = learn_heuristic(trace, 64);
+  ASSERT_EQ(r1.hypotheses.size(), 1u);
+  for (const auto& h : rbig.hypotheses) {
+    EXPECT_TRUE(h.leq(r1.hypotheses.front()));
+  }
+}
+
+TEST(Heuristic, StatsCountMessagesAndPeriods) {
+  const Trace trace = paper_example_trace();
+  const LearnResult r = learn_heuristic(trace, 4);
+  EXPECT_EQ(r.stats.periods_processed, 3u);
+  EXPECT_EQ(r.stats.messages_processed, 8u);
+  EXPECT_EQ(r.stats.frontier_after_period.size(), 3u);
+  EXPECT_GT(r.stats.hypotheses_created, 0u);
+  EXPECT_GE(r.stats.wall_seconds, 0.0);
+}
+
+TEST(Heuristic, ConvergenceFlag) {
+  const Trace trace = paper_example_trace();
+  EXPECT_TRUE(learn_heuristic(trace, 1).converged());
+  EXPECT_FALSE(learn_heuristic(trace, 64).converged());
+}
+
+TEST(Heuristic, DeterministicAcrossRuns) {
+  SimConfig cfg;
+  cfg.seed = 5;
+  const Trace trace = simulate_trace(gm_case_study_model(), 6, cfg);
+  const LearnResult a = learn_heuristic(trace, 8);
+  const LearnResult b = learn_heuristic(trace, 8);
+  ASSERT_EQ(a.hypotheses.size(), b.hypotheses.size());
+  for (std::size_t i = 0; i < a.hypotheses.size(); ++i) {
+    EXPECT_EQ(a.hypotheses[i], b.hypotheses[i]);
+  }
+}
+
+TEST(Heuristic, GmTraceConvergesAtEveryBound) {
+  // The paper's §3.4 observation (Theorem 4 in action): the case study
+  // converges to one hypothesis regardless of the bound, and the result
+  // is bound-invariant.
+  SimConfig cfg;
+  cfg.seed = 7;
+  const Trace trace = simulate_trace(gm_case_study_model(),
+                                     kGmCaseStudyPeriods, cfg);
+  const DependencyMatrix ref = learn_heuristic(trace, 1).lub();
+  for (std::size_t bound : {1, 4, 16}) {
+    const LearnResult r = learn_heuristic(trace, bound);
+    EXPECT_TRUE(r.converged()) << "bound " << bound;
+    EXPECT_EQ(r.lub(), ref) << "bound " << bound;
+  }
+}
+
+TEST(Heuristic, EmptyTraceYieldsBottom) {
+  Trace t({"a", "b"});
+  const LearnResult r = learn_heuristic(t, 4);
+  ASSERT_EQ(r.hypotheses.size(), 1u);
+  EXPECT_EQ(r.hypotheses.front(), DependencyMatrix(2));
+}
+
+TEST(Heuristic, MessagelessPeriodsOnlyWeaken) {
+  // Two periods with disjoint execution sets and no messages at all:
+  // everything stays parallel.
+  Trace t({"a", "b"});
+  t.add_period(Period({{TaskId{0u}, 0, 10}}, {}));
+  t.add_period(Period({{TaskId{1u}, 100, 110}}, {}));
+  const LearnResult r = learn_heuristic(t, 4);
+  ASSERT_EQ(r.hypotheses.size(), 1u);
+  EXPECT_EQ(r.hypotheses.front(), DependencyMatrix(2));
+}
+
+}  // namespace
+}  // namespace bbmg

@@ -1,0 +1,125 @@
+// The matching-function oracle M(h, i): permissions via injective message
+// assignment, requirements via co-execution.
+#include <gtest/gtest.h>
+
+#include "core/matching.hpp"
+#include "gen/scenarios.hpp"
+
+namespace bbmg {
+namespace {
+
+DependencyMatrix matrix4(const std::array<const char*, 16>& cells) {
+  DependencyMatrix m(4);
+  for (std::size_t a = 0; a < 4; ++a) {
+    for (std::size_t b = 0; b < 4; ++b) {
+      if (a != b) m.set(a, b, dep_from_string(cells[a * 4 + b]));
+    }
+  }
+  return m;
+}
+
+TEST(Matching, TopMatchesEverything) {
+  const Trace trace = paper_example_trace();
+  EXPECT_TRUE(matches_trace(DependencyMatrix::top(4), trace));
+}
+
+TEST(Matching, BottomFailsWhenMessagesExist) {
+  // d_bot permits no dependency at all, so no message can be assigned.
+  const Trace trace = paper_example_trace();
+  const PeriodCandidates pc(trace.periods()[0], 4);
+  EXPECT_FALSE(matches_period(DependencyMatrix(4), pc));
+}
+
+TEST(Matching, PaperDlubMatchesPaperTrace) {
+  const Trace trace = paper_example_trace();
+  const DependencyMatrix dlub =
+      matrix4({"||", "->?", "->?", "->",   //
+               "<-", "||", "||", "->",     //
+               "<-", "||", "||", "->",     //
+               "<-", "<-?", "<-?", "||"});
+  EXPECT_TRUE(matches_trace(dlub, trace));
+}
+
+TEST(Matching, UnmetForwardRequirementFails) {
+  // d(t1,t3) = -> requires t3 to execute whenever t1 does; period 1 has t1
+  // without t3.
+  const Trace trace = paper_example_trace();
+  DependencyMatrix d = DependencyMatrix::top(4);
+  d.set(0, 2, DepValue::Forward);
+  const PeriodCandidates p1(trace.periods()[0], 4);
+  EXPECT_FALSE(matches_period(d, p1));
+  // Period 2 has both t1 and t3: fine there.
+  const PeriodCandidates p2(trace.periods()[1], 4);
+  EXPECT_TRUE(matches_period(d, p2));
+}
+
+TEST(Matching, UnmetBackwardRequirementFails) {
+  const Trace trace = paper_example_trace();
+  DependencyMatrix d = DependencyMatrix::top(4);
+  d.set(0, 2, DepValue::Backward);  // t1 always depends on t3
+  const PeriodCandidates p1(trace.periods()[0], 4);
+  EXPECT_FALSE(matches_period(d, p1));
+}
+
+TEST(Matching, InjectivityForcesFailure) {
+  // Period 3 has four messages; a hypothesis that only permits three
+  // distinct pairs cannot explain it.
+  const Trace trace = paper_example_trace();
+  DependencyMatrix d(4);
+  d.set_pair(0, 1, DepValue::MaybeForward);  // (t1,t2)
+  d.set_pair(0, 2, DepValue::MaybeForward);  // (t1,t3)
+  d.set_pair(0, 3, DepValue::MaybeForward);  // (t1,t4)
+  const PeriodCandidates p3(trace.periods()[2], 4);
+  EXPECT_FALSE(matches_period(d, p3));
+  // Adding a fourth permitted pair fixes it.
+  d.set_pair(2, 3, DepValue::MaybeForward);  // (t3,t4)
+  EXPECT_TRUE(matches_period(d, p3));
+}
+
+TEST(Matching, PermissionMustCoverBothOrientations) {
+  // d(s,r) permits forward but d(r,s) = ->? does NOT permit backward:
+  // the assignment is rejected.
+  TraceBuilder b({"s", "r"});
+  b.begin_period();
+  b.add_event(Event::task_start(0, TaskId{0u}));
+  b.add_event(Event::task_end(10, TaskId{0u}));
+  b.add_event(Event::msg_rise(11, 1));
+  b.add_event(Event::msg_fall(12, 1));
+  b.add_event(Event::task_start(13, TaskId{1u}));
+  b.add_event(Event::task_end(20, TaskId{1u}));
+  b.end_period();
+  const Trace t = b.take();
+  DependencyMatrix d(2);
+  d.set(0, 1, DepValue::MaybeForward);
+  d.set(1, 0, DepValue::MaybeForward);  // wrong orientation on the mirror
+  const PeriodCandidates pc(t.periods()[0], 2);
+  EXPECT_FALSE(matches_period(d, pc));
+  d.set(1, 0, DepValue::MaybeBackward);
+  EXPECT_TRUE(matches_period(d, pc));
+}
+
+TEST(Matching, MatchesTraceIsConjunctionOverPeriods) {
+  const Trace trace = paper_example_trace();
+  DependencyMatrix d = DependencyMatrix::top(4);
+  d.set(0, 2, DepValue::Forward);  // fails only period 1
+  EXPECT_FALSE(matches_trace(d, trace));
+}
+
+TEST(Matching, MonotoneInTheLattice) {
+  // If h1 <= h2 and h1 matches, h2 matches (Definition 4's intent) —
+  // spot-checked on the paper trace with the learner's own survivors.
+  const Trace trace = paper_example_trace();
+  const DependencyMatrix d81 =
+      matrix4({"||", "->?", "->?", "->",  //
+               "<-", "||", "||", "||",    //
+               "<-", "||", "||", "->",    //
+               "<-", "||", "<-?", "||"});
+  ASSERT_TRUE(matches_trace(d81, trace));
+  EXPECT_TRUE(matches_trace(d81.lub(DependencyMatrix::top(4)), trace));
+  DependencyMatrix raised = d81;
+  raised.set(0, 1, DepValue::MaybeMutual);
+  EXPECT_TRUE(matches_trace(raised, trace));
+}
+
+}  // namespace
+}  // namespace bbmg

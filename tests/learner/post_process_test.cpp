@@ -1,0 +1,163 @@
+// Period-end post-processing units: conditional-dependency weakening,
+// unification, redundancy removal; plus the Hypothesis::assume operator.
+#include <gtest/gtest.h>
+
+#include "core/history.hpp"
+#include "core/post_process.hpp"
+#include "gen/scenarios.hpp"
+
+namespace bbmg {
+namespace {
+
+/// A period where only the listed tasks executed (out of n), no messages.
+Period period_with(std::size_t n, std::initializer_list<std::size_t> tasks) {
+  std::vector<TaskExecution> execs;
+  TimeNs t = 0;
+  for (std::size_t i : tasks) {
+    execs.push_back({TaskId{i}, t, t + 10});
+    t += 20;
+  }
+  (void)n;
+  return Period(std::move(execs), {});
+}
+
+TEST(PostProcess, WeakensUnmetForwardRequirement) {
+  Hypothesis h(3);
+  h.d.set(0, 1, DepValue::Forward);
+  h.d.set(1, 0, DepValue::Backward);
+  // Task 0 ran, task 1 did not: "0 always determines 1" is refuted.
+  const PeriodCandidates pc(period_with(3, {0, 2}), 3);
+  weaken_unmet_requirements(h, pc);
+  EXPECT_EQ(h.d.at(0, 1), DepValue::MaybeForward);
+  // Task 1 did not run, so its own claims are untouched (vacuous).
+  EXPECT_EQ(h.d.at(1, 0), DepValue::Backward);
+}
+
+TEST(PostProcess, WeakensUnmetBackwardRequirement) {
+  Hypothesis h(3);
+  h.d.set(0, 1, DepValue::Backward);
+  const PeriodCandidates pc(period_with(3, {0}), 3);
+  weaken_unmet_requirements(h, pc);
+  EXPECT_EQ(h.d.at(0, 1), DepValue::MaybeBackward);
+}
+
+TEST(PostProcess, MutualLosesBothClaimsAtOnce) {
+  Hypothesis h(2);
+  h.d.set(0, 1, DepValue::Mutual);
+  const PeriodCandidates pc(period_with(2, {0}), 2);
+  weaken_unmet_requirements(h, pc);
+  EXPECT_EQ(h.d.at(0, 1), DepValue::MaybeMutual);
+}
+
+TEST(PostProcess, CoExecutionKeepsRequirements) {
+  Hypothesis h(2);
+  h.d.set(0, 1, DepValue::Forward);
+  h.d.set(1, 0, DepValue::Backward);
+  const PeriodCandidates pc(period_with(2, {0, 1}), 2);
+  weaken_unmet_requirements(h, pc);
+  EXPECT_EQ(h.d.at(0, 1), DepValue::Forward);
+  EXPECT_EQ(h.d.at(1, 0), DepValue::Backward);
+}
+
+TEST(PostProcess, ConditionalValuesNeverWeakened) {
+  Hypothesis h(2);
+  h.d.set(0, 1, DepValue::MaybeForward);
+  h.d.set(1, 0, DepValue::MaybeBackward);
+  const PeriodCandidates pc(period_with(2, {0}), 2);
+  weaken_unmet_requirements(h, pc);
+  EXPECT_EQ(h.d.at(0, 1), DepValue::MaybeForward);
+  EXPECT_EQ(h.d.at(1, 0), DepValue::MaybeBackward);
+}
+
+TEST(PostProcess, UnifiesEqualHypotheses) {
+  std::vector<Hypothesis> frontier;
+  Hypothesis a(2);
+  a.d.set_pair(0, 1, DepValue::Forward);
+  frontier.push_back(a);
+  frontier.push_back(a);
+  frontier.push_back(a);
+  remove_duplicates_and_redundant(frontier);
+  EXPECT_EQ(frontier.size(), 1u);
+}
+
+TEST(PostProcess, RemovesRedundantMoreGeneralHypotheses) {
+  std::vector<Hypothesis> frontier;
+  Hypothesis specific(2);
+  specific.d.set_pair(0, 1, DepValue::Forward);
+  Hypothesis general(2);
+  general.d.set_pair(0, 1, DepValue::MaybeForward);  // strictly above
+  Hypothesis incomparable(2);
+  incomparable.d.set(0, 1, DepValue::Backward);
+  incomparable.d.set(1, 0, DepValue::Forward);
+  frontier.push_back(general);
+  frontier.push_back(specific);
+  frontier.push_back(incomparable);
+  remove_duplicates_and_redundant(frontier);
+  ASSERT_EQ(frontier.size(), 2u);
+  // The general one is gone; the two incomparable minimal ones remain.
+  for (const auto& h : frontier) {
+    EXPECT_NE(h.d, general.d);
+  }
+}
+
+TEST(PostProcess, FullPeriodPassClearsAssumptions) {
+  std::vector<Hypothesis> frontier;
+  Hypothesis h(2);
+  h.d.set_pair(0, 1, DepValue::Forward);
+  h.used.set(1);  // pair (0,1)
+  frontier.push_back(h);
+  const PeriodCandidates pc(period_with(2, {0, 1}), 2);
+  post_process_period(frontier, pc);
+  ASSERT_EQ(frontier.size(), 1u);
+  EXPECT_FALSE(frontier[0].used.any());
+}
+
+TEST(Assume, RaisesMirroredPairMinimally) {
+  Hypothesis h(3);
+  CoExecutionHistory history(3);
+  const CandidatePair pair{TaskId{0u}, TaskId{2u}, 2};
+  h.assume(pair, history);
+  EXPECT_EQ(h.d.at(0, 2), DepValue::Forward);
+  EXPECT_EQ(h.d.at(2, 0), DepValue::Backward);
+  EXPECT_TRUE(h.pair_used(pair));
+  EXPECT_EQ(h.d.at(0, 1), DepValue::Parallel);
+}
+
+TEST(Assume, HistoryWeakensNewRequirements) {
+  // Task 0 already ran in a period without task 2 (and vice versa), so a
+  // fresh dependency between them cannot claim "always".
+  CoExecutionHistory history(3);
+  const PeriodCandidates p0(period_with(3, {0, 1}), 3);
+  history.record_period(p0);
+  EXPECT_TRUE(history.ran_without(0, 2));
+  EXPECT_FALSE(history.ran_without(0, 1));
+
+  Hypothesis h(3);
+  h.assume(CandidatePair{TaskId{0u}, TaskId{2u}, 2}, history);
+  EXPECT_EQ(h.d.at(0, 2), DepValue::MaybeForward);
+  // Task 2 never ran without task 0, so its backward claim stays firm.
+  EXPECT_EQ(h.d.at(2, 0), DepValue::Backward);
+}
+
+TEST(Assume, AlreadyPermittingEntriesUntouched) {
+  CoExecutionHistory history(2);
+  Hypothesis h(2);
+  h.d.set(0, 1, DepValue::MaybeForward);
+  h.d.set(1, 0, DepValue::MaybeBackward);
+  h.assume(CandidatePair{TaskId{0u}, TaskId{1u}, 1}, history);
+  EXPECT_EQ(h.d.at(0, 1), DepValue::MaybeForward);
+  EXPECT_EQ(h.d.at(1, 0), DepValue::MaybeBackward);
+}
+
+TEST(Assume, BackwardEntryGeneralizesToMutual) {
+  // An entry that already requires the opposite direction joins at <-> —
+  // and history immediately relaxes it if co-execution was ever violated.
+  CoExecutionHistory clean(2);
+  Hypothesis h(2);
+  h.d.set(0, 1, DepValue::Backward);
+  h.assume(CandidatePair{TaskId{0u}, TaskId{1u}, 1}, clean);
+  EXPECT_EQ(h.d.at(0, 1), DepValue::Mutual);
+}
+
+}  // namespace
+}  // namespace bbmg

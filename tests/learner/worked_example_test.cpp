@@ -1,0 +1,207 @@
+// Reproduces the paper's §3.3 worked example end to end (experiment E1).
+//
+// The system under observation is Fig. 1 (t1 conditionally messages t2/t3,
+// which independently message t4); the observed trace is Fig. 2:
+//
+//   period 1:  t1  m1  t2  m2  t4
+//   period 2:  t1  m3  t3  m4  t4
+//   period 3:  t1  m5  t3  m6  t2  m7  m8  t4
+//
+// The paper derives: after m1 the two hypotheses d11/d12, after m2 the
+// three hypotheses d21/d22/d23, and after period 3 the five most specific
+// hypotheses d81..d85 whose LUB is dLUB (Fig. 4), including the emergent
+// unconditional dependency d(t1,t4) = ->.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/exact_learner.hpp"
+#include "core/heuristic_learner.hpp"
+#include "core/matching.hpp"
+#include "lattice/dependency_matrix.hpp"
+#include "trace/trace.hpp"
+
+namespace bbmg {
+namespace {
+
+constexpr TaskId T1{0u};
+constexpr TaskId T2{1u};
+constexpr TaskId T3{2u};
+constexpr TaskId T4{3u};
+
+Trace paper_trace() {
+  TraceBuilder b({"t1", "t2", "t3", "t4"});
+
+  // period 1: t1 m1 t2 m2 t4
+  b.begin_period();
+  b.add_event(Event::task_start(0, T1));
+  b.add_event(Event::task_end(10, T1));
+  b.add_event(Event::msg_rise(12, 1));
+  b.add_event(Event::msg_fall(14, 1));
+  b.add_event(Event::task_start(16, T2));
+  b.add_event(Event::task_end(20, T2));
+  b.add_event(Event::msg_rise(22, 2));
+  b.add_event(Event::msg_fall(24, 2));
+  b.add_event(Event::task_start(26, T4));
+  b.add_event(Event::task_end(30, T4));
+  b.end_period();
+
+  // period 2: t1 m3 t3 m4 t4
+  b.begin_period();
+  b.add_event(Event::task_start(100, T1));
+  b.add_event(Event::task_end(110, T1));
+  b.add_event(Event::msg_rise(112, 3));
+  b.add_event(Event::msg_fall(114, 3));
+  b.add_event(Event::task_start(116, T3));
+  b.add_event(Event::task_end(120, T3));
+  b.add_event(Event::msg_rise(122, 4));
+  b.add_event(Event::msg_fall(124, 4));
+  b.add_event(Event::task_start(126, T4));
+  b.add_event(Event::task_end(130, T4));
+  b.end_period();
+
+  // period 3: t1 chooses both successors — it finishes, its two messages
+  // m5, m6 go out back to back, then t3 and t2 run, their messages m7, m8
+  // follow, and finally t4 runs: t1 m5 m6 t3 t2 m7 m8 t4.
+  b.begin_period();
+  b.add_event(Event::task_start(200, T1));
+  b.add_event(Event::task_end(210, T1));
+  b.add_event(Event::msg_rise(212, 5));
+  b.add_event(Event::msg_fall(214, 5));
+  b.add_event(Event::msg_rise(215, 6));
+  b.add_event(Event::msg_fall(217, 6));
+  b.add_event(Event::task_start(218, T3));
+  b.add_event(Event::task_end(224, T3));
+  b.add_event(Event::task_start(226, T2));
+  b.add_event(Event::task_end(230, T2));
+  b.add_event(Event::msg_rise(232, 7));
+  b.add_event(Event::msg_fall(234, 7));
+  b.add_event(Event::msg_rise(236, 8));
+  b.add_event(Event::msg_fall(238, 8));
+  b.add_event(Event::task_start(240, T4));
+  b.add_event(Event::task_end(244, T4));
+  b.end_period();
+
+  return b.take();
+}
+
+/// Build a 4x4 matrix from a row-major list of value tokens.
+DependencyMatrix matrix4(const std::array<const char*, 16>& cells) {
+  DependencyMatrix m(4);
+  for (std::size_t a = 0; a < 4; ++a) {
+    for (std::size_t b = 0; b < 4; ++b) {
+      if (a == b) continue;
+      m.set(a, b, dep_from_string(cells[a * 4 + b]));
+    }
+  }
+  return m;
+}
+
+// The paper's five surviving hypotheses after period 3 (§3.3).
+std::vector<DependencyMatrix> paper_survivors() {
+  return {
+      // d81
+      matrix4({"||", "->?", "->?", "->",   //
+               "<-", "||", "||", "||",     //
+               "<-", "||", "||", "->",     //
+               "<-", "||", "<-?", "||"}),
+      // d82
+      matrix4({"||", "||", "->?", "->",    //
+               "||", "||", "||", "->",     //
+               "<-", "||", "||", "->",     //
+               "<-", "<-?", "<-?", "||"}),
+      // d83
+      matrix4({"||", "->?", "||", "->",    //
+               "<-", "||", "||", "->",     //
+               "||", "||", "||", "->",     //
+               "<-", "<-?", "<-?", "||"}),
+      // d84
+      matrix4({"||", "->?", "->?", "->",   //
+               "<-", "||", "||", "->",     //
+               "<-", "||", "||", "||",     //
+               "<-", "<-?", "||", "||"}),
+      // d85
+      matrix4({"||", "->?", "->?", "||",   //
+               "<-", "||", "||", "->",     //
+               "<-", "||", "||", "->",     //
+               "||", "<-?", "<-?", "||"}),
+  };
+}
+
+DependencyMatrix paper_dlub() {
+  return matrix4({"||", "->?", "->?", "->",   //
+                  "<-", "||", "||", "->",     //
+                  "<-", "||", "||", "->",     //
+                  "<-", "<-?", "<-?", "||"});
+}
+
+bool contains(const std::vector<DependencyMatrix>& set,
+              const DependencyMatrix& m) {
+  return std::any_of(set.begin(), set.end(),
+                     [&](const DependencyMatrix& x) { return x == m; });
+}
+
+TEST(WorkedExample, ExactLearnerFindsThePaperSurvivors) {
+  const Trace trace = paper_trace();
+  const LearnResult result = learn_exact(trace);
+
+  const auto expected = paper_survivors();
+  EXPECT_EQ(result.hypotheses.size(), expected.size());
+  for (const auto& m : expected) {
+    EXPECT_TRUE(contains(result.hypotheses, m))
+        << "missing expected hypothesis:\n"
+        << m.to_table(trace.task_names());
+  }
+  for (const auto& m : result.hypotheses) {
+    EXPECT_TRUE(contains(expected, m))
+        << "unexpected extra hypothesis:\n"
+        << m.to_table(trace.task_names());
+  }
+}
+
+TEST(WorkedExample, SurvivorsAllMatchTheTrace) {
+  const Trace trace = paper_trace();
+  const LearnResult result = learn_exact(trace);
+  for (const auto& m : result.hypotheses) {
+    EXPECT_TRUE(matches_trace(m, trace))
+        << "Theorem 2 violated by:\n"
+        << m.to_table(trace.task_names());
+  }
+}
+
+TEST(WorkedExample, LubMatchesFigure4) {
+  const Trace trace = paper_trace();
+  const LearnResult result = learn_exact(trace);
+  ASSERT_FALSE(result.hypotheses.empty());
+  const DependencyMatrix dlub = result.lub();
+  EXPECT_EQ(dlub, paper_dlub()) << "computed dLUB:\n"
+                                << dlub.to_table(trace.task_names());
+  // The paper's headline observation: t1 always determines t4 even though
+  // no single design message implies it.
+  EXPECT_EQ(dlub.at(T1, T4), DepValue::Forward);
+}
+
+TEST(WorkedExample, HeuristicBoundOneEqualsLubOfExact) {
+  const Trace trace = paper_trace();
+  const LearnResult exact = learn_exact(trace);
+  const LearnResult h1 = learn_heuristic(trace, 1);
+  ASSERT_EQ(h1.hypotheses.size(), 1u);
+  EXPECT_EQ(h1.hypotheses.front(), exact.lub())
+      << "bound-1:\n"
+      << h1.hypotheses.front().to_table(trace.task_names()) << "lub(exact):\n"
+      << exact.lub().to_table(trace.task_names());
+}
+
+TEST(WorkedExample, LargeBoundReproducesExactResult) {
+  const Trace trace = paper_trace();
+  const LearnResult exact = learn_exact(trace);
+  const LearnResult h = learn_heuristic(trace, 64);
+  EXPECT_EQ(h.stats.merges, 0u);
+  EXPECT_EQ(h.hypotheses.size(), exact.hypotheses.size());
+  for (const auto& m : exact.hypotheses) {
+    EXPECT_TRUE(contains(h.hypotheses, m));
+  }
+}
+
+}  // namespace
+}  // namespace bbmg

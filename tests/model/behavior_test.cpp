@@ -1,0 +1,207 @@
+// Behaviour resolution and exhaustive enumeration under the control-flow
+// MoC: activation policies, output policies, and the behaviour-space
+// structure of the paper's Fig. 1 model.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "gen/scenarios.hpp"
+#include "model/behavior.hpp"
+#include "model/design_truth.hpp"
+
+namespace bbmg {
+namespace {
+
+SystemModel chain_model(OutputPolicy mid_policy) {
+  // a -> b -> {c, d}
+  SystemModel m;
+  TaskSpec a;
+  a.name = "a";
+  a.activation = ActivationPolicy::Source;
+  a.output = OutputPolicy::All;
+  const TaskId ia = m.add_task(std::move(a));
+  TaskSpec b;
+  b.name = "b";
+  b.activation = ActivationPolicy::AnyInput;
+  b.output = mid_policy;
+  const TaskId ib = m.add_task(std::move(b));
+  TaskSpec c;
+  c.name = "c";
+  c.activation = ActivationPolicy::AnyInput;
+  const TaskId ic = m.add_task(std::move(c));
+  TaskSpec d;
+  d.name = "d";
+  d.activation = ActivationPolicy::AnyInput;
+  const TaskId id = m.add_task(std::move(d));
+  m.add_edge({ia, ib, 1, 8, 1.0});
+  m.add_edge({ib, ic, 2, 8, 1.0});
+  m.add_edge({ib, id, 3, 8, 1.0});
+  m.validate();
+  return m;
+}
+
+TEST(Behavior, AllPolicySendsEverything) {
+  const SystemModel m = chain_model(OutputPolicy::All);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    const PeriodBehavior b = resolve_period(m, rng);
+    EXPECT_TRUE(b.executed[0] && b.executed[1] && b.executed[2] &&
+                b.executed[3]);
+    EXPECT_EQ(b.sent_edges.size(), 3u);
+  }
+}
+
+TEST(Behavior, ExactlyOneChoosesOneBranch) {
+  const SystemModel m = chain_model(OutputPolicy::ExactlyOne);
+  Rng rng(2);
+  bool saw_c = false;
+  bool saw_d = false;
+  for (int i = 0; i < 40; ++i) {
+    const PeriodBehavior b = resolve_period(m, rng);
+    EXPECT_EQ(b.sent_edges.size(), 2u);  // a->b plus one of b's edges
+    EXPECT_NE(b.executed[2], b.executed[3]);  // exactly one of c, d
+    saw_c |= b.executed[2];
+    saw_d |= b.executed[3];
+  }
+  EXPECT_TRUE(saw_c && saw_d);
+}
+
+TEST(Behavior, NonEmptySubsetAlwaysSendsSomething) {
+  const SystemModel m = chain_model(OutputPolicy::NonEmptySubset);
+  Rng rng(3);
+  for (int i = 0; i < 40; ++i) {
+    const PeriodBehavior b = resolve_period(m, rng);
+    EXPECT_TRUE(b.executed[2] || b.executed[3]);
+  }
+}
+
+TEST(Behavior, PerEdgeProbabilityZeroAndOne) {
+  SystemModel m;
+  TaskSpec a;
+  a.name = "a";
+  a.activation = ActivationPolicy::Source;
+  a.output = OutputPolicy::PerEdgeProbability;
+  const TaskId ia = m.add_task(std::move(a));
+  TaskSpec b;
+  b.name = "b";
+  b.activation = ActivationPolicy::AnyInput;
+  const TaskId ib = m.add_task(std::move(b));
+  TaskSpec c;
+  c.name = "c";
+  c.activation = ActivationPolicy::AnyInput;
+  const TaskId ic = m.add_task(std::move(c));
+  m.add_edge({ia, ib, 1, 8, 1.0});  // always
+  m.add_edge({ia, ic, 2, 8, 0.0});  // never
+  m.validate();
+  Rng rng(4);
+  for (int i = 0; i < 20; ++i) {
+    const PeriodBehavior beh = resolve_period(m, rng);
+    EXPECT_TRUE(beh.executed[1]);
+    EXPECT_FALSE(beh.executed[2]);
+  }
+}
+
+TEST(Behavior, AllInputsWaitsForEveryEdge) {
+  // s1 -> j, s2 -(conditional)-> j with j requiring all inputs: j runs only
+  // when s2 chose to send.
+  SystemModel m;
+  TaskSpec s1;
+  s1.name = "s1";
+  s1.activation = ActivationPolicy::Source;
+  const TaskId i1 = m.add_task(std::move(s1));
+  TaskSpec s2;
+  s2.name = "s2";
+  s2.activation = ActivationPolicy::Source;
+  s2.output = OutputPolicy::PerEdgeProbability;
+  const TaskId i2 = m.add_task(std::move(s2));
+  TaskSpec j;
+  j.name = "j";
+  j.activation = ActivationPolicy::AllInputs;
+  const TaskId ij = m.add_task(std::move(j));
+  m.add_edge({i1, ij, 1, 8, 1.0});
+  m.add_edge({i2, ij, 2, 8, 0.5});
+  m.validate();
+  Rng rng(5);
+  int ran = 0;
+  int sent2 = 0;
+  for (int i = 0; i < 200; ++i) {
+    const PeriodBehavior b = resolve_period(m, rng);
+    ran += b.executed[ij.index()];
+    sent2 += (b.sent_edges.size() == 2);
+    if (b.executed[ij.index()]) {
+      EXPECT_EQ(b.sent_edges.size(), 2u);
+    }
+  }
+  EXPECT_EQ(ran, sent2);
+  EXPECT_GT(ran, 50);
+  EXPECT_LT(ran, 150);
+}
+
+TEST(Behavior, PaperModelHasThreeBehaviors) {
+  // t1 picks a non-empty subset of {t2, t3}: 3 choices, and since t2/t3
+  // send unconditionally each choice fixes the whole period — exactly the
+  // three period shapes of the paper's Fig. 2.
+  const auto behaviors = enumerate_behaviors(paper_example_model());
+  EXPECT_EQ(behaviors.size(), 3u);
+  std::set<std::size_t> msg_counts;
+  for (const auto& b : behaviors) {
+    EXPECT_TRUE(b.executed[0]);
+    EXPECT_TRUE(b.executed[3]);  // t4 runs in every behaviour
+    msg_counts.insert(b.sent_edges.size());
+  }
+  EXPECT_EQ(msg_counts, (std::set<std::size_t>{2, 4}));
+}
+
+TEST(Behavior, EnumerationCapThrows) {
+  EXPECT_THROW((void)enumerate_behaviors(paper_example_model(), 2), Error);
+}
+
+TEST(Behavior, RandomResolutionIsWithinEnumeratedSpace) {
+  const SystemModel m = paper_example_model();
+  const auto all = enumerate_behaviors(m);
+  Rng rng(6);
+  for (int i = 0; i < 50; ++i) {
+    const PeriodBehavior b = resolve_period(m, rng);
+    bool found = false;
+    for (const auto& e : all) {
+      if (e.executed == b.executed && e.sent_edges == b.sent_edges) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(DesignTruth, PaperModelDesignDependency) {
+  const SystemModel m = paper_example_model();
+  const DependencyMatrix d = design_dependency(m);
+  // t1's edges are conditional; t2->t4 and t3->t4 are unconditional.
+  EXPECT_EQ(d.at(0, 1), DepValue::MaybeForward);
+  EXPECT_EQ(d.at(0, 2), DepValue::MaybeForward);
+  EXPECT_EQ(d.at(1, 3), DepValue::Forward);
+  EXPECT_EQ(d.at(2, 3), DepValue::Forward);
+  // The spec-reader view mirrors the sender side verbatim (it does no
+  // cross-edge reasoning): an unconditional edge reads as <- on (t4,t2).
+  EXPECT_EQ(d.at(3, 1), DepValue::Backward);
+  // No direct design edge t1 -> t4.
+  EXPECT_EQ(d.at(0, 3), DepValue::Parallel);
+}
+
+TEST(DesignTruth, PaperModelBehavioralDependency) {
+  const SystemModel m = paper_example_model();
+  const DependencyMatrix d = behavioral_dependency(m);
+  // With perfect endpoint knowledge: t2 may or may not be determined by
+  // t1, but when t2 runs it always got t1's message.
+  EXPECT_EQ(d.at(0, 1), DepValue::MaybeForward);
+  EXPECT_EQ(d.at(1, 0), DepValue::Backward);
+  // t2 always messages t4 when it runs, t4 sometimes runs without t2.
+  EXPECT_EQ(d.at(1, 3), DepValue::Forward);
+  EXPECT_EQ(d.at(3, 1), DepValue::MaybeBackward);
+  // Still no message-evidence for the pair (t1,t4).
+  EXPECT_EQ(d.at(0, 3), DepValue::Parallel);
+}
+
+}  // namespace
+}  // namespace bbmg

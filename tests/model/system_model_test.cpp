@@ -1,0 +1,153 @@
+// Design-model structure: validation rules, topological order, DOT export.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "gen/scenarios.hpp"
+#include "model/system_model.hpp"
+
+namespace bbmg {
+namespace {
+
+TaskSpec source(const char* name) {
+  TaskSpec s;
+  s.name = name;
+  s.activation = ActivationPolicy::Source;
+  s.output = OutputPolicy::All;
+  return s;
+}
+
+TaskSpec sink(const char* name) {
+  TaskSpec s;
+  s.name = name;
+  s.activation = ActivationPolicy::AnyInput;
+  s.output = OutputPolicy::All;
+  return s;
+}
+
+TEST(SystemModel, PaperExampleValidates) {
+  const SystemModel m = paper_example_model();
+  EXPECT_EQ(m.num_tasks(), 4u);
+  EXPECT_EQ(m.edges().size(), 4u);
+  EXPECT_EQ(m.num_ecus(), 1u);
+  EXPECT_EQ(m.task_by_name("t3").index(), 2u);
+  EXPECT_THROW((void)m.task_by_name("nope"), Error);
+}
+
+TEST(SystemModel, EdgeBookkeeping) {
+  SystemModel m;
+  const TaskId a = m.add_task(source("a"));
+  const TaskId b = m.add_task(sink("b"));
+  const TaskId c = m.add_task(sink("c"));
+  m.add_edge({a, b, 1, 8, 1.0});
+  m.add_edge({a, c, 2, 8, 1.0});
+  m.add_edge({b, c, 3, 8, 1.0});
+  EXPECT_EQ(m.out_edges(a).size(), 2u);
+  EXPECT_EQ(m.in_edges(c).size(), 2u);
+  EXPECT_EQ(m.in_edges(a).size(), 0u);
+}
+
+TEST(SystemModel, RejectsDuplicateNames) {
+  SystemModel m;
+  m.add_task(source("x"));
+  m.add_task(source("x"));
+  EXPECT_THROW(m.validate(), Error);
+}
+
+TEST(SystemModel, RejectsEmptyName) {
+  SystemModel m;
+  m.add_task(source(""));
+  EXPECT_THROW(m.validate(), Error);
+}
+
+TEST(SystemModel, RejectsSelfEdge) {
+  SystemModel m;
+  const TaskId a = m.add_task(source("a"));
+  m.add_edge({a, a, 1, 8, 1.0});
+  EXPECT_THROW(m.validate(), Error);
+}
+
+TEST(SystemModel, RejectsDuplicateCanIds) {
+  SystemModel m;
+  const TaskId a = m.add_task(source("a"));
+  const TaskId b = m.add_task(sink("b"));
+  const TaskId c = m.add_task(sink("c"));
+  m.add_edge({a, b, 7, 8, 1.0});
+  m.add_edge({a, c, 7, 8, 1.0});
+  EXPECT_THROW(m.validate(), Error);
+}
+
+TEST(SystemModel, RejectsBroadcastCanIdCollision) {
+  SystemModel m;
+  TaskSpec s = source("a");
+  s.broadcasts.push_back({7, 4});
+  const TaskId a = m.add_task(std::move(s));
+  const TaskId b = m.add_task(sink("b"));
+  m.add_edge({a, b, 7, 8, 1.0});
+  EXPECT_THROW(m.validate(), Error);
+}
+
+TEST(SystemModel, RejectsCycles) {
+  SystemModel m;
+  TaskSpec sa = sink("a");
+  sa.activation = ActivationPolicy::AnyInput;
+  const TaskId a = m.add_task(std::move(sa));
+  const TaskId b = m.add_task(sink("b"));
+  m.add_edge({a, b, 1, 8, 1.0});
+  m.add_edge({b, a, 2, 8, 1.0});
+  EXPECT_THROW(m.validate(), Error);
+}
+
+TEST(SystemModel, RejectsSourceWithInEdges) {
+  SystemModel m;
+  const TaskId a = m.add_task(source("a"));
+  const TaskId b = m.add_task(source("b"));
+  m.add_edge({a, b, 1, 8, 1.0});
+  EXPECT_THROW(m.validate(), Error);
+}
+
+TEST(SystemModel, RejectsNonSourceWithoutInEdges) {
+  SystemModel m;
+  m.add_task(source("a"));
+  m.add_task(sink("orphan"));
+  EXPECT_THROW(m.validate(), Error);
+}
+
+TEST(SystemModel, RejectsBadExecutionRange) {
+  SystemModel m;
+  TaskSpec s = source("a");
+  s.exec_min = 10;
+  s.exec_max = 5;
+  m.add_task(std::move(s));
+  EXPECT_THROW(m.validate(), Error);
+}
+
+TEST(SystemModel, RejectsBadProbability) {
+  SystemModel m;
+  const TaskId a = m.add_task(source("a"));
+  const TaskId b = m.add_task(sink("b"));
+  m.add_edge({a, b, 1, 8, 1.5});
+  EXPECT_THROW(m.validate(), Error);
+}
+
+TEST(SystemModel, TopologicalOrderRespectsEdges) {
+  const SystemModel m = paper_example_model();
+  const auto order = m.topological_order();
+  ASSERT_EQ(order.size(), 4u);
+  std::vector<std::size_t> pos(4);
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i].index()] = i;
+  for (const auto& e : m.edges()) {
+    EXPECT_LT(pos[e.from.index()], pos[e.to.index()]);
+  }
+}
+
+TEST(SystemModel, DotExportMentionsTasksAndEdges) {
+  const SystemModel m = paper_example_model();
+  const std::string dot = m.to_dot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("\"t1\" -> \"t2\""), std::string::npos);
+  // t1 is disjunctive, so its edges are dashed.
+  EXPECT_NE(dot.find("dashed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bbmg

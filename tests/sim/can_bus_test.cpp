@@ -1,0 +1,79 @@
+// CAN bus: frame timing math and identifier arbitration.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/can_bus.hpp"
+
+namespace bbmg {
+namespace {
+
+TEST(CanFrame, BitCounts) {
+  // 44 frame bits + 3 interframe bits + payload.
+  EXPECT_EQ(can_frame_bits(0, false), 47u);
+  EXPECT_EQ(can_frame_bits(8, false), 47u + 64u);
+  // Worst-case stuffing: floor((34 + 8*dlc - 1) / 4) extra bits.
+  EXPECT_EQ(can_frame_bits(0, true), 47u + 8u);
+  EXPECT_EQ(can_frame_bits(8, true), 111u + 24u);
+}
+
+TEST(CanFrame, TimeScalesWithBitrate) {
+  // 111 bits at 500 kbit/s = 222 us; at 1 Mbit/s = 111 us.
+  EXPECT_EQ(can_frame_time(8, 500'000, false), 222 * kTimeNsPerUs);
+  EXPECT_EQ(can_frame_time(8, 1'000'000, false), 111 * kTimeNsPerUs);
+}
+
+TEST(CanBus, LowestIdWinsArbitration) {
+  CanBus bus(1'000'000, false);
+  bus.enqueue({0x300, 8, 0, 0});
+  bus.enqueue({0x100, 8, 1, 0});
+  bus.enqueue({0x200, 8, 2, 0});
+  auto tx1 = bus.try_start(1000);
+  ASSERT_TRUE(tx1.has_value());
+  EXPECT_EQ(tx1->frame.can_id, 0x100u);
+  EXPECT_EQ(tx1->rise, 1000u);
+  EXPECT_TRUE(bus.busy());
+  // Busy bus refuses to start another frame.
+  EXPECT_FALSE(bus.try_start(1200).has_value());
+  const BusTransmission done = bus.finish();
+  EXPECT_EQ(done.frame.can_id, 0x100u);
+  auto tx2 = bus.try_start(done.fall);
+  ASSERT_TRUE(tx2.has_value());
+  EXPECT_EQ(tx2->frame.can_id, 0x200u);
+}
+
+TEST(CanBus, FifoTieBreakOnEqualIds) {
+  // Equal CAN ids cannot happen across distinct design messages (unique
+  // ids are validated), but the bus itself must still be deterministic.
+  CanBus bus(500'000, false);
+  bus.enqueue({0x100, 8, 10, 0});
+  bus.enqueue({0x100, 4, 11, 0});
+  auto tx = bus.try_start(0);
+  ASSERT_TRUE(tx.has_value());
+  EXPECT_EQ(tx->frame.edge_index, 10u);
+}
+
+TEST(CanBus, TransmissionDurationMatchesFrameTime) {
+  CanBus bus(250'000, true);
+  bus.enqueue({0x42, 3, 0, 0});
+  auto tx = bus.try_start(5000);
+  ASSERT_TRUE(tx.has_value());
+  EXPECT_EQ(tx->fall - tx->rise, can_frame_time(3, 250'000, true));
+}
+
+TEST(CanBus, FinishOnIdleBusThrows) {
+  CanBus bus(500'000, false);
+  EXPECT_THROW((void)bus.finish(), Error);
+}
+
+TEST(CanBus, EmptyQueueStartsNothing) {
+  CanBus bus(500'000, false);
+  EXPECT_FALSE(bus.try_start(0).has_value());
+  EXPECT_FALSE(bus.has_pending());
+}
+
+TEST(CanBus, ZeroBitrateRejected) {
+  EXPECT_THROW(CanBus(0, false), Error);
+}
+
+}  // namespace
+}  // namespace bbmg

@@ -1,0 +1,93 @@
+// OSEK-like fixed-priority preemptive scheduling decisions.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/ecu.hpp"
+
+namespace bbmg {
+namespace {
+
+EcuJob job(std::uint32_t task, TaskPriority prio, TimeNs work) {
+  return EcuJob{TaskId{task}, prio, work, false};
+}
+
+TEST(Ecu, DispatchPicksHighestPriority) {
+  Ecu ecu;
+  ecu.release(job(0, 1, 100));
+  ecu.release(job(1, 5, 100));
+  ecu.release(job(2, 3, 100));
+  const EcuJob& running = ecu.dispatch(10);
+  EXPECT_EQ(running.task.index(), 1u);
+  EXPECT_EQ(ecu.slice_start(), 10u);
+}
+
+TEST(Ecu, EqualPriorityTieBreaksByTaskIndex) {
+  Ecu ecu;
+  ecu.release(job(7, 4, 100));
+  ecu.release(job(2, 4, 100));
+  EXPECT_EQ(ecu.dispatch(0).task.index(), 2u);
+}
+
+TEST(Ecu, ShouldPreemptOnlyForStrictlyHigherPriority) {
+  Ecu ecu;
+  ecu.release(job(0, 3, 100));
+  ecu.dispatch(0);
+  ecu.release(job(1, 3, 100));
+  EXPECT_FALSE(ecu.should_preempt());
+  ecu.release(job(2, 9, 100));
+  EXPECT_TRUE(ecu.should_preempt());
+}
+
+TEST(Ecu, PreemptionAccountsConsumedWork) {
+  Ecu ecu;
+  ecu.release(job(0, 1, 100));
+  ecu.dispatch(50);
+  const std::uint64_t gen_before = ecu.generation();
+  ecu.release(job(1, 9, 20));
+  ecu.preempt(80);  // ran 30 of 100
+  EXPECT_NE(ecu.generation(), gen_before);  // stale completion invalidated
+  EXPECT_TRUE(ecu.idle());
+  // High-priority job runs first; afterwards the preempted job resumes
+  // with 70 remaining.
+  EXPECT_EQ(ecu.dispatch(80).task.index(), 1u);
+  ecu.complete();
+  const EcuJob& resumed = ecu.dispatch(100);
+  EXPECT_EQ(resumed.task.index(), 0u);
+  EXPECT_EQ(resumed.work_remaining, 70u);
+}
+
+TEST(Ecu, CompleteReturnsRunningJobAndGoesIdle) {
+  Ecu ecu;
+  ecu.release(job(3, 2, 40));
+  ecu.dispatch(0);
+  const EcuJob done = ecu.complete();
+  EXPECT_EQ(done.task.index(), 3u);
+  EXPECT_TRUE(ecu.idle());
+  EXPECT_FALSE(ecu.has_ready());
+}
+
+TEST(Ecu, StartedFlagSurvivesPreemption) {
+  Ecu ecu;
+  ecu.release(job(0, 1, 100));
+  EcuJob& j = ecu.dispatch(0);
+  j.started = true;  // simulator records TaskStart on first dispatch
+  ecu.release(job(1, 9, 10));
+  ecu.preempt(30);
+  ecu.dispatch(30);
+  ecu.complete();
+  const EcuJob& resumed = ecu.dispatch(40);
+  EXPECT_TRUE(resumed.started);
+}
+
+TEST(Ecu, MisuseThrows) {
+  Ecu ecu;
+  EXPECT_THROW((void)ecu.dispatch(0), Error);
+  EXPECT_THROW((void)ecu.complete(), Error);
+  EXPECT_THROW(ecu.preempt(0), Error);
+  ecu.release(job(0, 1, 10));
+  ecu.dispatch(0);
+  EXPECT_THROW((void)ecu.dispatch(1), Error);
+}
+
+}  // namespace
+}  // namespace bbmg

@@ -1,0 +1,130 @@
+// Simulator extensions: source release offsets and CAN error injection
+// with automatic retransmission.
+#include <gtest/gtest.h>
+
+#include "core/heuristic_learner.hpp"
+#include "core/matching.hpp"
+#include "gen/gm_case_study.hpp"
+#include "gen/scenarios.hpp"
+#include "sim/simulator.hpp"
+#include "trace/stats.hpp"
+
+namespace bbmg {
+namespace {
+
+TEST(ReleaseOffset, DelaysSourceStart) {
+  SystemModel m;
+  TaskSpec a;
+  a.name = "a";
+  a.activation = ActivationPolicy::Source;
+  a.release_offset = 5 * kTimeNsPerMs;
+  m.add_task(std::move(a));
+  TaskSpec b;
+  b.name = "b";
+  b.activation = ActivationPolicy::Source;
+  m.add_task(std::move(b));
+  m.validate();
+
+  const Trace t = simulate_trace(m, 3, SimConfig{});
+  for (const auto& period : t.periods()) {
+    const TaskExecution* ea = period.execution_of(TaskId{0u});
+    const TaskExecution* eb = period.execution_of(TaskId{1u});
+    ASSERT_NE(ea, nullptr);
+    ASSERT_NE(eb, nullptr);
+    // a starts exactly 5 ms after b's (offset-free) release.
+    EXPECT_EQ(ea->start - eb->start, 5 * kTimeNsPerMs);
+  }
+}
+
+TEST(ReleaseOffset, StaggeringReducesBusContention) {
+  // Two sources on different ECUs both fire a frame at t=0: the queue
+  // peaks at 2.  Offsetting one by more than a frame time serializes them.
+  auto build = [](TimeNs offset) {
+    SystemModel m;
+    TaskSpec a;
+    a.name = "a";
+    a.activation = ActivationPolicy::Source;
+    a.ecu = EcuId{0u};
+    a.exec_min = a.exec_max = 100 * kTimeNsPerUs;
+    m.add_task(std::move(a));
+    TaskSpec b;
+    b.name = "b";
+    b.activation = ActivationPolicy::Source;
+    b.ecu = EcuId{1u};
+    b.exec_min = b.exec_max = 100 * kTimeNsPerUs;
+    b.release_offset = offset;
+    m.add_task(std::move(b));
+    TaskSpec c;
+    c.name = "c";
+    c.activation = ActivationPolicy::AllInputs;
+    c.ecu = EcuId{0u};
+    m.add_task(std::move(c));
+    m.add_edge({TaskId{0u}, TaskId{2u}, 1, 8, 1.0});
+    m.add_edge({TaskId{1u}, TaskId{2u}, 2, 8, 1.0});
+    m.validate();
+    return m;
+  };
+  const SimReport contended = simulate(build(0), 5, SimConfig{});
+  const SimReport staggered = simulate(build(5 * kTimeNsPerMs), 5, SimConfig{});
+  // peak_bus_queue counts frames *waiting* behind the in-flight one: the
+  // simultaneous release makes one frame queue behind the other; the
+  // staggered variant never queues.
+  EXPECT_GE(contended.peak_bus_queue, 1u);
+  EXPECT_EQ(staggered.peak_bus_queue, 0u);
+}
+
+TEST(BusErrors, RetransmissionsCountedAndTraceStaysValid) {
+  SimConfig cfg;
+  cfg.seed = 3;
+  cfg.bus_error_rate = 0.2;
+  const SimReport report = simulate(gm_case_study_model(), 10, cfg);
+  EXPECT_GT(report.retransmissions, 0u);
+  EXPECT_NO_THROW(validate_trace(report.trace));
+  // Every logical message is still delivered exactly once: the message
+  // count matches the error-free run with the same behaviour seed.
+  SimConfig clean = cfg;
+  clean.bus_error_rate = 0.0;
+  const SimReport baseline = simulate(gm_case_study_model(), 10, clean);
+  // Behaviour resolution draws differ once the error RNG interleaves, so
+  // compare against the per-period invariant instead: every period still
+  // has one heartbeat and at least the source activity.
+  for (const auto& period : report.trace.periods()) {
+    std::size_t heartbeats = 0;
+    for (const auto& msg : period.messages()) {
+      heartbeats += (msg.can_id == 0x010);
+    }
+    EXPECT_EQ(heartbeats, 1u);
+  }
+  EXPECT_GT(baseline.trace.total_messages(), 0u);
+}
+
+TEST(BusErrors, DelaysDeliveryButPreservesLearnability) {
+  SimConfig cfg;
+  cfg.seed = 5;
+  cfg.bus_error_rate = 0.15;
+  const Trace noisy = simulate_trace(gm_case_study_model(), 12, cfg);
+  const LearnResult r = learn_heuristic(noisy, 8);
+  ASSERT_FALSE(r.hypotheses.empty());
+  for (const auto& h : r.hypotheses) {
+    EXPECT_TRUE(matches_trace(h, noisy));
+  }
+  // The headline requirement survives bus noise.
+  const DependencyMatrix lub = r.lub();
+  const TaskId A = noisy.task_by_name("A");
+  const TaskId L = noisy.task_by_name("L");
+  EXPECT_EQ(lub.at(A, L), DepValue::Forward);
+}
+
+TEST(BusErrors, ErrorRateIncreasesBusBusyTime) {
+  SimConfig clean;
+  clean.seed = 9;
+  SimConfig noisy = clean;
+  noisy.bus_error_rate = 0.3;
+  const SimReport a = simulate(gm_case_study_model(), 10, clean);
+  const SimReport b = simulate(gm_case_study_model(), 10, noisy);
+  EXPECT_EQ(a.retransmissions, 0u);
+  EXPECT_GT(b.retransmissions, 0u);
+}
+
+}  // namespace
+}  // namespace bbmg

@@ -1,0 +1,82 @@
+// Period segmentation of flat event streams.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "gen/gm_case_study.hpp"
+#include "gen/scenarios.hpp"
+#include "sim/simulator.hpp"
+#include "trace/segmentation.hpp"
+#include "trace/serialize.hpp"
+
+namespace bbmg {
+namespace {
+
+TEST(Segmentation, FlattenThenSegmentByPeriodRecoversSimTrace) {
+  // The simulator aligns periods on period_length boundaries, so binning a
+  // flattened stream by the same length must reproduce the trace.
+  SimConfig cfg;
+  cfg.seed = 7;
+  const Trace trace = simulate_trace(gm_case_study_model(), 8, cfg);
+  const Trace back = segment_by_period(flatten(trace), trace.task_names(),
+                                       cfg.period_length);
+  EXPECT_EQ(trace_to_string(back), trace_to_string(trace));
+}
+
+TEST(Segmentation, GapSegmentationRecoversPaperTrace) {
+  // The Fig. 2 trace has intra-period gaps of a few ticks and inter-period
+  // silences of ~60 ticks.
+  const Trace trace = paper_example_trace();
+  const Trace back = segment_by_gap(flatten(trace), trace.task_names(), 50);
+  EXPECT_EQ(back.num_periods(), 3u);
+  EXPECT_EQ(trace_to_string(back), trace_to_string(trace));
+}
+
+TEST(Segmentation, GapThresholdTooSmallCutsInsidePeriods) {
+  // With an aggressive threshold the cut lands inside a period and the
+  // builder rejects the dangling activity.
+  const Trace trace = paper_example_trace();
+  EXPECT_THROW(
+      (void)segment_by_gap(flatten(trace), trace.task_names(), 2), Error);
+}
+
+TEST(Segmentation, GapThresholdTooLargeMergesPeriods) {
+  const Trace trace = paper_example_trace();
+  const auto events = flatten(trace);
+  // A threshold above the inter-period silence merges everything into one
+  // period, where t1 would run twice: rejected by the builder.
+  EXPECT_THROW(
+      (void)segment_by_gap(events, trace.task_names(), 10'000'000), Error);
+}
+
+TEST(Segmentation, RejectsUnorderedStream) {
+  std::vector<Event> events{Event::task_start(100, TaskId{0u}),
+                            Event::task_end(50, TaskId{0u})};
+  EXPECT_THROW((void)segment_by_period(events, {"a"}, 1000), Error);
+  EXPECT_THROW((void)segment_by_gap(events, {"a"}, 10), Error);
+}
+
+TEST(Segmentation, RejectsBadParameters) {
+  EXPECT_THROW((void)segment_by_period({}, {"a"}, 0), Error);
+  EXPECT_THROW((void)segment_by_gap({}, {"a"}, 0), Error);
+}
+
+TEST(Segmentation, EmptyStreamYieldsEmptyTrace) {
+  const Trace t = segment_by_period({}, {"a"}, 1000);
+  EXPECT_EQ(t.num_periods(), 0u);
+}
+
+TEST(Segmentation, LearningFromSegmentedStreamMatchesStructured) {
+  // End to end: flatten, re-segment, learn — identical model.
+  SimConfig cfg;
+  cfg.seed = 11;
+  const Trace trace = simulate_trace(gm_case_study_model(), 10, cfg);
+  const Trace back = segment_by_period(flatten(trace), trace.task_names(),
+                                       cfg.period_length);
+  // (learning itself exercised elsewhere; here structural identity is
+  // enough, checked above — this guards the period count contract.)
+  EXPECT_EQ(back.num_periods(), trace.num_periods());
+  EXPECT_EQ(back.total_messages(), trace.total_messages());
+}
+
+}  // namespace
+}  // namespace bbmg

@@ -1,0 +1,107 @@
+// Trace text format: round-trip property over generated traces, plus
+// parser error handling.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "gen/random_model.hpp"
+#include "gen/scenarios.hpp"
+#include "sim/simulator.hpp"
+#include "trace/serialize.hpp"
+
+namespace bbmg {
+namespace {
+
+bool traces_equal(const Trace& a, const Trace& b) {
+  if (a.task_names() != b.task_names()) return false;
+  if (a.num_periods() != b.num_periods()) return false;
+  for (std::size_t p = 0; p < a.num_periods(); ++p) {
+    const Period& pa = a.periods()[p];
+    const Period& pb = b.periods()[p];
+    if (pa.executions().size() != pb.executions().size()) return false;
+    if (pa.messages().size() != pb.messages().size()) return false;
+    for (std::size_t i = 0; i < pa.executions().size(); ++i) {
+      const auto& x = pa.executions()[i];
+      const auto& y = pb.executions()[i];
+      if (x.task != y.task || x.start != y.start || x.end != y.end)
+        return false;
+    }
+    for (std::size_t i = 0; i < pa.messages().size(); ++i) {
+      const auto& x = pa.messages()[i];
+      const auto& y = pb.messages()[i];
+      if (x.rise != y.rise || x.fall != y.fall || x.can_id != y.can_id)
+        return false;
+    }
+  }
+  return true;
+}
+
+TEST(Serialize, RoundTripPaperExample) {
+  const Trace t = paper_example_trace();
+  const Trace back = trace_from_string(trace_to_string(t));
+  EXPECT_TRUE(traces_equal(t, back));
+}
+
+class SerializeRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SerializeRoundTrip, RandomSimulatedTraces) {
+  RandomModelParams params;
+  params.num_tasks = 8;
+  params.num_layers = 3;
+  params.seed = GetParam();
+  const SystemModel model = random_model(params);
+  SimConfig cfg;
+  cfg.seed = GetParam() * 31 + 1;
+  const Trace t = simulate_trace(model, 6, cfg);
+  const Trace back = trace_from_string(trace_to_string(t));
+  EXPECT_TRUE(traces_equal(t, back));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializeRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Serialize, CommentsAndBlankLinesIgnored) {
+  const Trace t = paper_example_trace();
+  std::string text = trace_to_string(t);
+  text = "# a comment\n\n" + text + "\n# trailing\n";
+  EXPECT_TRUE(traces_equal(t, trace_from_string(text)));
+}
+
+TEST(Serialize, RejectsMissingHeader) {
+  EXPECT_THROW((void)trace_from_string("tasks a b\nperiod\nend-period\n"),
+               Error);
+}
+
+TEST(Serialize, RejectsUnknownTaskName) {
+  const std::string text =
+      "trace-version 1\ntasks a\nperiod\nstart zz 0\nend zz 5\nend-period\n";
+  EXPECT_THROW((void)trace_from_string(text), Error);
+}
+
+TEST(Serialize, RejectsUnknownKeyword) {
+  const std::string text =
+      "trace-version 1\ntasks a\nperiod\nboom a 0\nend-period\n";
+  EXPECT_THROW((void)trace_from_string(text), Error);
+}
+
+TEST(Serialize, RejectsTruncatedPeriod) {
+  const std::string text =
+      "trace-version 1\ntasks a\nperiod\nstart a 0\nend a 5\n";
+  EXPECT_THROW((void)trace_from_string(text), Error);
+}
+
+TEST(Serialize, RejectsBadTime) {
+  const std::string text =
+      "trace-version 1\ntasks a\nperiod\nstart a x9\nend-period\n";
+  EXPECT_THROW((void)trace_from_string(text), Error);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const Trace t = paper_example_trace();
+  const std::string path = ::testing::TempDir() + "/bbmg_trace_test.txt";
+  save_trace_file(path, t);
+  EXPECT_TRUE(traces_equal(t, load_trace_file(path)));
+  EXPECT_THROW((void)load_trace_file("/nonexistent/dir/x.txt"), Error);
+}
+
+}  // namespace
+}  // namespace bbmg

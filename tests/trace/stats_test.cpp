@@ -1,0 +1,69 @@
+// Trace statistics.
+#include <gtest/gtest.h>
+
+#include "gen/scenarios.hpp"
+#include "trace/stats.hpp"
+
+namespace bbmg {
+namespace {
+
+TEST(TraceStats, PaperTraceNumbers) {
+  const Trace trace = paper_example_trace();
+  const TraceStats stats = compute_stats(trace);
+  ASSERT_EQ(stats.per_task.size(), 4u);
+  // t1 and t4 run in all 3 periods; t2 and t3 in 2 each.
+  EXPECT_EQ(stats.per_task[0].executions, 3u);
+  EXPECT_EQ(stats.per_task[1].executions, 2u);
+  EXPECT_EQ(stats.per_task[2].executions, 2u);
+  EXPECT_EQ(stats.per_task[3].executions, 3u);
+  EXPECT_DOUBLE_EQ(stats.per_task[0].activation_rate, 1.0);
+  EXPECT_NEAR(stats.per_task[1].activation_rate, 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(stats.total_messages, 8u);
+  EXPECT_NEAR(stats.mean_messages_per_period, 8.0 / 3.0, 1e-12);
+  ASSERT_EQ(stats.per_period.size(), 3u);
+  EXPECT_EQ(stats.per_period[0].messages, 2u);
+  EXPECT_EQ(stats.per_period[2].messages, 4u);
+}
+
+TEST(TraceStats, ExecTimesTracked) {
+  Trace t({"a"});
+  t.add_period(Period({{TaskId{0u}, 0, 10}}, {}));
+  t.add_period(Period({{TaskId{0u}, 100, 130}}, {}));
+  const TraceStats stats = compute_stats(t);
+  EXPECT_EQ(stats.per_task[0].min_exec_time, 10u);
+  EXPECT_EQ(stats.per_task[0].max_exec_time, 30u);
+  EXPECT_EQ(stats.per_task[0].mean_exec_time(), 20u);
+  EXPECT_EQ(stats.per_task[0].total_exec_time, 40u);
+}
+
+TEST(TraceStats, MakespanAndBusUtilization) {
+  Trace t({"a", "b"});
+  // Activity spans 0..100; the bus is busy 20 of those.
+  t.add_period(Period({{TaskId{0u}, 0, 40}, {TaskId{1u}, 70, 100}},
+                      {{45, 65, 1}}));
+  const TraceStats stats = compute_stats(t);
+  ASSERT_EQ(stats.per_period.size(), 1u);
+  EXPECT_EQ(stats.per_period[0].makespan, 100u);
+  EXPECT_EQ(stats.per_period[0].bus_busy_time, 20u);
+  EXPECT_EQ(stats.max_makespan, 100u);
+  EXPECT_NEAR(stats.mean_bus_utilization, 0.2, 1e-12);
+}
+
+TEST(TraceStats, EmptyTrace) {
+  const TraceStats stats = compute_stats(Trace({"a"}));
+  EXPECT_EQ(stats.total_messages, 0u);
+  EXPECT_EQ(stats.per_period.size(), 0u);
+  EXPECT_DOUBLE_EQ(stats.per_task[0].activation_rate, 0.0);
+}
+
+TEST(TraceStats, RenderingMentionsTasksAndTotals) {
+  const Trace trace = paper_example_trace();
+  const std::string text =
+      stats_to_string(compute_stats(trace), trace.task_names());
+  EXPECT_NE(text.find("t1"), std::string::npos);
+  EXPECT_NE(text.find("messages: 8"), std::string::npos);
+  EXPECT_NE(text.find("bus utilization"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bbmg
