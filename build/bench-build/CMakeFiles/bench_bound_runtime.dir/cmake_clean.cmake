@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_bound_runtime"
+  "../bench/bench_bound_runtime.pdb"
+  "CMakeFiles/bench_bound_runtime.dir/bench_bound_runtime.cpp.o"
+  "CMakeFiles/bench_bound_runtime.dir/bench_bound_runtime.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bound_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brake_deadline.dir/brake_deadline.cpp.o"
+  "CMakeFiles/brake_deadline.dir/brake_deadline.cpp.o.d"
+  "brake_deadline"
+  "brake_deadline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brake_deadline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gm_case_study.dir/gm_case_study.cpp.o"
+  "CMakeFiles/gm_case_study.dir/gm_case_study.cpp.o.d"
+  "gm_case_study"
+  "gm_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gm_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

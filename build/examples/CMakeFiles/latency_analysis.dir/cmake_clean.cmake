@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_analysis.dir/latency_analysis.cpp.o"
+  "CMakeFiles/latency_analysis.dir/latency_analysis.cpp.o.d"
+  "latency_analysis"
+  "latency_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

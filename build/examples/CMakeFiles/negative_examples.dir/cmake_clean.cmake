@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/negative_examples.dir/negative_examples.cpp.o"
+  "CMakeFiles/negative_examples.dir/negative_examples.cpp.o.d"
+  "negative_examples"
+  "negative_examples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/negative_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

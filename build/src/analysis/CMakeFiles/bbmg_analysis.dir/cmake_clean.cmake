@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbmg_analysis.dir/compare.cpp.o"
+  "CMakeFiles/bbmg_analysis.dir/compare.cpp.o.d"
+  "CMakeFiles/bbmg_analysis.dir/conformance.cpp.o"
+  "CMakeFiles/bbmg_analysis.dir/conformance.cpp.o.d"
+  "CMakeFiles/bbmg_analysis.dir/dependency_graph.cpp.o"
+  "CMakeFiles/bbmg_analysis.dir/dependency_graph.cpp.o.d"
+  "CMakeFiles/bbmg_analysis.dir/latency.cpp.o"
+  "CMakeFiles/bbmg_analysis.dir/latency.cpp.o.d"
+  "libbbmg_analysis.a"
+  "libbbmg_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbmg_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

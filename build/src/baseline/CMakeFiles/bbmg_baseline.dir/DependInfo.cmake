@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/precedence_miner.cpp" "src/baseline/CMakeFiles/bbmg_baseline.dir/precedence_miner.cpp.o" "gcc" "src/baseline/CMakeFiles/bbmg_baseline.dir/precedence_miner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bbmg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/lattice/CMakeFiles/bbmg_lattice.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bbmg_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbmg_baseline.dir/precedence_miner.cpp.o"
+  "CMakeFiles/bbmg_baseline.dir/precedence_miner.cpp.o.d"
+  "libbbmg_baseline.a"
+  "libbbmg_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbmg_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

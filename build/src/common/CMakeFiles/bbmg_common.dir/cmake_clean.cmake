@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbmg_common.dir/rng.cpp.o"
+  "CMakeFiles/bbmg_common.dir/rng.cpp.o.d"
+  "CMakeFiles/bbmg_common.dir/table.cpp.o"
+  "CMakeFiles/bbmg_common.dir/table.cpp.o.d"
+  "CMakeFiles/bbmg_common.dir/text.cpp.o"
+  "CMakeFiles/bbmg_common.dir/text.cpp.o.d"
+  "libbbmg_common.a"
+  "libbbmg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbmg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/candidates.cpp" "src/core/CMakeFiles/bbmg_core.dir/candidates.cpp.o" "gcc" "src/core/CMakeFiles/bbmg_core.dir/candidates.cpp.o.d"
+  "/root/repo/src/core/convergence.cpp" "src/core/CMakeFiles/bbmg_core.dir/convergence.cpp.o" "gcc" "src/core/CMakeFiles/bbmg_core.dir/convergence.cpp.o.d"
+  "/root/repo/src/core/exact_learner.cpp" "src/core/CMakeFiles/bbmg_core.dir/exact_learner.cpp.o" "gcc" "src/core/CMakeFiles/bbmg_core.dir/exact_learner.cpp.o.d"
+  "/root/repo/src/core/heuristic_learner.cpp" "src/core/CMakeFiles/bbmg_core.dir/heuristic_learner.cpp.o" "gcc" "src/core/CMakeFiles/bbmg_core.dir/heuristic_learner.cpp.o.d"
+  "/root/repo/src/core/matching.cpp" "src/core/CMakeFiles/bbmg_core.dir/matching.cpp.o" "gcc" "src/core/CMakeFiles/bbmg_core.dir/matching.cpp.o.d"
+  "/root/repo/src/core/online_learner.cpp" "src/core/CMakeFiles/bbmg_core.dir/online_learner.cpp.o" "gcc" "src/core/CMakeFiles/bbmg_core.dir/online_learner.cpp.o.d"
+  "/root/repo/src/core/post_process.cpp" "src/core/CMakeFiles/bbmg_core.dir/post_process.cpp.o" "gcc" "src/core/CMakeFiles/bbmg_core.dir/post_process.cpp.o.d"
+  "/root/repo/src/core/version_space.cpp" "src/core/CMakeFiles/bbmg_core.dir/version_space.cpp.o" "gcc" "src/core/CMakeFiles/bbmg_core.dir/version_space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bbmg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/lattice/CMakeFiles/bbmg_lattice.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bbmg_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

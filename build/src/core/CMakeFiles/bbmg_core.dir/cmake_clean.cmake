@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbmg_core.dir/candidates.cpp.o"
+  "CMakeFiles/bbmg_core.dir/candidates.cpp.o.d"
+  "CMakeFiles/bbmg_core.dir/convergence.cpp.o"
+  "CMakeFiles/bbmg_core.dir/convergence.cpp.o.d"
+  "CMakeFiles/bbmg_core.dir/exact_learner.cpp.o"
+  "CMakeFiles/bbmg_core.dir/exact_learner.cpp.o.d"
+  "CMakeFiles/bbmg_core.dir/heuristic_learner.cpp.o"
+  "CMakeFiles/bbmg_core.dir/heuristic_learner.cpp.o.d"
+  "CMakeFiles/bbmg_core.dir/matching.cpp.o"
+  "CMakeFiles/bbmg_core.dir/matching.cpp.o.d"
+  "CMakeFiles/bbmg_core.dir/online_learner.cpp.o"
+  "CMakeFiles/bbmg_core.dir/online_learner.cpp.o.d"
+  "CMakeFiles/bbmg_core.dir/post_process.cpp.o"
+  "CMakeFiles/bbmg_core.dir/post_process.cpp.o.d"
+  "CMakeFiles/bbmg_core.dir/version_space.cpp.o"
+  "CMakeFiles/bbmg_core.dir/version_space.cpp.o.d"
+  "libbbmg_core.a"
+  "libbbmg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbmg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/brake_system.cpp" "src/gen/CMakeFiles/bbmg_gen.dir/brake_system.cpp.o" "gcc" "src/gen/CMakeFiles/bbmg_gen.dir/brake_system.cpp.o.d"
+  "/root/repo/src/gen/gm_case_study.cpp" "src/gen/CMakeFiles/bbmg_gen.dir/gm_case_study.cpp.o" "gcc" "src/gen/CMakeFiles/bbmg_gen.dir/gm_case_study.cpp.o.d"
+  "/root/repo/src/gen/random_model.cpp" "src/gen/CMakeFiles/bbmg_gen.dir/random_model.cpp.o" "gcc" "src/gen/CMakeFiles/bbmg_gen.dir/random_model.cpp.o.d"
+  "/root/repo/src/gen/scenarios.cpp" "src/gen/CMakeFiles/bbmg_gen.dir/scenarios.cpp.o" "gcc" "src/gen/CMakeFiles/bbmg_gen.dir/scenarios.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bbmg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/bbmg_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bbmg_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bbmg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lattice/CMakeFiles/bbmg_lattice.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbmg_gen.dir/brake_system.cpp.o"
+  "CMakeFiles/bbmg_gen.dir/brake_system.cpp.o.d"
+  "CMakeFiles/bbmg_gen.dir/gm_case_study.cpp.o"
+  "CMakeFiles/bbmg_gen.dir/gm_case_study.cpp.o.d"
+  "CMakeFiles/bbmg_gen.dir/random_model.cpp.o"
+  "CMakeFiles/bbmg_gen.dir/random_model.cpp.o.d"
+  "CMakeFiles/bbmg_gen.dir/scenarios.cpp.o"
+  "CMakeFiles/bbmg_gen.dir/scenarios.cpp.o.d"
+  "libbbmg_gen.a"
+  "libbbmg_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbmg_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

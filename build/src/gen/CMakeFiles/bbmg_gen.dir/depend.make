@@ -1,0 +1,2 @@
+# Empty dependencies file for bbmg_gen.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lattice/dependency_matrix.cpp" "src/lattice/CMakeFiles/bbmg_lattice.dir/dependency_matrix.cpp.o" "gcc" "src/lattice/CMakeFiles/bbmg_lattice.dir/dependency_matrix.cpp.o.d"
+  "/root/repo/src/lattice/dependency_value.cpp" "src/lattice/CMakeFiles/bbmg_lattice.dir/dependency_value.cpp.o" "gcc" "src/lattice/CMakeFiles/bbmg_lattice.dir/dependency_value.cpp.o.d"
+  "/root/repo/src/lattice/matrix_io.cpp" "src/lattice/CMakeFiles/bbmg_lattice.dir/matrix_io.cpp.o" "gcc" "src/lattice/CMakeFiles/bbmg_lattice.dir/matrix_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bbmg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

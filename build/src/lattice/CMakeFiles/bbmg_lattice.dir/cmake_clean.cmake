@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbmg_lattice.dir/dependency_matrix.cpp.o"
+  "CMakeFiles/bbmg_lattice.dir/dependency_matrix.cpp.o.d"
+  "CMakeFiles/bbmg_lattice.dir/dependency_value.cpp.o"
+  "CMakeFiles/bbmg_lattice.dir/dependency_value.cpp.o.d"
+  "CMakeFiles/bbmg_lattice.dir/matrix_io.cpp.o"
+  "CMakeFiles/bbmg_lattice.dir/matrix_io.cpp.o.d"
+  "libbbmg_lattice.a"
+  "libbbmg_lattice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbmg_lattice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/behavior.cpp" "src/model/CMakeFiles/bbmg_model.dir/behavior.cpp.o" "gcc" "src/model/CMakeFiles/bbmg_model.dir/behavior.cpp.o.d"
+  "/root/repo/src/model/design_truth.cpp" "src/model/CMakeFiles/bbmg_model.dir/design_truth.cpp.o" "gcc" "src/model/CMakeFiles/bbmg_model.dir/design_truth.cpp.o.d"
+  "/root/repo/src/model/system_model.cpp" "src/model/CMakeFiles/bbmg_model.dir/system_model.cpp.o" "gcc" "src/model/CMakeFiles/bbmg_model.dir/system_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bbmg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/lattice/CMakeFiles/bbmg_lattice.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

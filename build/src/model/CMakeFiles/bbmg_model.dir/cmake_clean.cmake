@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbmg_model.dir/behavior.cpp.o"
+  "CMakeFiles/bbmg_model.dir/behavior.cpp.o.d"
+  "CMakeFiles/bbmg_model.dir/design_truth.cpp.o"
+  "CMakeFiles/bbmg_model.dir/design_truth.cpp.o.d"
+  "CMakeFiles/bbmg_model.dir/system_model.cpp.o"
+  "CMakeFiles/bbmg_model.dir/system_model.cpp.o.d"
+  "libbbmg_model.a"
+  "libbbmg_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbmg_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

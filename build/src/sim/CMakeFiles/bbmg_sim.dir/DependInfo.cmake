@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/can_bus.cpp" "src/sim/CMakeFiles/bbmg_sim.dir/can_bus.cpp.o" "gcc" "src/sim/CMakeFiles/bbmg_sim.dir/can_bus.cpp.o.d"
+  "/root/repo/src/sim/ecu.cpp" "src/sim/CMakeFiles/bbmg_sim.dir/ecu.cpp.o" "gcc" "src/sim/CMakeFiles/bbmg_sim.dir/ecu.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/bbmg_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/bbmg_sim.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bbmg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/bbmg_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bbmg_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/lattice/CMakeFiles/bbmg_lattice.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

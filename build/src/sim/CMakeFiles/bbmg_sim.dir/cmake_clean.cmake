@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbmg_sim.dir/can_bus.cpp.o"
+  "CMakeFiles/bbmg_sim.dir/can_bus.cpp.o.d"
+  "CMakeFiles/bbmg_sim.dir/ecu.cpp.o"
+  "CMakeFiles/bbmg_sim.dir/ecu.cpp.o.d"
+  "CMakeFiles/bbmg_sim.dir/simulator.cpp.o"
+  "CMakeFiles/bbmg_sim.dir/simulator.cpp.o.d"
+  "libbbmg_sim.a"
+  "libbbmg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbmg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

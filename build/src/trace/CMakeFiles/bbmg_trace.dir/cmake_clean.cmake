@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbmg_trace.dir/segmentation.cpp.o"
+  "CMakeFiles/bbmg_trace.dir/segmentation.cpp.o.d"
+  "CMakeFiles/bbmg_trace.dir/serialize.cpp.o"
+  "CMakeFiles/bbmg_trace.dir/serialize.cpp.o.d"
+  "CMakeFiles/bbmg_trace.dir/stats.cpp.o"
+  "CMakeFiles/bbmg_trace.dir/stats.cpp.o.d"
+  "CMakeFiles/bbmg_trace.dir/trace.cpp.o"
+  "CMakeFiles/bbmg_trace.dir/trace.cpp.o.d"
+  "libbbmg_trace.a"
+  "libbbmg_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbmg_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbmg_analysis_tests.dir/analysis/compare_test.cpp.o"
+  "CMakeFiles/bbmg_analysis_tests.dir/analysis/compare_test.cpp.o.d"
+  "CMakeFiles/bbmg_analysis_tests.dir/analysis/conformance_property_test.cpp.o"
+  "CMakeFiles/bbmg_analysis_tests.dir/analysis/conformance_property_test.cpp.o.d"
+  "CMakeFiles/bbmg_analysis_tests.dir/analysis/conformance_test.cpp.o"
+  "CMakeFiles/bbmg_analysis_tests.dir/analysis/conformance_test.cpp.o.d"
+  "CMakeFiles/bbmg_analysis_tests.dir/analysis/dependency_graph_test.cpp.o"
+  "CMakeFiles/bbmg_analysis_tests.dir/analysis/dependency_graph_test.cpp.o.d"
+  "CMakeFiles/bbmg_analysis_tests.dir/analysis/latency_test.cpp.o"
+  "CMakeFiles/bbmg_analysis_tests.dir/analysis/latency_test.cpp.o.d"
+  "CMakeFiles/bbmg_analysis_tests.dir/baseline/baseline_test.cpp.o"
+  "CMakeFiles/bbmg_analysis_tests.dir/baseline/baseline_test.cpp.o.d"
+  "CMakeFiles/bbmg_analysis_tests.dir/integration/end_to_end_test.cpp.o"
+  "CMakeFiles/bbmg_analysis_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "bbmg_analysis_tests"
+  "bbmg_analysis_tests.pdb"
+  "bbmg_analysis_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbmg_analysis_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

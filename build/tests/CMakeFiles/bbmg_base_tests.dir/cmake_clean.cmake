@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbmg_base_tests.dir/common/common_test.cpp.o"
+  "CMakeFiles/bbmg_base_tests.dir/common/common_test.cpp.o.d"
+  "CMakeFiles/bbmg_base_tests.dir/lattice/dependency_matrix_test.cpp.o"
+  "CMakeFiles/bbmg_base_tests.dir/lattice/dependency_matrix_test.cpp.o.d"
+  "CMakeFiles/bbmg_base_tests.dir/lattice/dependency_value_test.cpp.o"
+  "CMakeFiles/bbmg_base_tests.dir/lattice/dependency_value_test.cpp.o.d"
+  "CMakeFiles/bbmg_base_tests.dir/lattice/matrix_io_test.cpp.o"
+  "CMakeFiles/bbmg_base_tests.dir/lattice/matrix_io_test.cpp.o.d"
+  "CMakeFiles/bbmg_base_tests.dir/trace/segmentation_test.cpp.o"
+  "CMakeFiles/bbmg_base_tests.dir/trace/segmentation_test.cpp.o.d"
+  "CMakeFiles/bbmg_base_tests.dir/trace/serialize_test.cpp.o"
+  "CMakeFiles/bbmg_base_tests.dir/trace/serialize_test.cpp.o.d"
+  "CMakeFiles/bbmg_base_tests.dir/trace/stats_test.cpp.o"
+  "CMakeFiles/bbmg_base_tests.dir/trace/stats_test.cpp.o.d"
+  "CMakeFiles/bbmg_base_tests.dir/trace/trace_test.cpp.o"
+  "CMakeFiles/bbmg_base_tests.dir/trace/trace_test.cpp.o.d"
+  "bbmg_base_tests"
+  "bbmg_base_tests.pdb"
+  "bbmg_base_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbmg_base_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

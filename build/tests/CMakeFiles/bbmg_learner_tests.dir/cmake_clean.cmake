@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbmg_learner_tests.dir/learner/candidates_test.cpp.o"
+  "CMakeFiles/bbmg_learner_tests.dir/learner/candidates_test.cpp.o.d"
+  "CMakeFiles/bbmg_learner_tests.dir/learner/convergence_test.cpp.o"
+  "CMakeFiles/bbmg_learner_tests.dir/learner/convergence_test.cpp.o.d"
+  "CMakeFiles/bbmg_learner_tests.dir/learner/exact_learner_test.cpp.o"
+  "CMakeFiles/bbmg_learner_tests.dir/learner/exact_learner_test.cpp.o.d"
+  "CMakeFiles/bbmg_learner_tests.dir/learner/heuristic_test.cpp.o"
+  "CMakeFiles/bbmg_learner_tests.dir/learner/heuristic_test.cpp.o.d"
+  "CMakeFiles/bbmg_learner_tests.dir/learner/matching_test.cpp.o"
+  "CMakeFiles/bbmg_learner_tests.dir/learner/matching_test.cpp.o.d"
+  "CMakeFiles/bbmg_learner_tests.dir/learner/online_learner_test.cpp.o"
+  "CMakeFiles/bbmg_learner_tests.dir/learner/online_learner_test.cpp.o.d"
+  "CMakeFiles/bbmg_learner_tests.dir/learner/post_process_test.cpp.o"
+  "CMakeFiles/bbmg_learner_tests.dir/learner/post_process_test.cpp.o.d"
+  "CMakeFiles/bbmg_learner_tests.dir/learner/theorem_properties_test.cpp.o"
+  "CMakeFiles/bbmg_learner_tests.dir/learner/theorem_properties_test.cpp.o.d"
+  "CMakeFiles/bbmg_learner_tests.dir/learner/version_space_test.cpp.o"
+  "CMakeFiles/bbmg_learner_tests.dir/learner/version_space_test.cpp.o.d"
+  "CMakeFiles/bbmg_learner_tests.dir/learner/worked_example_test.cpp.o"
+  "CMakeFiles/bbmg_learner_tests.dir/learner/worked_example_test.cpp.o.d"
+  "bbmg_learner_tests"
+  "bbmg_learner_tests.pdb"
+  "bbmg_learner_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbmg_learner_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

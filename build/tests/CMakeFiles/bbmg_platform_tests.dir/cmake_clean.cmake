@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbmg_platform_tests.dir/gen/brake_system_test.cpp.o"
+  "CMakeFiles/bbmg_platform_tests.dir/gen/brake_system_test.cpp.o.d"
+  "CMakeFiles/bbmg_platform_tests.dir/gen/gen_test.cpp.o"
+  "CMakeFiles/bbmg_platform_tests.dir/gen/gen_test.cpp.o.d"
+  "CMakeFiles/bbmg_platform_tests.dir/model/behavior_test.cpp.o"
+  "CMakeFiles/bbmg_platform_tests.dir/model/behavior_test.cpp.o.d"
+  "CMakeFiles/bbmg_platform_tests.dir/model/system_model_test.cpp.o"
+  "CMakeFiles/bbmg_platform_tests.dir/model/system_model_test.cpp.o.d"
+  "CMakeFiles/bbmg_platform_tests.dir/sim/can_bus_test.cpp.o"
+  "CMakeFiles/bbmg_platform_tests.dir/sim/can_bus_test.cpp.o.d"
+  "CMakeFiles/bbmg_platform_tests.dir/sim/ecu_test.cpp.o"
+  "CMakeFiles/bbmg_platform_tests.dir/sim/ecu_test.cpp.o.d"
+  "CMakeFiles/bbmg_platform_tests.dir/sim/sim_extensions_test.cpp.o"
+  "CMakeFiles/bbmg_platform_tests.dir/sim/sim_extensions_test.cpp.o.d"
+  "CMakeFiles/bbmg_platform_tests.dir/sim/simulator_test.cpp.o"
+  "CMakeFiles/bbmg_platform_tests.dir/sim/simulator_test.cpp.o.d"
+  "bbmg_platform_tests"
+  "bbmg_platform_tests.pdb"
+  "bbmg_platform_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbmg_platform_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
