@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_robustness.cpp" "bench-build/CMakeFiles/bench_robustness.dir/bench_robustness.cpp.o" "gcc" "bench-build/CMakeFiles/bench_robustness.dir/bench_robustness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bbmg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/bbmg_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/bbmg_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/bbmg_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/robust/CMakeFiles/bbmg_robust.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bbmg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/bbmg_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/lattice/CMakeFiles/bbmg_lattice.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bbmg_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bbmg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

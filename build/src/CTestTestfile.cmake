@@ -11,5 +11,6 @@ subdirs("model")
 subdirs("sim")
 subdirs("core")
 subdirs("analysis")
+subdirs("robust")
 subdirs("baseline")
 subdirs("gen")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/robust/fault_injector.cpp" "src/robust/CMakeFiles/bbmg_robust.dir/fault_injector.cpp.o" "gcc" "src/robust/CMakeFiles/bbmg_robust.dir/fault_injector.cpp.o.d"
+  "/root/repo/src/robust/lenient_loader.cpp" "src/robust/CMakeFiles/bbmg_robust.dir/lenient_loader.cpp.o" "gcc" "src/robust/CMakeFiles/bbmg_robust.dir/lenient_loader.cpp.o.d"
+  "/root/repo/src/robust/monitor.cpp" "src/robust/CMakeFiles/bbmg_robust.dir/monitor.cpp.o" "gcc" "src/robust/CMakeFiles/bbmg_robust.dir/monitor.cpp.o.d"
+  "/root/repo/src/robust/robust_online_learner.cpp" "src/robust/CMakeFiles/bbmg_robust.dir/robust_online_learner.cpp.o" "gcc" "src/robust/CMakeFiles/bbmg_robust.dir/robust_online_learner.cpp.o.d"
+  "/root/repo/src/robust/sanitizer.cpp" "src/robust/CMakeFiles/bbmg_robust.dir/sanitizer.cpp.o" "gcc" "src/robust/CMakeFiles/bbmg_robust.dir/sanitizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bbmg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bbmg_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/bbmg_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bbmg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/bbmg_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/lattice/CMakeFiles/bbmg_lattice.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bbmg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

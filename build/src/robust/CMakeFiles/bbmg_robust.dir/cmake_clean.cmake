@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbmg_robust.dir/fault_injector.cpp.o"
+  "CMakeFiles/bbmg_robust.dir/fault_injector.cpp.o.d"
+  "CMakeFiles/bbmg_robust.dir/lenient_loader.cpp.o"
+  "CMakeFiles/bbmg_robust.dir/lenient_loader.cpp.o.d"
+  "CMakeFiles/bbmg_robust.dir/monitor.cpp.o"
+  "CMakeFiles/bbmg_robust.dir/monitor.cpp.o.d"
+  "CMakeFiles/bbmg_robust.dir/robust_online_learner.cpp.o"
+  "CMakeFiles/bbmg_robust.dir/robust_online_learner.cpp.o.d"
+  "CMakeFiles/bbmg_robust.dir/sanitizer.cpp.o"
+  "CMakeFiles/bbmg_robust.dir/sanitizer.cpp.o.d"
+  "libbbmg_robust.a"
+  "libbbmg_robust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbmg_robust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/lattice/dependency_matrix_test.cpp" "tests/CMakeFiles/bbmg_base_tests.dir/lattice/dependency_matrix_test.cpp.o" "gcc" "tests/CMakeFiles/bbmg_base_tests.dir/lattice/dependency_matrix_test.cpp.o.d"
   "/root/repo/tests/lattice/dependency_value_test.cpp" "tests/CMakeFiles/bbmg_base_tests.dir/lattice/dependency_value_test.cpp.o" "gcc" "tests/CMakeFiles/bbmg_base_tests.dir/lattice/dependency_value_test.cpp.o.d"
   "/root/repo/tests/lattice/matrix_io_test.cpp" "tests/CMakeFiles/bbmg_base_tests.dir/lattice/matrix_io_test.cpp.o" "gcc" "tests/CMakeFiles/bbmg_base_tests.dir/lattice/matrix_io_test.cpp.o.d"
+  "/root/repo/tests/trace/malformed_corpus_test.cpp" "tests/CMakeFiles/bbmg_base_tests.dir/trace/malformed_corpus_test.cpp.o" "gcc" "tests/CMakeFiles/bbmg_base_tests.dir/trace/malformed_corpus_test.cpp.o.d"
   "/root/repo/tests/trace/segmentation_test.cpp" "tests/CMakeFiles/bbmg_base_tests.dir/trace/segmentation_test.cpp.o" "gcc" "tests/CMakeFiles/bbmg_base_tests.dir/trace/segmentation_test.cpp.o.d"
   "/root/repo/tests/trace/serialize_test.cpp" "tests/CMakeFiles/bbmg_base_tests.dir/trace/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/bbmg_base_tests.dir/trace/serialize_test.cpp.o.d"
   "/root/repo/tests/trace/stats_test.cpp" "tests/CMakeFiles/bbmg_base_tests.dir/trace/stats_test.cpp.o" "gcc" "tests/CMakeFiles/bbmg_base_tests.dir/trace/stats_test.cpp.o.d"
@@ -24,6 +25,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/gen/CMakeFiles/bbmg_gen.dir/DependInfo.cmake"
   "/root/repo/build/src/analysis/CMakeFiles/bbmg_analysis.dir/DependInfo.cmake"
   "/root/repo/build/src/baseline/CMakeFiles/bbmg_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/robust/CMakeFiles/bbmg_robust.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/bbmg_sim.dir/DependInfo.cmake"
   "/root/repo/build/src/model/CMakeFiles/bbmg_model.dir/DependInfo.cmake"
   "/root/repo/build/src/lattice/CMakeFiles/bbmg_lattice.dir/DependInfo.cmake"

@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/bbmg_base_tests.dir/lattice/dependency_value_test.cpp.o.d"
   "CMakeFiles/bbmg_base_tests.dir/lattice/matrix_io_test.cpp.o"
   "CMakeFiles/bbmg_base_tests.dir/lattice/matrix_io_test.cpp.o.d"
+  "CMakeFiles/bbmg_base_tests.dir/trace/malformed_corpus_test.cpp.o"
+  "CMakeFiles/bbmg_base_tests.dir/trace/malformed_corpus_test.cpp.o.d"
   "CMakeFiles/bbmg_base_tests.dir/trace/segmentation_test.cpp.o"
   "CMakeFiles/bbmg_base_tests.dir/trace/segmentation_test.cpp.o.d"
   "CMakeFiles/bbmg_base_tests.dir/trace/serialize_test.cpp.o"

@@ -26,6 +26,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/gen/CMakeFiles/bbmg_gen.dir/DependInfo.cmake"
   "/root/repo/build/src/analysis/CMakeFiles/bbmg_analysis.dir/DependInfo.cmake"
   "/root/repo/build/src/baseline/CMakeFiles/bbmg_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/robust/CMakeFiles/bbmg_robust.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/bbmg_sim.dir/DependInfo.cmake"
   "/root/repo/build/src/model/CMakeFiles/bbmg_model.dir/DependInfo.cmake"
   "/root/repo/build/src/lattice/CMakeFiles/bbmg_lattice.dir/DependInfo.cmake"

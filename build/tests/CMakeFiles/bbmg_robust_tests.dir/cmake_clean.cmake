@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbmg_robust_tests.dir/robust/fault_injection_property_test.cpp.o"
+  "CMakeFiles/bbmg_robust_tests.dir/robust/fault_injection_property_test.cpp.o.d"
+  "CMakeFiles/bbmg_robust_tests.dir/robust/lenient_loader_test.cpp.o"
+  "CMakeFiles/bbmg_robust_tests.dir/robust/lenient_loader_test.cpp.o.d"
+  "CMakeFiles/bbmg_robust_tests.dir/robust/sanitizer_test.cpp.o"
+  "CMakeFiles/bbmg_robust_tests.dir/robust/sanitizer_test.cpp.o.d"
+  "bbmg_robust_tests"
+  "bbmg_robust_tests.pdb"
+  "bbmg_robust_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbmg_robust_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -8,3 +8,4 @@ include("/root/repo/build/tests/bbmg_base_tests[1]_include.cmake")
 include("/root/repo/build/tests/bbmg_platform_tests[1]_include.cmake")
 include("/root/repo/build/tests/bbmg_learner_tests[1]_include.cmake")
 include("/root/repo/build/tests/bbmg_analysis_tests[1]_include.cmake")
+include("/root/repo/build/tests/bbmg_robust_tests[1]_include.cmake")

@@ -1,26 +1,36 @@
-// Live monitoring with the streaming learner and conformance checker:
+// Live monitoring on a *noisy* logging chain: the streaming learner and the
+// conformance checker, both behind the fault-tolerant ingestion layer
+// (src/robust) — no phase dies on a dirty capture, it degrades and reports.
 //
-//   phase 1 — learn: feed the OnlineLearner period by period until the
-//             hypothesis set is stable for a few periods;
-//   phase 2 — monitor: check further periods of the healthy system
-//             against the learned model (no violations expected);
-//   phase 3 — fault injection: rewire the system (task I's output is
-//             silently disconnected, as if a component were replaced by a
-//             misbehaving variant) and show that the monitor flags the
-//             very first periods in which the regression manifests.
+//   phase 1 — learn: raw periods (corrupted at ~3% by a seeded fault
+//             injector, standing in for a flaky logging device) stream
+//             through RobustOnlineLearner until the model is stable;
+//             the health summary accounts for every quarantined period;
+//   phase 2 — monitor: noisy captures of the healthy system are checked
+//             leniently against the learned model (no violations expected,
+//             skipped periods are reported as reduced coverage);
+//   phase 3 — fault injection at the *system* level: task I's activation is
+//             silently disconnected (a misbehaving component variant); the
+//             monitor must flag the regression even through logging noise.
 //
 //   $ ./examples/live_monitor [seed]
 #include <cstdio>
 #include <cstdlib>
 
-#include "analysis/conformance.hpp"
-#include "core/online_learner.hpp"
 #include "gen/gm_case_study.hpp"
+#include "robust/fault_injector.hpp"
+#include "robust/monitor.hpp"
+#include "robust/robust_online_learner.hpp"
 #include "sim/simulator.hpp"
 
 using namespace bbmg;
 
 namespace {
+
+/// Logging noise for all three phases: ~0.2% of events dropped, duplicated,
+/// reordered, perturbed or id-corrupted — a flaky logging device, not a
+/// broken one.
+constexpr double kLogNoise = 0.002;
 
 /// The faulty variant: D silently stops triggering I (as if a component
 /// update dropped the message), so I — and with it one of N's activators —
@@ -53,44 +63,46 @@ int main(int argc, char** argv) {
   cfg.seed = seed;
   const Trace training = simulate_trace(good, 40, cfg);
 
-  // Phase 1: stream periods into the learner; stop once the summary has
-  // been stable for 5 consecutive periods.
-  OnlineConfig oc;
-  oc.bound = 16;
-  OnlineLearner learner(training.num_tasks(), oc);
-  DependencyMatrix last(training.num_tasks());
-  std::size_t stable = 0;
-  std::size_t used_periods = 0;
-  for (const auto& period : training.periods()) {
-    learner.observe_period(period);
-    ++used_periods;
-    const DependencyMatrix current = learner.snapshot().lub();
-    stable = (current == last) ? stable + 1 : 0;
-    last = current;
-    if (stable >= 5 && used_periods >= 10) break;
-  }
-  std::printf("phase 1: model stable after %zu periods "
-              "(%zu hypotheses, weight %llu)\n",
-              used_periods, learner.hypotheses().size(),
-              static_cast<unsigned long long>(last.weight()));
+  // Phase 1: stream *corrupted* raw periods into the degradation-aware
+  // learner.  The whole capture is consumed — a version-space model only
+  // stops overclaiming once it has seen every execution pattern, and
+  // skipping tail periods is exactly how a monitor ends up crying wolf.
+  FaultInjector noise(FaultSpec::uniform(kLogNoise, seed + 10));
+  const InjectionResult raw_training = noise.corrupt(training);
 
-  // Phase 2: the healthy system keeps conforming.
+  RobustConfig rc;
+  rc.online.bound = 16;
+  RobustOnlineLearner learner(training.task_names(), rc);
+  for (const auto& events : raw_training.periods) {
+    (void)learner.observe_raw_period(events);
+  }
+  const DependencyMatrix last = learner.snapshot().lub();
+  std::printf("phase 1: model learned from %zu raw periods "
+              "(%zu hypotheses, weight %llu)\n",
+              learner.periods_seen(), learner.learner().hypotheses().size(),
+              static_cast<unsigned long long>(last.weight()));
+  std::printf("phase 1: %s\n", learner.health_summary().c_str());
+
+  // Phase 2: noisy captures of the healthy system keep conforming.
   SimConfig healthy_cfg;
   healthy_cfg.seed = seed + 1;
   const Trace healthy = simulate_trace(good, 15, healthy_cfg);
-  const ConformanceReport ok = check_conformance(last, healthy);
-  std::printf("phase 2: %zu healthy periods checked, %zu violations\n",
-              ok.periods_checked, ok.violations.size());
+  FaultInjector noise2(FaultSpec::uniform(kLogNoise, seed + 11));
+  const RobustConformanceReport ok = check_conformance_lenient(
+      last, healthy.task_names(), noise2.corrupt(healthy).periods, rc);
+  std::printf("phase 2: %s\n", ok.summary().c_str());
 
-  // Phase 3: the faulty variant is deployed.
+  // Phase 3: the faulty variant is deployed; its regression must shine
+  // through the same logging noise.
   SimConfig faulty_cfg;
   faulty_cfg.seed = seed + 2;
   const Trace faulty = simulate_trace(faulty_variant(), 15, faulty_cfg);
-  const ConformanceReport alarm = check_conformance(last, faulty);
-  std::printf("phase 3: %zu faulty periods checked, %zu violations\n",
-              alarm.periods_checked, alarm.violations.size());
+  FaultInjector noise3(FaultSpec::uniform(kLogNoise, seed + 12));
+  const RobustConformanceReport alarm = check_conformance_lenient(
+      last, faulty.task_names(), noise3.corrupt(faulty).periods, rc);
+  std::printf("phase 3: %s\n", alarm.summary().c_str());
   std::size_t shown = 0;
-  for (const auto& v : alarm.violations) {
+  for (const auto& v : alarm.report.violations) {
     if (++shown > 6) {
       std::printf("  ...\n");
       break;
@@ -102,6 +114,6 @@ int main(int argc, char** argv) {
               alarm.conforms()
                   ? "fault NOT detected (unexpected)"
                   : "fault detected — the learned model caught the "
-                    "mis-integration");
+                    "mis-integration through the noise");
   return alarm.conforms() ? 1 : 0;
 }

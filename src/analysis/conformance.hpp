@@ -44,6 +44,11 @@ struct ConformanceViolation {
 struct ConformanceReport {
   std::vector<ConformanceViolation> violations;
   std::size_t periods_checked{0};
+  /// Periods the caller could not check because ingestion quarantined them
+  /// (set by the robustness layer's lenient monitor, src/robust).  A report
+  /// with skipped periods still "conforms" — but the caller should surface
+  /// the reduced coverage, as live_monitor does.
+  std::size_t periods_skipped{0};
   [[nodiscard]] bool conforms() const { return violations.empty(); }
 };
 

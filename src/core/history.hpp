@@ -37,6 +37,25 @@ class CoExecutionHistory {
     }
   }
 
+  /// Fold one *untrusted* (quarantined) period into the history.
+  /// `observed` flags tasks with surviving evidence of execution — under
+  /// the robustness layer's fault model this is a subset of the tasks that
+  /// truly ran (corruption can hide events but never invents executions of
+  /// a task with none).  Conservatively, any task may have run, so for
+  /// every unobserved b the pair (a,b) may have been a period where a ran
+  /// without b; the claim "a always determines/depends on b" must not be
+  /// (re)asserted afterwards.  Over-marking only weakens future
+  /// generalizations (monotone up the lattice), never unsoundly
+  /// strengthens them.
+  void record_untrusted_period(const std::vector<bool>& observed) {
+    for (std::size_t b = 0; b < n_; ++b) {
+      if (b < observed.size() && observed[b]) continue;
+      for (std::size_t a = 0; a < n_; ++a) {
+        if (a != b) ran_without_[a * n_ + b] = 1;
+      }
+    }
+  }
+
  private:
   std::size_t n_;
   std::vector<char> ran_without_;

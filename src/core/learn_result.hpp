@@ -23,6 +23,10 @@ struct LearnStats {
   std::uint64_t unexplained_messages{0};
   /// Hypothesis-set size after post-processing of each period.
   std::vector<std::size_t> frontier_after_period;
+  /// Streaming only: periods handed to observe_quarantined_period (corrupt
+  /// input skipped by the robustness layer; not counted in
+  /// periods_processed).
+  std::uint64_t quarantined_periods{0};
   double wall_seconds{0.0};
 };
 

@@ -123,6 +123,16 @@ void OnlineLearner::observe_period(const Period& period) {
   history_.record_period(pc);
 }
 
+void OnlineLearner::observe_quarantined_period(
+    const std::vector<bool>& observed) {
+  BBMG_REQUIRE(observed.size() == num_tasks_,
+               "observed-task mask must have one entry per task");
+  history_.record_untrusted_period(observed);
+  for (auto& h : frontier_) weaken_possibly_unmet_requirements(h, observed);
+  remove_duplicates_and_redundant(frontier_);
+  ++stats_.quarantined_periods;
+}
+
 LearnResult OnlineLearner::snapshot() const {
   LearnResult result;
   result.stats = stats_;

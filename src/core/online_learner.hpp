@@ -32,6 +32,17 @@ class OnlineLearner {
   /// over the period's candidate sets, then period-end post-processing.
   void observe_period(const Period& period);
 
+  /// Degradation hook for corrupt input (src/robust): a period arrived but
+  /// its events could not be trusted, so no generalization is performed.
+  /// `observed` flags tasks with surviving execution evidence (a subset of
+  /// the tasks that truly ran under the sanitizer's fault model).  Every
+  /// requirement claim d(a,b) whose b is unobserved is weakened to its
+  /// conditional form, and the co-execution history is poisoned the same
+  /// way so a claim raised by a *later* message stays conditional too —
+  /// this is what keeps the learned model from asserting a dependency the
+  /// skipped (clean) period would refute.
+  void observe_quarantined_period(const std::vector<bool>& observed);
+
   /// The current hypothesis set (post-processed, weight-ascending).
   [[nodiscard]] const std::vector<Hypothesis>& hypotheses() const {
     return frontier_;

@@ -22,6 +22,21 @@ void weaken_unmet_requirements(Hypothesis& h, const PeriodCandidates& pc) {
   }
 }
 
+void weaken_possibly_unmet_requirements(Hypothesis& h,
+                                        const std::vector<bool>& observed) {
+  const std::size_t n = h.d.num_tasks();
+  for (std::size_t b = 0; b < n; ++b) {
+    if (b < observed.size() && observed[b]) continue;
+    for (std::size_t a = 0; a < n; ++a) {
+      if (a == b) continue;
+      DepValue v = h.d.at(a, b);
+      if (dep_requires_forward(v)) v = dep_weaken_forward_requirement(v);
+      if (dep_requires_backward(v)) v = dep_weaken_backward_requirement(v);
+      if (v != h.d.at(a, b)) h.d.set(a, b, v);
+    }
+  }
+}
+
 void remove_duplicates_and_redundant(std::vector<Hypothesis>& frontier) {
   // Unify equal matrices (assumptions are expected to be cleared already,
   // but equality on Hypothesis covers both fields, so this is safe either

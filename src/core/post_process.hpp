@@ -24,6 +24,16 @@ namespace bbmg {
 /// Step 1 for a single hypothesis; uses (and does not clear) h.used.
 void weaken_unmet_requirements(Hypothesis& h, const PeriodCandidates& pc);
 
+/// Conservative variant of step 1 for a period whose events could not be
+/// trusted (quarantined by the robustness layer).  `observed` flags tasks
+/// with surviving execution evidence; for every unobserved b the period
+/// *may* have refuted any "... always determines/depends on b" claim (the
+/// row task may have run while b did not), so all requirement claims in
+/// column b are weakened to their conditional forms.  Pure generalization —
+/// matching of previously matched periods is preserved.
+void weaken_possibly_unmet_requirements(Hypothesis& h,
+                                        const std::vector<bool>& observed);
+
 /// Steps 1-4 applied to a whole frontier, in place.  The surviving
 /// hypotheses have empty assumption sets.
 void post_process_period(std::vector<Hypothesis>& frontier,

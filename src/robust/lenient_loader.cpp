@@ -1,0 +1,182 @@
+#include "robust/lenient_loader.hpp"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "common/text.hpp"
+
+namespace bbmg {
+
+std::string IngestReport::summary() const {
+  std::ostringstream oss;
+  oss << kept_periods.size() << "/" << periods_seen << " periods ingested";
+  if (!quarantined_periods.empty()) {
+    oss << " (" << quarantined_periods.size() << " quarantined)";
+  }
+  oss << ", " << repairs << (repairs == 1 ? " repair" : " repairs");
+  oss << ", " << diagnostics.size()
+      << (diagnostics.size() == 1 ? " bad line" : " bad lines");
+  return oss.str();
+}
+
+IngestReport read_trace_lenient(std::istream& is,
+                                const SanitizeConfig& config) {
+  IngestReport rep;
+  std::string line;
+  std::size_t line_no = 0;
+
+  auto next_meaningful = [&](std::vector<std::string>& toks) -> bool {
+    while (std::getline(is, line)) {
+      ++line_no;
+      const auto trimmed = trim(line);
+      if (trimmed.empty() || trimmed.front() == '#') continue;
+      toks = split_ws(trimmed);
+      return true;
+    }
+    return false;
+  };
+  auto diag = [&](std::string message) {
+    rep.diagnostics.push_back(LineDiagnostic{line_no, std::move(message)});
+  };
+
+  // The two header lines are the one thing we cannot recover from: without
+  // the task set, no event line can be interpreted.
+  std::vector<std::string> toks;
+  if (!next_meaningful(toks) || toks.size() != 2 ||
+      toks[0] != "trace-version" || toks[1] != "1") {
+    diag("missing 'trace-version 1' header");
+    rep.lines_seen = line_no;
+    return rep;
+  }
+  if (!next_meaningful(toks) || toks.size() < 2 || toks[0] != "tasks") {
+    diag("expected 'tasks <name>...' header");
+    rep.lines_seen = line_no;
+    return rep;
+  }
+  const std::vector<std::string> names(toks.begin() + 1, toks.end());
+  rep.header_ok = true;
+
+  auto task_id = [&](const std::string& name) -> std::optional<TaskId> {
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == name) return TaskId{i};
+    }
+    return std::nullopt;
+  };
+  auto parse_time_opt = [&](const std::string& tok) -> std::optional<TimeNs> {
+    std::uint64_t v = 0;
+    if (!parse_u64(tok, v)) return std::nullopt;
+    return v;
+  };
+
+  // Collect raw periods, skipping unparseable lines; structural damage
+  // (nested period, truncated file) closes the current raw period and lets
+  // the sanitizer judge it.
+  std::vector<std::vector<Event>> raw;
+  std::vector<Event> current;
+  current.reserve(64);
+  bool in_period = false;
+  while (next_meaningful(toks)) {
+    const std::string& kw = toks[0];
+    if (kw == "period") {
+      if (in_period) {
+        diag("nested 'period' (previous period closed implicitly)");
+        raw.push_back(std::move(current));
+        current.clear();
+        current.reserve(64);
+      }
+      in_period = true;
+    } else if (kw == "end-period") {
+      if (!in_period) {
+        diag("'end-period' without 'period'");
+        continue;
+      }
+      raw.push_back(std::move(current));
+      current.clear();
+      current.reserve(64);
+      in_period = false;
+    } else if (kw == "start" || kw == "end") {
+      if (!in_period) {
+        diag("task event outside a period");
+        continue;
+      }
+      if (toks.size() != 3) {
+        diag("bad task event");
+        continue;
+      }
+      const auto t = task_id(toks[1]);
+      if (!t) {
+        diag("unknown task '" + toks[1] + "'");
+        continue;
+      }
+      const auto time = parse_time_opt(toks[2]);
+      if (!time) {
+        diag("bad time '" + toks[2] + "'");
+        continue;
+      }
+      current.push_back(kw == "start" ? Event::task_start(*time, *t)
+                                      : Event::task_end(*time, *t));
+    } else if (kw == "rise" || kw == "fall") {
+      if (!in_period) {
+        diag("message event outside a period");
+        continue;
+      }
+      if (toks.size() != 3) {
+        diag("bad message event");
+        continue;
+      }
+      std::uint64_t can_id = 0;
+      if (!parse_u64(toks[1], can_id)) {
+        diag("bad can id '" + toks[1] + "'");
+        continue;
+      }
+      const auto time = parse_time_opt(toks[2]);
+      if (!time) {
+        diag("bad time '" + toks[2] + "'");
+        continue;
+      }
+      current.push_back(kw == "rise"
+                            ? Event::msg_rise(*time, static_cast<CanId>(can_id))
+                            : Event::msg_fall(*time,
+                                              static_cast<CanId>(can_id)));
+    } else {
+      diag("unknown keyword '" + kw + "'");
+    }
+  }
+  if (in_period) {
+    diag("trace ended inside a period (truncated file)");
+    raw.push_back(std::move(current));
+  }
+  rep.lines_seen = line_no;
+  rep.periods_seen = raw.size();
+
+  const TraceSanitizer sanitizer(names, config);
+  SanitizeResult sr = sanitizer.sanitize(raw);
+  rep.trace = std::move(sr.trace);
+  rep.kept_periods = std::move(sr.kept);
+  rep.quarantined_periods = std::move(sr.quarantined);
+  rep.quarantined_observed = std::move(sr.quarantined_observed);
+  rep.defects = std::move(sr.defects);
+  rep.repairs = sr.repairs;
+  return rep;
+}
+
+IngestReport ingest_trace_string(const std::string& text,
+                                 const SanitizeConfig& config) {
+  std::istringstream iss(text);
+  return read_trace_lenient(iss, config);
+}
+
+IngestReport load_trace_file_lenient(const std::string& path,
+                                     const SanitizeConfig& config) {
+  std::ifstream ifs(path);
+  if (!ifs.good()) {
+    IngestReport rep;
+    rep.diagnostics.push_back(
+        LineDiagnostic{0, "cannot open trace file: " + path});
+    return rep;
+  }
+  return read_trace_lenient(ifs, config);
+}
+
+}  // namespace bbmg

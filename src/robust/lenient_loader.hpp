@@ -1,0 +1,64 @@
+// Fault-tolerant trace ingestion, loader front end: parse the line-based
+// trace text format (trace/serialize.hpp) without dying on the first fault.
+// Where the strict reader throws bbmg::Error at the first malformed line,
+// read_trace_lenient records a line-level diagnostic, skips the line, and
+// keeps going; the assembled raw periods then flow through TraceSanitizer,
+// which repairs or quarantines them per the configured policy.  The result
+// is an IngestReport: the surviving trace plus everything a production
+// ingest pipeline needs to account for what was lost.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "robust/sanitizer.hpp"
+
+namespace bbmg {
+
+struct LineDiagnostic {
+  std::size_t line_no{0};
+  std::string message;
+};
+
+struct IngestReport {
+  /// The surviving trace (clean + repaired periods).
+  Trace trace;
+  /// False iff the version/tasks header was unusable (nothing ingested).
+  bool header_ok{false};
+  /// Line-level parse faults (skipped lines), in file order.
+  std::vector<LineDiagnostic> diagnostics;
+  /// Event-level sanitizer findings across all periods.
+  std::vector<Defect> defects;
+  /// Raw-stream period indices kept / quarantined (kept is parallel to
+  /// trace.periods()); quarantined_observed holds the observed-task masks
+  /// of the quarantined periods.
+  std::vector<std::size_t> kept_periods;
+  std::vector<std::size_t> quarantined_periods;
+  std::vector<std::vector<bool>> quarantined_observed;
+  std::size_t periods_seen{0};
+  std::size_t lines_seen{0};
+  std::size_t repairs{0};
+
+  [[nodiscard]] bool clean() const {
+    return header_ok && diagnostics.empty() && defects.empty();
+  }
+  [[nodiscard]] double quarantine_rate() const {
+    return periods_seen == 0
+               ? 0.0
+               : static_cast<double>(quarantined_periods.size()) /
+                     static_cast<double>(periods_seen);
+  }
+  /// One-line account, e.g.
+  /// "25/27 periods ingested (2 quarantined), 3 repairs, 1 bad line".
+  [[nodiscard]] std::string summary() const;
+};
+
+[[nodiscard]] IngestReport read_trace_lenient(std::istream& is,
+                                              const SanitizeConfig& config = {});
+[[nodiscard]] IngestReport ingest_trace_string(const std::string& text,
+                                               const SanitizeConfig& config = {});
+[[nodiscard]] IngestReport load_trace_file_lenient(
+    const std::string& path, const SanitizeConfig& config = {});
+
+}  // namespace bbmg

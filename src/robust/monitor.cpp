@@ -1,0 +1,55 @@
+#include "robust/monitor.hpp"
+
+#include <sstream>
+
+namespace bbmg {
+
+std::string RobustConformanceReport::summary() const {
+  std::ostringstream oss;
+  oss << report.periods_checked << " periods checked, "
+      << report.violations.size()
+      << (report.violations.size() == 1 ? " violation" : " violations");
+  if (report.periods_skipped > 0) {
+    oss << ", " << report.periods_skipped << " skipped (quarantined)";
+  }
+  if (repairs > 0) oss << ", " << repairs << " repairs";
+  oss << "; ingest health: " << health_state_name(health);
+  return oss.str();
+}
+
+RobustConformanceReport check_conformance_lenient(
+    const DependencyMatrix& model,
+    const std::vector<std::string>& task_names,
+    const std::vector<std::vector<Event>>& raw_periods,
+    const RobustConfig& config) {
+  RobustConformanceReport out;
+  const TraceSanitizer sanitizer(task_names, config.sanitize);
+  const SanitizeResult sr = sanitizer.sanitize(raw_periods);
+  out.repairs = sr.repairs;
+  out.defects = sr.defects;
+
+  const std::size_t num_tasks = task_names.size();
+  for (std::size_t i = 0; i < sr.trace.num_periods(); ++i) {
+    // Report violations under the period's *raw stream* index so an
+    // operator can line the alarm up with the device log.
+    check_period_conformance(model, sr.trace.periods()[i], num_tasks,
+                             sr.kept[i], out.report.violations);
+    ++out.report.periods_checked;
+  }
+  out.report.periods_skipped = sr.quarantined.size();
+
+  const std::size_t seen = sr.periods_seen();
+  const double rate = sr.quarantine_rate();
+  if (seen >= config.min_periods_for_health &&
+      rate >= config.failed_threshold) {
+    out.health = HealthState::Failed;
+  } else if (seen >= config.min_periods_for_health &&
+             rate >= config.degraded_threshold) {
+    out.health = HealthState::Degraded;
+  } else {
+    out.health = HealthState::OK;
+  }
+  return out;
+}
+
+}  // namespace bbmg

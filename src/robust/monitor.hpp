@@ -1,0 +1,39 @@
+// Degradation-aware conformance monitoring: check a raw (possibly corrupt)
+// period stream against a learned model without dying on dirty input.
+// Sanitized periods are checked normally; quarantined periods are skipped
+// and accounted as reduced coverage (ConformanceReport::periods_skipped),
+// and the stream's ingest health is reported alongside the verdict — a
+// FAILED stream means "no violations" is vacuous, not reassuring.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/conformance.hpp"
+#include "robust/robust_online_learner.hpp"
+#include "robust/sanitizer.hpp"
+
+namespace bbmg {
+
+struct RobustConformanceReport {
+  ConformanceReport report;  // periods_skipped = quarantined count
+  std::size_t repairs{0};
+  std::vector<Defect> defects;
+  HealthState health{HealthState::OK};
+  [[nodiscard]] bool conforms() const { return report.conforms(); }
+  /// One-line account, e.g.
+  /// "14/15 periods conform, 1 skipped (quarantined); ingest health: OK".
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Sanitize `raw_periods` with `config.sanitize` and check every surviving
+/// period against `model`.  Quarantined periods are skipped, counted in
+/// report.periods_skipped, and folded into the health verdict via
+/// `config`'s quarantine-rate thresholds.
+[[nodiscard]] RobustConformanceReport check_conformance_lenient(
+    const DependencyMatrix& model,
+    const std::vector<std::string>& task_names,
+    const std::vector<std::vector<Event>>& raw_periods,
+    const RobustConfig& config = {});
+
+}  // namespace bbmg

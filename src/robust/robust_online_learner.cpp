@@ -1,0 +1,81 @@
+#include "robust/robust_online_learner.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace bbmg {
+
+std::string_view health_state_name(HealthState s) {
+  switch (s) {
+    case HealthState::OK:
+      return "OK";
+    case HealthState::Degraded:
+      return "DEGRADED";
+    case HealthState::Failed:
+      return "FAILED";
+  }
+  return "?";
+}
+
+RobustOnlineLearner::RobustOnlineLearner(std::vector<std::string> task_names,
+                                         RobustConfig config)
+    : config_(config),
+      sanitizer_(std::move(task_names), config.sanitize),
+      learner_(sanitizer_.task_names().size(), config.online) {
+  BBMG_REQUIRE(config_.degraded_threshold <= config_.failed_threshold,
+               "degraded threshold must not exceed failed threshold");
+}
+
+bool RobustOnlineLearner::observe_raw_period(const std::vector<Event>& events) {
+  SanitizedPeriod sp = sanitizer_.sanitize_period(events, seen_);
+  ++seen_;
+  repairs_ += sp.repairs;
+  defects_.insert(defects_.end(), sp.defects.begin(), sp.defects.end());
+  if (!sp.quarantined()) {
+    try {
+      learner_.observe_period(*sp.period);
+      return true;
+    } catch (const Error&) {
+      // A repaired period the learner still chokes on: degrade, don't die.
+      defects_.push_back(
+          Defect{DefectKind::ResidualViolation, seen_ - 1, 0, false});
+    }
+  }
+  ++quarantined_;
+  learner_.observe_quarantined_period(sp.observed_tasks);
+  return false;
+}
+
+void RobustOnlineLearner::observe_clean_period(const Period& period) {
+  ++seen_;
+  learner_.observe_period(period);
+}
+
+double RobustOnlineLearner::quarantine_rate() const {
+  return seen_ == 0 ? 0.0
+                    : static_cast<double>(quarantined_) /
+                          static_cast<double>(seen_);
+}
+
+HealthState RobustOnlineLearner::health() const {
+  if (seen_ < config_.min_periods_for_health) return HealthState::OK;
+  const double rate = quarantine_rate();
+  if (rate >= config_.failed_threshold) return HealthState::Failed;
+  if (rate >= config_.degraded_threshold) return HealthState::Degraded;
+  return HealthState::OK;
+}
+
+std::string RobustOnlineLearner::health_summary() const {
+  char buf[192];
+  const double learned_pct =
+      seen_ == 0 ? 100.0 : 100.0 * (1.0 - quarantine_rate());
+  std::snprintf(buf, sizeof(buf),
+                "model learned from %.1f%% of periods, %.1f%% quarantined "
+                "(%zu of %zu periods, %zu repairs; health: %s)",
+                learned_pct, 100.0 * quarantine_rate(), quarantined_, seen_,
+                repairs_, std::string(health_state_name(health())).c_str());
+  return buf;
+}
+
+}  // namespace bbmg

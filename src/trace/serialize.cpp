@@ -70,13 +70,21 @@ Trace read_trace(std::istream& is) {
     return false;
   };
 
+  // Every diagnostic below carries the line it points at; line_no is kept
+  // current by next_meaningful, so it is correct even inside the lazily
+  // evaluated BBMG_REQUIRE messages (the first line of an empty stream
+  // reports as line 1).
+  auto at_line = [&]() {
+    return " at line " + std::to_string(line_no == 0 ? 1 : line_no);
+  };
+
   std::vector<std::string> toks;
   BBMG_REQUIRE(next_meaningful(toks) && toks.size() == 2 &&
                    toks[0] == "trace-version" && toks[1] == "1",
-               "trace must start with 'trace-version 1'");
+               "trace must start with 'trace-version 1'" + at_line());
 
   BBMG_REQUIRE(next_meaningful(toks) && toks.size() >= 2 && toks[0] == "tasks",
-               "expected 'tasks <name>...' header");
+               "expected 'tasks <name>...' header" + at_line());
   std::vector<std::string> names(toks.begin() + 1, toks.end());
 
   TraceBuilder builder(names);
@@ -89,42 +97,58 @@ Trace read_trace(std::istream& is) {
           ": unknown task '" + name + "'");
   };
 
+  // Builder invariant violations (duplicate starts, orphan edges, ...) are
+  // detected inside TraceBuilder, which knows nothing about lines; re-raise
+  // them with the offending line attached so every parse diagnostic is
+  // uniformly line-addressed.
+  auto with_line = [&](auto&& fn) {
+    try {
+      fn();
+    } catch (const Error& e) {
+      raise(std::string(e.what()) + at_line());
+    }
+  };
+
   bool in_period = false;
   while (next_meaningful(toks)) {
     const std::string& kw = toks[0];
     if (kw == "period") {
-      BBMG_REQUIRE(!in_period, "nested 'period' at line " + std::to_string(line_no));
-      builder.begin_period();
+      BBMG_REQUIRE(!in_period, "nested 'period'" + at_line());
+      with_line([&] { builder.begin_period(); });
       in_period = true;
     } else if (kw == "end-period") {
-      BBMG_REQUIRE(in_period,
-                   "'end-period' without 'period' at line " + std::to_string(line_no));
-      builder.end_period();
+      BBMG_REQUIRE(in_period, "'end-period' without 'period'" + at_line());
+      with_line([&] { builder.end_period(); });
       in_period = false;
     } else if (kw == "start" || kw == "end") {
       BBMG_REQUIRE(in_period && toks.size() == 3,
-                   "bad task event at line " + std::to_string(line_no));
+                   "bad task event" + at_line());
       const TaskId t = task_id(toks[1]);
       const TimeNs time = parse_time(toks[2], line_no);
-      builder.add_event(kw == "start" ? Event::task_start(time, t)
-                                      : Event::task_end(time, t));
+      with_line([&] {
+        builder.add_event(kw == "start" ? Event::task_start(time, t)
+                                        : Event::task_end(time, t));
+      });
     } else if (kw == "rise" || kw == "fall") {
       BBMG_REQUIRE(in_period && toks.size() == 3,
-                   "bad message event at line " + std::to_string(line_no));
+                   "bad message event" + at_line());
       std::uint64_t can_id = 0;
-      BBMG_REQUIRE(parse_u64(toks[1], can_id),
-                   "bad can id at line " + std::to_string(line_no));
+      BBMG_REQUIRE(parse_u64(toks[1], can_id), "bad can id" + at_line());
       const TimeNs time = parse_time(toks[2], line_no);
-      builder.add_event(kw == "rise"
-                            ? Event::msg_rise(time, static_cast<CanId>(can_id))
-                            : Event::msg_fall(time, static_cast<CanId>(can_id)));
+      with_line([&] {
+        builder.add_event(kw == "rise"
+                              ? Event::msg_rise(time, static_cast<CanId>(can_id))
+                              : Event::msg_fall(time, static_cast<CanId>(can_id)));
+      });
     } else {
       raise("trace parse error at line " + std::to_string(line_no) +
             ": unknown keyword '" + kw + "'");
     }
   }
-  BBMG_REQUIRE(!in_period, "trace ended inside a period");
-  return builder.take();
+  BBMG_REQUIRE(!in_period, "trace ended inside a period" + at_line());
+  Trace result;
+  with_line([&] { result = builder.take(); });
+  return result;
 }
 
 Trace trace_from_string(const std::string& text) {

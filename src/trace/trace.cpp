@@ -172,6 +172,14 @@ void TraceBuilder::end_period() {
   in_period_ = false;
 }
 
+void TraceBuilder::reset() {
+  in_period_ = false;
+  executions_.clear();
+  messages_.clear();
+  std::fill(open_start_.begin(), open_start_.end(), std::nullopt);
+  open_msg_.reset();
+}
+
 Trace TraceBuilder::take() {
   BBMG_REQUIRE(!in_period_, "take() with an open period");
   validate_trace(trace_);

@@ -112,6 +112,12 @@ class TraceBuilder {
   /// task starts or unmatched message rises.
   void end_period();
 
+  /// Abandon the partially-built period (if any) after a throw from
+  /// add_event/end_period left the builder mid-period.  Completed periods
+  /// and the task set are untouched; the caller can continue with
+  /// begin_period for the next period (the lenient loader's recovery path).
+  void reset();
+
   /// Finish: returns the trace (validates it first).
   [[nodiscard]] Trace take();
 

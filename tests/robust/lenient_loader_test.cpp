@@ -1,0 +1,160 @@
+// Lenient loader: a clean file ingests bit-identically to the strict
+// reader; a damaged file yields line-level diagnostics and a surviving
+// trace instead of an exception.
+#include <gtest/gtest.h>
+
+#include "gen/random_model.hpp"
+#include "robust/lenient_loader.hpp"
+#include "sim/simulator.hpp"
+#include "trace/serialize.hpp"
+
+namespace bbmg {
+namespace {
+
+bool traces_equal(const Trace& a, const Trace& b) {
+  if (a.task_names() != b.task_names()) return false;
+  if (a.num_periods() != b.num_periods()) return false;
+  for (std::size_t p = 0; p < a.num_periods(); ++p) {
+    const Period& pa = a.periods()[p];
+    const Period& pb = b.periods()[p];
+    if (pa.executions().size() != pb.executions().size()) return false;
+    if (pa.messages().size() != pb.messages().size()) return false;
+    for (std::size_t i = 0; i < pa.executions().size(); ++i) {
+      const auto& x = pa.executions()[i];
+      const auto& y = pb.executions()[i];
+      if (x.task != y.task || x.start != y.start || x.end != y.end)
+        return false;
+    }
+    for (std::size_t i = 0; i < pa.messages().size(); ++i) {
+      const auto& x = pa.messages()[i];
+      const auto& y = pb.messages()[i];
+      if (x.rise != y.rise || x.fall != y.fall || x.can_id != y.can_id)
+        return false;
+    }
+  }
+  return true;
+}
+
+Trace simulated_trace(std::uint64_t seed) {
+  RandomModelParams params;
+  params.num_tasks = 8;
+  params.num_layers = 3;
+  params.seed = seed;
+  SimConfig cfg;
+  cfg.seed = seed * 31 + 1;
+  return simulate_trace(random_model(params), 6, cfg);
+}
+
+TEST(LenientLoader, CleanTraceMatchesStrictReader) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const Trace t = simulated_trace(seed);
+    const std::string text = trace_to_string(t);
+    const Trace strict = trace_from_string(text);
+    const IngestReport rep = ingest_trace_string(text);
+    EXPECT_TRUE(rep.clean());
+    EXPECT_TRUE(rep.header_ok);
+    EXPECT_EQ(rep.periods_seen, t.num_periods());
+    EXPECT_EQ(rep.kept_periods.size(), t.num_periods());
+    EXPECT_TRUE(rep.quarantined_periods.empty());
+    EXPECT_TRUE(traces_equal(strict, rep.trace));
+  }
+}
+
+TEST(LenientLoader, BadLinesAreSkippedWithDiagnostics) {
+  const std::string text =
+      "trace-version 1\n"   // 1
+      "tasks a b\n"         // 2
+      "period\n"            // 3
+      "start a 0\n"         // 4
+      "boom a 0\n"          // 5: unknown keyword
+      "end a x9\n"          // 6: bad time
+      "end a 1000\n"        // 7
+      "start zz 1100\n"     // 8: unknown task
+      "end-period\n";       // 9
+  const IngestReport rep = ingest_trace_string(text);
+  EXPECT_TRUE(rep.header_ok);
+  ASSERT_EQ(rep.diagnostics.size(), 3u);
+  EXPECT_EQ(rep.diagnostics[0].line_no, 5u);
+  EXPECT_NE(rep.diagnostics[0].message.find("boom"), std::string::npos);
+  EXPECT_EQ(rep.diagnostics[1].line_no, 6u);
+  EXPECT_EQ(rep.diagnostics[2].line_no, 8u);
+  EXPECT_NE(rep.diagnostics[2].message.find("zz"), std::string::npos);
+  // The period survives: task a's execution was intact.
+  EXPECT_EQ(rep.trace.num_periods(), 1u);
+  EXPECT_EQ(rep.trace.periods()[0].executions().size(), 1u);
+}
+
+TEST(LenientLoader, UnusableVersionHeaderAbortsIngestion) {
+  const IngestReport rep = ingest_trace_string("garbage\n");
+  EXPECT_FALSE(rep.header_ok);
+  ASSERT_EQ(rep.diagnostics.size(), 1u);
+  EXPECT_NE(rep.diagnostics[0].message.find("trace-version"),
+            std::string::npos);
+  EXPECT_EQ(rep.trace.num_periods(), 0u);
+  EXPECT_FALSE(rep.clean());
+}
+
+TEST(LenientLoader, MissingTasksHeaderAbortsIngestion) {
+  const IngestReport rep = ingest_trace_string("trace-version 1\nperiod\n");
+  EXPECT_FALSE(rep.header_ok);
+  ASSERT_EQ(rep.diagnostics.size(), 1u);
+  EXPECT_NE(rep.diagnostics[0].message.find("tasks"), std::string::npos);
+}
+
+TEST(LenientLoader, EventOutsidePeriodIsDiagnosed) {
+  const std::string text =
+      "trace-version 1\n"
+      "tasks a\n"
+      "start a 0\n"  // line 3: no 'period' opened
+      "period\nstart a 0\nend a 10\nend-period\n";
+  const IngestReport rep = ingest_trace_string(text);
+  ASSERT_EQ(rep.diagnostics.size(), 1u);
+  EXPECT_EQ(rep.diagnostics[0].line_no, 3u);
+  EXPECT_EQ(rep.trace.num_periods(), 1u);
+}
+
+TEST(LenientLoader, QuarantineFlowsThroughFromSanitizer) {
+  const std::string text =
+      "trace-version 1\n"
+      "tasks a b\n"
+      "period\nstart a 0\nend a 10\nend-period\n"
+      "period\nend b 5\nend-period\n";  // orphan end: quarantined
+  const IngestReport rep = ingest_trace_string(text);
+  EXPECT_TRUE(rep.diagnostics.empty());  // every line parsed fine
+  EXPECT_EQ(rep.periods_seen, 2u);
+  EXPECT_EQ(rep.kept_periods, (std::vector<std::size_t>{0}));
+  EXPECT_EQ(rep.quarantined_periods, (std::vector<std::size_t>{1}));
+  ASSERT_EQ(rep.quarantined_observed.size(), 1u);
+  EXPECT_FALSE(rep.quarantined_observed[0][0]);
+  EXPECT_TRUE(rep.quarantined_observed[0][1]);
+  EXPECT_NEAR(rep.quarantine_rate(), 0.5, 1e-12);
+  EXPECT_FALSE(rep.clean());
+}
+
+TEST(LenientLoader, SummaryMentionsTheAccounting) {
+  const Trace t = simulated_trace(4);
+  const IngestReport rep = ingest_trace_string(trace_to_string(t));
+  const std::string s = rep.summary();
+  EXPECT_NE(s.find("periods ingested"), std::string::npos);
+  EXPECT_NE(s.find("0 bad lines"), std::string::npos);
+}
+
+TEST(LenientLoader, MissingFileReportsInsteadOfThrowing) {
+  const IngestReport rep =
+      load_trace_file_lenient("/nonexistent/dir/trace.txt");
+  EXPECT_FALSE(rep.header_ok);
+  ASSERT_EQ(rep.diagnostics.size(), 1u);
+  EXPECT_EQ(rep.diagnostics[0].line_no, 0u);
+}
+
+TEST(LenientLoader, FileRoundTrip) {
+  const Trace t = simulated_trace(5);
+  const std::string path = ::testing::TempDir() + "/bbmg_lenient_test.txt";
+  save_trace_file(path, t);
+  const IngestReport rep = load_trace_file_lenient(path);
+  EXPECT_TRUE(rep.clean());
+  EXPECT_TRUE(traces_equal(t, rep.trace));
+}
+
+}  // namespace
+}  // namespace bbmg

@@ -1,0 +1,277 @@
+// TraceSanitizer unit tests: one test per defect kind, across the three
+// policies (Strict throws, Repair fixes what is safely fixable, Quarantine
+// drops the period on any defect).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "gen/random_model.hpp"
+#include "robust/sanitizer.hpp"
+#include "sim/simulator.hpp"
+
+namespace bbmg {
+namespace {
+
+std::vector<std::string> two_tasks() { return {"a", "b"}; }
+
+// start a, end a, one message, start b, end b — valid under every policy.
+std::vector<Event> clean_events() {
+  return {Event::task_start(0, TaskId{0u}),  Event::task_end(1000, TaskId{0u}),
+          Event::msg_rise(1100, 5),         Event::msg_fall(1200, 5),
+          Event::task_start(1300, TaskId{1u}), Event::task_end(2000, TaskId{1u})};
+}
+
+SanitizeConfig with_policy(SanitizePolicy p) {
+  SanitizeConfig cfg;
+  cfg.policy = p;
+  return cfg;
+}
+
+bool has_defect(const std::vector<Defect>& ds, DefectKind k) {
+  for (const auto& d : ds) {
+    if (d.kind == k) return true;
+  }
+  return false;
+}
+
+TEST(Sanitizer, CleanPeriodPassesUntouchedUnderEveryPolicy) {
+  for (const auto policy : {SanitizePolicy::Strict, SanitizePolicy::Repair,
+                            SanitizePolicy::Quarantine}) {
+    const TraceSanitizer s(two_tasks(), with_policy(policy));
+    const SanitizedPeriod sp = s.sanitize_period(clean_events());
+    ASSERT_FALSE(sp.quarantined());
+    EXPECT_TRUE(sp.defects.empty());
+    EXPECT_EQ(sp.repairs, 0u);
+    EXPECT_EQ(sp.period->executions().size(), 2u);
+    EXPECT_EQ(sp.period->messages().size(), 1u);
+    EXPECT_TRUE(sp.observed_tasks[0]);
+    EXPECT_TRUE(sp.observed_tasks[1]);
+  }
+}
+
+TEST(Sanitizer, OutOfOrderWithinToleranceIsClamped) {
+  // The message rise jumps 10ns backwards — logger jitter, clamped.
+  std::vector<Event> evs = clean_events();
+  evs[2].time = 990;
+  const TraceSanitizer repair(two_tasks(), with_policy(SanitizePolicy::Repair));
+  const SanitizedPeriod sp = repair.sanitize_period(evs);
+  ASSERT_FALSE(sp.quarantined());
+  EXPECT_EQ(sp.repairs, 1u);
+  EXPECT_TRUE(has_defect(sp.defects, DefectKind::OutOfOrderTimestamp));
+  ASSERT_EQ(sp.period->messages().size(), 1u);
+  EXPECT_EQ(sp.period->messages()[0].rise, 1000u);  // clamped to running max
+
+  const TraceSanitizer strict(two_tasks(), with_policy(SanitizePolicy::Strict));
+  EXPECT_THROW((void)strict.sanitize_period(evs), Error);
+
+  const TraceSanitizer quar(two_tasks(),
+                            with_policy(SanitizePolicy::Quarantine));
+  EXPECT_TRUE(quar.sanitize_period(evs).quarantined());
+}
+
+TEST(Sanitizer, ClockSkewBeyondToleranceQuarantines) {
+  SanitizeConfig cfg;  // default tolerance: 50us
+  std::vector<Event> evs = {
+      Event::task_start(0, TaskId{0u}),
+      Event::task_end(100'000, TaskId{0u}),
+      Event::msg_rise(40'000, 5),  // 60us backwards: not jitter
+      Event::msg_fall(110'000, 5),
+      Event::task_start(120'000, TaskId{1u}),
+      Event::task_end(130'000, TaskId{1u}),
+  };
+  const TraceSanitizer s(two_tasks(), cfg);
+  const SanitizedPeriod sp = s.sanitize_period(evs);
+  EXPECT_TRUE(sp.quarantined());
+  EXPECT_TRUE(has_defect(sp.defects, DefectKind::ClockSkewExceeded));
+  // Execution evidence survives quarantine: both tasks were observed.
+  EXPECT_TRUE(sp.observed_tasks[0]);
+  EXPECT_TRUE(sp.observed_tasks[1]);
+
+  cfg.policy = SanitizePolicy::Strict;
+  EXPECT_THROW((void)TraceSanitizer(two_tasks(), cfg).sanitize_period(evs),
+               Error);
+}
+
+TEST(Sanitizer, DuplicateTaskStartDropped) {
+  const std::vector<Event> evs = {
+      Event::task_start(0, TaskId{0u}), Event::task_start(10, TaskId{0u}),
+      Event::task_end(1000, TaskId{0u})};
+  const TraceSanitizer s(two_tasks(), with_policy(SanitizePolicy::Repair));
+  const SanitizedPeriod sp = s.sanitize_period(evs);
+  ASSERT_FALSE(sp.quarantined());
+  EXPECT_TRUE(has_defect(sp.defects, DefectKind::DuplicateTaskStart));
+  ASSERT_EQ(sp.period->executions().size(), 1u);
+  EXPECT_EQ(sp.period->executions()[0].start, 0u);  // earliest start kept
+}
+
+TEST(Sanitizer, DuplicateTaskEndDropped) {
+  const std::vector<Event> evs = {
+      Event::task_start(0, TaskId{0u}), Event::task_end(1000, TaskId{0u}),
+      Event::task_end(1100, TaskId{0u})};
+  const TraceSanitizer s(two_tasks(), with_policy(SanitizePolicy::Repair));
+  const SanitizedPeriod sp = s.sanitize_period(evs);
+  ASSERT_FALSE(sp.quarantined());
+  EXPECT_TRUE(has_defect(sp.defects, DefectKind::DuplicateTaskEnd));
+  ASSERT_EQ(sp.period->executions().size(), 1u);
+  EXPECT_EQ(sp.period->executions()[0].end, 1000u);
+}
+
+TEST(Sanitizer, RepeatedExecutionQuarantines) {
+  // A second full execution of the same task: we cannot tell which is
+  // real, and inventing one would fabricate evidence.
+  const std::vector<Event> evs = {
+      Event::task_start(0, TaskId{0u}), Event::task_end(1000, TaskId{0u}),
+      Event::task_start(1100, TaskId{0u}), Event::task_end(1200, TaskId{0u})};
+  const TraceSanitizer s(two_tasks(), with_policy(SanitizePolicy::Repair));
+  const SanitizedPeriod sp = s.sanitize_period(evs);
+  EXPECT_TRUE(sp.quarantined());
+  EXPECT_TRUE(has_defect(sp.defects, DefectKind::RepeatedExecution));
+}
+
+TEST(Sanitizer, OrphanTaskStartQuarantines) {
+  const std::vector<Event> evs = {
+      Event::task_start(0, TaskId{0u}), Event::task_end(1000, TaskId{0u}),
+      Event::task_start(1100, TaskId{1u})};  // end lost to truncation
+  const TraceSanitizer s(two_tasks(), with_policy(SanitizePolicy::Repair));
+  const SanitizedPeriod sp = s.sanitize_period(evs);
+  EXPECT_TRUE(sp.quarantined());
+  EXPECT_TRUE(has_defect(sp.defects, DefectKind::OrphanTaskStart));
+  EXPECT_TRUE(sp.observed_tasks[1]);  // b's evidence still counts
+}
+
+TEST(Sanitizer, OrphanTaskEndQuarantines) {
+  const std::vector<Event> evs = {
+      Event::task_start(0, TaskId{0u}), Event::task_end(1000, TaskId{0u}),
+      Event::task_end(1100, TaskId{1u})};  // start was dropped
+  const TraceSanitizer s(two_tasks(), with_policy(SanitizePolicy::Repair));
+  const SanitizedPeriod sp = s.sanitize_period(evs);
+  EXPECT_TRUE(sp.quarantined());
+  EXPECT_TRUE(has_defect(sp.defects, DefectKind::OrphanTaskEnd));
+}
+
+TEST(Sanitizer, OrphanMessageRiseDiscarded) {
+  std::vector<Event> evs = clean_events();
+  evs.erase(evs.begin() + 3);  // drop the fall: rise never completes
+  const TraceSanitizer s(two_tasks(), with_policy(SanitizePolicy::Repair));
+  const SanitizedPeriod sp = s.sanitize_period(evs);
+  ASSERT_FALSE(sp.quarantined());
+  EXPECT_TRUE(has_defect(sp.defects, DefectKind::OrphanMsgRise));
+  EXPECT_TRUE(sp.period->messages().empty());
+  EXPECT_EQ(sp.period->executions().size(), 2u);
+}
+
+TEST(Sanitizer, OrphanMessageFallDiscarded) {
+  std::vector<Event> evs = clean_events();
+  evs.erase(evs.begin() + 2);  // drop the rise
+  const TraceSanitizer s(two_tasks(), with_policy(SanitizePolicy::Repair));
+  const SanitizedPeriod sp = s.sanitize_period(evs);
+  ASSERT_FALSE(sp.quarantined());
+  EXPECT_TRUE(has_defect(sp.defects, DefectKind::OrphanMsgFall));
+  EXPECT_TRUE(sp.period->messages().empty());
+}
+
+TEST(Sanitizer, MessageIdMismatchDiscardsBothEdges) {
+  std::vector<Event> evs = clean_events();
+  evs[3].can_id = 6;  // fall id != rise id
+  const TraceSanitizer s(two_tasks(), with_policy(SanitizePolicy::Repair));
+  const SanitizedPeriod sp = s.sanitize_period(evs);
+  ASSERT_FALSE(sp.quarantined());
+  EXPECT_TRUE(has_defect(sp.defects, DefectKind::MsgIdMismatch));
+  EXPECT_TRUE(sp.period->messages().empty());
+}
+
+TEST(Sanitizer, EmptyPeriodQuarantines) {
+  const TraceSanitizer s(two_tasks(), with_policy(SanitizePolicy::Repair));
+  const SanitizedPeriod none = s.sanitize_period({});
+  EXPECT_TRUE(none.quarantined());
+  EXPECT_TRUE(has_defect(none.defects, DefectKind::EmptyPeriod));
+
+  // Messages alone do not make a period.
+  const SanitizedPeriod msgs_only = s.sanitize_period(
+      {Event::msg_rise(0, 5), Event::msg_fall(10, 5)});
+  EXPECT_TRUE(msgs_only.quarantined());
+}
+
+TEST(Sanitizer, PeriodOverrunQuarantines) {
+  SanitizeConfig cfg;
+  cfg.period_length = 1000;
+  std::vector<Event> evs = clean_events();  // spans 0..2000
+  const TraceSanitizer s(two_tasks(), cfg);
+  const SanitizedPeriod sp = s.sanitize_period(evs);
+  EXPECT_TRUE(sp.quarantined());
+  EXPECT_TRUE(has_defect(sp.defects, DefectKind::PeriodOverrun));
+}
+
+TEST(Sanitizer, UnknownTaskIndexQuarantines) {
+  const std::vector<Event> evs = {
+      Event::task_start(0, TaskId{0u}), Event::task_end(1000, TaskId{0u}),
+      Event::task_start(1100, TaskId{7u}), Event::task_end(1200, TaskId{7u})};
+  const TraceSanitizer s(two_tasks(), with_policy(SanitizePolicy::Repair));
+  const SanitizedPeriod sp = s.sanitize_period(evs);
+  EXPECT_TRUE(sp.quarantined());
+  EXPECT_TRUE(has_defect(sp.defects, DefectKind::UnknownTask));
+}
+
+TEST(Sanitizer, QuarantinePolicyRepairsNothing) {
+  std::vector<Event> evs = clean_events();
+  evs[2].time = 990;  // a single repairable defect
+  const TraceSanitizer s(two_tasks(),
+                         with_policy(SanitizePolicy::Quarantine));
+  const SanitizedPeriod sp = s.sanitize_period(evs);
+  EXPECT_TRUE(sp.quarantined());
+  EXPECT_EQ(sp.repairs, 0u);
+}
+
+TEST(Sanitizer, StreamKeepsCleanAndRepairedQuarantinesCorrupt) {
+  std::vector<std::vector<Event>> raw;
+  raw.push_back(clean_events());
+  std::vector<Event> repairable = clean_events();
+  repairable[2].time = 990;
+  raw.push_back(repairable);
+  raw.push_back({Event::task_end(0, TaskId{0u})});  // orphan end: fatal
+
+  const TraceSanitizer s(two_tasks(), with_policy(SanitizePolicy::Repair));
+  const SanitizeResult res = s.sanitize(raw);
+  EXPECT_EQ(res.trace.num_periods(), 2u);
+  EXPECT_EQ(res.kept, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(res.quarantined, (std::vector<std::size_t>{2}));
+  ASSERT_EQ(res.quarantined_observed.size(), 1u);
+  EXPECT_TRUE(res.quarantined_observed[0][0]);
+  EXPECT_FALSE(res.quarantined_observed[0][1]);
+  EXPECT_EQ(res.repairs, 1u);
+  EXPECT_EQ(res.periods_seen(), 3u);
+  EXPECT_NEAR(res.quarantine_rate(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Sanitizer, StrictStreamThrowsOnFirstDefect) {
+  std::vector<std::vector<Event>> raw;
+  raw.push_back(clean_events());
+  raw.push_back({Event::task_end(0, TaskId{0u})});
+  const TraceSanitizer s(two_tasks(), with_policy(SanitizePolicy::Strict));
+  EXPECT_THROW((void)s.sanitize(raw), Error);
+}
+
+TEST(Sanitizer, SimulatedTraceRoundTripsCleanly) {
+  RandomModelParams params;
+  params.num_tasks = 8;
+  params.num_layers = 3;
+  params.seed = 11;
+  SimConfig cfg;
+  cfg.seed = 23;
+  const Trace t = simulate_trace(random_model(params), 6, cfg);
+  const TraceSanitizer s(t.task_names(), with_policy(SanitizePolicy::Repair));
+  const SanitizeResult res = s.sanitize(to_raw_periods(t));
+  EXPECT_TRUE(res.defects.empty());
+  EXPECT_TRUE(res.quarantined.empty());
+  EXPECT_EQ(res.trace.num_periods(), t.num_periods());
+  EXPECT_EQ(res.trace.total_messages(), t.total_messages());
+  EXPECT_EQ(res.trace.total_executions(), t.total_executions());
+}
+
+TEST(Sanitizer, DefectAndPolicyNamesAreStable) {
+  EXPECT_EQ(sanitize_policy_name(SanitizePolicy::Repair), "repair");
+  EXPECT_EQ(defect_kind_name(DefectKind::ClockSkewExceeded),
+            "clock skew beyond tolerance");
+}
+
+}  // namespace
+}  // namespace bbmg

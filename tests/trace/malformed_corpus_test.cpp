@@ -1,0 +1,162 @@
+// A corpus of malformed trace files, each exercised through both loaders:
+// the strict reader must throw with a line-addressed diagnostic, the
+// lenient loader must survive, report, and keep whatever is salvageable.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "common/error.hpp"
+#include "robust/lenient_loader.hpp"
+#include "trace/serialize.hpp"
+
+namespace bbmg {
+namespace {
+
+// EOF inside a period; the events themselves are complete.
+constexpr const char* kTruncatedFile =
+    "trace-version 1\n"  // 1
+    "tasks a b\n"        // 2
+    "period\n"           // 3
+    "start a 0\n"        // 4
+    "end a 1000\n";      // 5
+
+// A second 'period' before the first one closed.
+constexpr const char* kNestedPeriod =
+    "trace-version 1\n"  // 1
+    "tasks a b\n"        // 2
+    "period\n"           // 3
+    "start a 0\n"        // 4
+    "end a 1000\n"       // 5
+    "period\n"           // 6
+    "start b 1100\n"     // 7
+    "end b 2000\n"       // 8
+    "end-period\n";      // 9
+
+// A falling edge whose rise was never logged.
+constexpr const char* kOrphanFallingEdge =
+    "trace-version 1\n"  // 1
+    "tasks a\n"          // 2
+    "period\n"           // 3
+    "start a 0\n"        // 4
+    "end a 1000\n"       // 5
+    "fall 5 1500\n"      // 6
+    "end-period\n";      // 7
+
+// The same start stated twice.
+constexpr const char* kDuplicateTaskStart =
+    "trace-version 1\n"  // 1
+    "tasks a\n"          // 2
+    "period\n"           // 3
+    "start a 0\n"        // 4
+    "start a 10\n"       // 5
+    "end a 1000\n"       // 6
+    "end-period\n";      // 7
+
+// The task's end precedes its start.
+constexpr const char* kNonMonotoneTimestamps =
+    "trace-version 1\n"  // 1
+    "tasks a\n"          // 2
+    "period\n"           // 3
+    "start a 1000\n"     // 4
+    "end a 500\n"        // 5
+    "end-period\n";      // 6
+
+std::string strict_error(const char* text) {
+  try {
+    (void)trace_from_string(text);
+  } catch (const Error& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(MalformedCorpus, StrictRejectsTruncatedFileWithLine) {
+  const std::string msg = strict_error(kTruncatedFile);
+  EXPECT_NE(msg.find("inside a period"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("line 5"), std::string::npos) << msg;
+}
+
+TEST(MalformedCorpus, StrictRejectsNestedPeriodWithLine) {
+  const std::string msg = strict_error(kNestedPeriod);
+  EXPECT_NE(msg.find("nested"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("line 6"), std::string::npos) << msg;
+}
+
+TEST(MalformedCorpus, StrictRejectsOrphanFallingEdgeWithLine) {
+  const std::string msg = strict_error(kOrphanFallingEdge);
+  EXPECT_NE(msg.find("fall without rise"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("line 6"), std::string::npos) << msg;
+}
+
+TEST(MalformedCorpus, StrictRejectsDuplicateTaskStartWithLine) {
+  const std::string msg = strict_error(kDuplicateTaskStart);
+  EXPECT_NE(msg.find("started twice"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("line 5"), std::string::npos) << msg;
+}
+
+TEST(MalformedCorpus, StrictRejectsNonMonotoneTimestampsWithLine) {
+  const std::string msg = strict_error(kNonMonotoneTimestamps);
+  EXPECT_FALSE(msg.empty());
+  EXPECT_NE(msg.find("line"), std::string::npos) << msg;
+}
+
+TEST(MalformedCorpus, LenientSalvagesTruncatedFile) {
+  const IngestReport rep = ingest_trace_string(kTruncatedFile);
+  ASSERT_EQ(rep.diagnostics.size(), 1u);
+  EXPECT_NE(rep.diagnostics[0].message.find("truncated"), std::string::npos);
+  // The events inside the unterminated period were complete, so it is kept.
+  EXPECT_EQ(rep.trace.num_periods(), 1u);
+  EXPECT_TRUE(rep.quarantined_periods.empty());
+}
+
+TEST(MalformedCorpus, LenientClosesNestedPeriodImplicitly) {
+  const IngestReport rep = ingest_trace_string(kNestedPeriod);
+  ASSERT_EQ(rep.diagnostics.size(), 1u);
+  EXPECT_EQ(rep.diagnostics[0].line_no, 6u);
+  EXPECT_NE(rep.diagnostics[0].message.find("nested"), std::string::npos);
+  // Both halves were internally complete: two periods survive.
+  EXPECT_EQ(rep.periods_seen, 2u);
+  EXPECT_EQ(rep.trace.num_periods(), 2u);
+}
+
+TEST(MalformedCorpus, LenientDiscardsOrphanFallingEdge) {
+  const IngestReport rep = ingest_trace_string(kOrphanFallingEdge);
+  EXPECT_TRUE(rep.diagnostics.empty());  // parses fine; sanitizer repairs
+  EXPECT_EQ(rep.trace.num_periods(), 1u);
+  EXPECT_EQ(rep.repairs, 1u);
+  EXPECT_TRUE(rep.trace.periods()[0].messages().empty());
+}
+
+TEST(MalformedCorpus, LenientDedupsDuplicateTaskStart) {
+  const IngestReport rep = ingest_trace_string(kDuplicateTaskStart);
+  EXPECT_EQ(rep.trace.num_periods(), 1u);
+  EXPECT_EQ(rep.repairs, 1u);
+  ASSERT_EQ(rep.trace.periods()[0].executions().size(), 1u);
+  EXPECT_EQ(rep.trace.periods()[0].executions()[0].start, 0u);
+}
+
+TEST(MalformedCorpus, LenientQuarantinesNonMonotoneTimestamps) {
+  // The clamp collapses the execution to an empty interval; its timing is
+  // unrecoverable, so the period quarantines rather than being guessed at.
+  const IngestReport rep = ingest_trace_string(kNonMonotoneTimestamps);
+  EXPECT_EQ(rep.trace.num_periods(), 0u);
+  EXPECT_EQ(rep.quarantined_periods.size(), 1u);
+  ASSERT_EQ(rep.quarantined_observed.size(), 1u);
+  EXPECT_TRUE(rep.quarantined_observed[0][0]);  // a's evidence survives
+}
+
+TEST(MalformedCorpus, LenientLoadsCorpusFileFromDisk) {
+  const std::string path = ::testing::TempDir() + "/bbmg_malformed.txt";
+  {
+    std::ofstream ofs(path);
+    ofs << kTruncatedFile;
+  }
+  EXPECT_THROW((void)load_trace_file(path), Error);
+  const IngestReport rep = load_trace_file_lenient(path);
+  EXPECT_TRUE(rep.header_ok);
+  EXPECT_EQ(rep.trace.num_periods(), 1u);
+  EXPECT_EQ(rep.diagnostics.size(), 1u);
+}
+
+}  // namespace
+}  // namespace bbmg

@@ -71,6 +71,32 @@ TEST(Serialize, RejectsMissingHeader) {
                Error);
 }
 
+TEST(Serialize, HeaderErrorsCarryLineNumbers) {
+  // Header diagnostics are line-addressed exactly like body diagnostics.
+  try {
+    (void)trace_from_string("tasks a b\nperiod\nend-period\n");
+    FAIL() << "expected a parse error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos)
+        << e.what();
+  }
+  try {
+    (void)trace_from_string("trace-version 1\nperiod\nend-period\n");
+    FAIL() << "expected a parse error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+  // An empty stream still points somewhere sensible: line 1.
+  try {
+    (void)trace_from_string("");
+    FAIL() << "expected a parse error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(Serialize, RejectsUnknownTaskName) {
   const std::string text =
       "trace-version 1\ntasks a\nperiod\nstart zz 0\nend zz 5\nend-period\n";

@@ -152,5 +152,40 @@ TEST(ValidateTrace, RejectsOverlappingMessages) {
   EXPECT_THROW(validate_trace(t), Error);
 }
 
+TEST(TraceBuilder, ResetRecoversAfterMidPeriodThrow) {
+  TraceBuilder b({"a", "b"});
+  b.begin_period();
+  b.add_event(Event::task_start(0, T0));
+  b.add_event(Event::task_end(5, T0));
+  b.end_period();  // period 0 completes normally
+
+  b.begin_period();
+  b.add_event(Event::task_start(10, T0));
+  EXPECT_THROW(b.add_event(Event::msg_fall(12, 3)), Error);  // fall w/o rise
+  b.reset();  // abandon the damaged period; keep what was built
+
+  b.begin_period();  // must not complain about the open period
+  b.add_event(Event::task_start(20, T1));
+  b.add_event(Event::task_end(25, T1));
+  b.end_period();
+
+  const Trace t = b.take();
+  ASSERT_EQ(t.num_periods(), 2u);
+  // Nothing from the abandoned period leaked into its successor.
+  ASSERT_EQ(t.periods()[1].executions().size(), 1u);
+  EXPECT_EQ(t.periods()[1].executions()[0].task, T1);
+  EXPECT_TRUE(t.periods()[1].messages().empty());
+}
+
+TEST(TraceBuilder, ResetOutsidePeriodIsANoOp) {
+  TraceBuilder b({"a"});
+  b.begin_period();
+  b.add_event(Event::task_start(0, T0));
+  b.add_event(Event::task_end(5, T0));
+  b.end_period();
+  b.reset();
+  EXPECT_EQ(b.take().num_periods(), 1u);
+}
+
 }  // namespace
 }  // namespace bbmg
