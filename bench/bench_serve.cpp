@@ -1,0 +1,178 @@
+// Experiment E9 — the concurrent serving layer (src/serve):
+//   (a) ingestion throughput in events/second through the SessionManager
+//       (bounded shard queues + worker pool), as a function of the worker
+//       count (1/2/4) and the number of concurrent sessions (1/4/8),
+//   (b) model-query latency (p50/p99) measured *while ingestion runs*, the
+//       property the copy-on-snapshot design buys: queries never wait for
+//       the learner.
+// Every cell also re-checks the determinism contract: the served dLUB
+// weight must equal the offline single-threaded learner's.
+// Output is one JSON document, printed and also written to
+// BENCH_serve.json so the scaling curves can be plotted directly.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/stopwatch.hpp"
+#include "core/heuristic_learner.hpp"
+#include "serve/session_manager.hpp"
+
+using namespace bbmg;
+
+namespace {
+
+struct Cell {
+  std::size_t workers = 0;
+  std::size_t sessions = 0;
+  std::size_t events = 0;
+  double ingest_ms = 0.0;
+  double events_per_sec = 0.0;
+  double query_p50_us = 0.0;
+  double query_p99_us = 0.0;
+  std::size_t query_samples = 0;
+  bool deterministic = false;
+};
+
+double percentile(std::vector<double>& sorted_us, double p) {
+  if (sorted_us.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_us.size() - 1) + 0.5);
+  return sorted_us[std::min(idx, sorted_us.size() - 1)];
+}
+
+/// One (workers, sessions) measurement.  Each session gets its own producer
+/// thread replaying `rounds` copies of the GM trace; a dedicated query
+/// thread hammers round-robin model queries for the whole ingest window.
+Cell run_cell(const Trace& trace, std::size_t workers, std::size_t sessions,
+              std::size_t rounds, std::uint64_t offline_weight) {
+  std::vector<std::vector<Event>> periods;
+  for (const Period& p : trace.periods()) periods.push_back(p.to_events());
+  std::size_t events_per_round = 0;
+  for (const auto& evs : periods) events_per_round += evs.size();
+
+  ManagerConfig config;
+  config.workers = workers;
+  config.queue_capacity = 256;
+  SessionManager manager(config);
+
+  std::vector<SessionId> ids;
+  for (std::size_t s = 0; s < sessions; ++s) {
+    ids.push_back(manager.open_session(trace.task_names()));
+  }
+
+  std::atomic<bool> ingesting{true};
+  std::vector<double> latencies_us;
+  std::thread querier([&] {
+    std::size_t next = 0;
+    while (ingesting.load(std::memory_order_relaxed) ||
+           latencies_us.size() < 200) {
+      Stopwatch w;
+      (void)manager.query(ids[next % ids.size()]);
+      latencies_us.push_back(w.elapsed_ms() * 1e3);
+      ++next;
+      if (latencies_us.size() >= 100000) break;  // plenty of samples
+    }
+  });
+
+  Stopwatch ingest;
+  std::vector<std::thread> producers;
+  for (std::size_t s = 0; s < sessions; ++s) {
+    producers.emplace_back([&, s] {
+      for (std::size_t r = 0; r < rounds; ++r) {
+        for (const auto& evs : periods) {
+          (void)manager.submit(ids[s], evs, /*block=*/true);
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  for (const SessionId id : ids) manager.drain(id);
+  const double ingest_ms = ingest.elapsed_ms();
+  ingesting.store(false, std::memory_order_relaxed);
+  querier.join();
+
+  Cell cell;
+  cell.workers = workers;
+  cell.sessions = sessions;
+  cell.events = events_per_round * rounds * sessions;
+  cell.ingest_ms = ingest_ms;
+  cell.events_per_sec =
+      static_cast<double>(cell.events) / (ingest_ms / 1e3);
+  std::sort(latencies_us.begin(), latencies_us.end());
+  cell.query_p50_us = percentile(latencies_us, 0.50);
+  cell.query_p99_us = percentile(latencies_us, 0.99);
+  cell.query_samples = latencies_us.size();
+  cell.deterministic = true;
+  for (const SessionId id : ids) {
+    const QueryResult q = manager.query(id);
+    if (q.snapshot->result.lub().weight() != offline_weight) {
+      cell.deterministic = false;
+    }
+  }
+  manager.stop();
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  const bool full = bench::full_scale();
+  const std::size_t rounds = full ? 64 : 16;  // GM-trace replays per session
+
+  const Trace trace = bench::gm_trace(7);
+  const std::uint64_t offline_weight = learn_heuristic(trace, 16).lub().weight();
+
+  const std::vector<std::size_t> worker_counts = {1, 2, 4};
+  const std::vector<std::size_t> session_counts = {1, 4, 8};
+
+  std::ostringstream cells;
+  bool first = true;
+  bool all_deterministic = true;
+  for (const std::size_t workers : worker_counts) {
+    for (const std::size_t sessions : session_counts) {
+      const Cell c = run_cell(trace, workers, sessions, rounds, offline_weight);
+      all_deterministic = all_deterministic && c.deterministic;
+      std::fprintf(stderr, "workers=%zu sessions=%zu: %.0f events/s, "
+                   "query p50 %.1f us p99 %.1f us (%zu samples)%s\n",
+                   c.workers, c.sessions, c.events_per_sec, c.query_p50_us,
+                   c.query_p99_us, c.query_samples,
+                   c.deterministic ? "" : "  ** NON-DETERMINISTIC **");
+      cells << (first ? "" : ",\n")
+            << "    {\"workers\": " << c.workers
+            << ", \"sessions\": " << c.sessions
+            << ", \"events\": " << c.events
+            << ", \"ingest_ms\": " << c.ingest_ms
+            << ", \"events_per_sec\": " << c.events_per_sec
+            << ", \"query_p50_us\": " << c.query_p50_us
+            << ", \"query_p99_us\": " << c.query_p99_us
+            << ", \"query_samples\": " << c.query_samples
+            << ", \"deterministic\": " << (c.deterministic ? "true" : "false")
+            << "}";
+      first = false;
+    }
+  }
+
+  std::ostringstream doc;
+  doc << "{\n"
+      << "  \"bench\": \"serve\",\n"
+      << "  \"trace\": {\"tasks\": " << trace.num_tasks()
+      << ", \"periods\": " << trace.num_periods()
+      << ", \"rounds_per_session\": " << rounds << "},\n"
+      << "  \"offline_weight\": " << offline_weight << ",\n"
+      << "  \"all_deterministic\": " << (all_deterministic ? "true" : "false")
+      << ",\n"
+      << "  \"cells\": [\n" << cells.str() << "\n  ]\n"
+      << "}\n";
+
+  std::printf("%s", doc.str().c_str());
+  if (std::FILE* f = std::fopen("BENCH_serve.json", "w")) {
+    std::fputs(doc.str().c_str(), f);
+    std::fclose(f);
+  }
+  return all_deterministic ? 0 : 1;
+}

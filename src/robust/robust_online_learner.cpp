@@ -66,6 +66,17 @@ HealthState RobustOnlineLearner::health() const {
   return HealthState::OK;
 }
 
+RobustSnapshot RobustOnlineLearner::full_snapshot() const {
+  RobustSnapshot snap;
+  snap.result = learner_.snapshot();
+  snap.health = health();
+  snap.periods_seen = seen_;
+  snap.periods_learned = periods_learned();
+  snap.periods_quarantined = quarantined_;
+  snap.repairs = repairs_;
+  return snap;
+}
+
 std::string RobustOnlineLearner::health_summary() const {
   char buf[192];
   const double learned_pct =

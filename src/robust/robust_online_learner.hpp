@@ -32,6 +32,20 @@ enum class HealthState : std::uint8_t {
 
 [[nodiscard]] std::string_view health_state_name(HealthState s);
 
+/// Everything a consumer needs to publish the learner's state at one
+/// instant: the model (hypotheses + stats), the health verdict, and the
+/// ingestion accounting.  This is the unit src/serve copies out per period
+/// (copy-on-snapshot) and serves to queries — an immutable value, detached
+/// from the learner that produced it.
+struct RobustSnapshot {
+  LearnResult result;
+  HealthState health{HealthState::OK};
+  std::size_t periods_seen{0};
+  std::size_t periods_learned{0};
+  std::size_t periods_quarantined{0};
+  std::size_t repairs{0};
+};
+
 struct RobustConfig {
   OnlineConfig online;
   SanitizeConfig sanitize;
@@ -83,6 +97,10 @@ class RobustOnlineLearner {
   /// silently dropped in an otherwise clean period — whose probability is
   /// quadratic in the per-event fault rate.
   [[nodiscard]] LearnResult snapshot() const { return learner_.snapshot(); }
+
+  /// snapshot() plus health and quarantine accounting in one consistent
+  /// copy; the serve layer's publication hook.
+  [[nodiscard]] RobustSnapshot full_snapshot() const;
 
   /// One-line operator-facing account, e.g.
   /// "model learned from 97.0% of periods, 3.0% quarantined

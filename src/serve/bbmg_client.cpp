@@ -1,0 +1,142 @@
+// bbmg_client: replay a recorded trace against a running bbmg_served and
+// fetch the learned model back — the socket twin of `trace_tool learn`.
+//
+//   bbmg_client replay <host> <port> <in.trace> [out.model] [bound]
+//       stream every period of <in.trace> (text or binary format) into a
+//       fresh session, drain, fetch the model; optionally save it in the
+//       matrix_io text format and compare-ready for the offline pipeline.
+//   bbmg_client query <host> <port> <session-id>
+//       fetch the current model of an existing session.
+//   bbmg_client check <host> <port> <session-id> <in.trace>
+//       conformance-check every period of <in.trace> against the served
+//       model of <session-id> (probe queries; no learning).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/error.hpp"
+#include "lattice/matrix_io.hpp"
+#include "serve/client.hpp"
+#include "trace/binary_codec.hpp"
+#include "trace/serialize.hpp"
+
+using namespace bbmg;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  bbmg_client replay <host> <port> <in.trace> [out.model] "
+               "[bound]\n"
+               "  bbmg_client query <host> <port> <session-id>\n"
+               "  bbmg_client check <host> <port> <session-id> <in.trace>\n");
+  return 2;
+}
+
+/// Load a trace in either format: binary if the BBTC magic matches, text
+/// otherwise.
+Trace load_any_trace(const std::string& path) {
+  try {
+    return load_trace_file_binary(path);
+  } catch (const Error&) {
+    return load_trace_file(path);
+  }
+}
+
+void print_snapshot(const WireSnapshot& snap,
+                    const std::vector<std::string>& names) {
+  std::printf("session %u: %llu periods seen, %llu learned, %llu "
+              "quarantined, %llu repairs (health: %s)\n",
+              snap.session,
+              static_cast<unsigned long long>(snap.periods_seen),
+              static_cast<unsigned long long>(snap.periods_learned),
+              static_cast<unsigned long long>(snap.periods_quarantined),
+              static_cast<unsigned long long>(snap.repairs),
+              std::string(health_state_name(snap.health)).c_str());
+  std::printf("model: %u hypotheses (%s), dLUB weight %llu\n",
+              snap.num_hypotheses, snap.converged ? "converged" : "open",
+              static_cast<unsigned long long>(snap.weight));
+  std::printf("%s", snap.lub.to_table(names).c_str());
+}
+
+int cmd_replay(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const std::string host = argv[2];
+  const auto port = static_cast<std::uint16_t>(std::strtoul(argv[3], nullptr, 10));
+  const Trace trace = load_any_trace(argv[4]);
+  const std::uint32_t bound =
+      argc > 6 ? static_cast<std::uint32_t>(std::strtoul(argv[6], nullptr, 10))
+               : 16;
+
+  ServeClient client;
+  client.connect(host, port);
+  const std::uint32_t session = client.open_session(trace.task_names(), bound);
+  const std::size_t sent = client.send_trace(session, trace);
+  std::printf("streamed %zu periods (%zu event pairs) to session %u\n", sent,
+              trace.total_event_pairs(), session);
+  const WireSnapshot snap = client.query(session, /*drain=*/true);
+  print_snapshot(snap, trace.task_names());
+  if (argc > 5) {
+    save_matrix_file(argv[5], snap.lub, trace.task_names());
+    std::printf("saved dLUB model -> %s\n", argv[5]);
+  }
+  return 0;
+}
+
+int cmd_query(int argc, char** argv) {
+  if (argc < 5) return usage();
+  ServeClient client;
+  client.connect(argv[2],
+                 static_cast<std::uint16_t>(std::strtoul(argv[3], nullptr, 10)));
+  const auto session =
+      static_cast<std::uint32_t>(std::strtoul(argv[4], nullptr, 10));
+  const WireSnapshot snap = client.query(session, /*drain=*/false);
+  print_snapshot(snap, {});
+  return 0;
+}
+
+int cmd_check(int argc, char** argv) {
+  if (argc < 6) return usage();
+  ServeClient client;
+  client.connect(argv[2],
+                 static_cast<std::uint16_t>(std::strtoul(argv[3], nullptr, 10)));
+  const auto session =
+      static_cast<std::uint32_t>(std::strtoul(argv[4], nullptr, 10));
+  const Trace trace = load_any_trace(argv[5]);
+  std::size_t conforming = 0, violating = 0, unverifiable = 0;
+  for (const Period& p : trace.periods()) {
+    const std::vector<Event> probe = p.to_events();
+    const WireSnapshot snap = client.query(session, /*drain=*/false, &probe);
+    switch (snap.verdict) {
+      case ProbeVerdict::Conforms:
+        ++conforming;
+        break;
+      case ProbeVerdict::Violates:
+        ++violating;
+        break;
+      default:
+        ++unverifiable;
+        break;
+    }
+  }
+  std::printf("%zu periods: %zu conform, %zu violate, %zu unverifiable\n",
+              trace.num_periods(), conforming, violating, unverifiable);
+  return violating == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  try {
+    if (std::strcmp(argv[1], "replay") == 0) return cmd_replay(argc, argv);
+    if (std::strcmp(argv[1], "query") == 0) return cmd_query(argc, argv);
+    if (std::strcmp(argv[1], "check") == 0) return cmd_check(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bbmg_client: error: %s\n", e.what());
+    return 2;
+  }
+  return usage();
+}

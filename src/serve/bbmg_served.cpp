@@ -1,0 +1,57 @@
+// bbmg_served: the learning service daemon.
+//
+//   bbmg_served [port] [workers] [queue-capacity]
+//
+// Listens on 127.0.0.1:<port> (default 7227; 0 picks an ephemeral port and
+// prints it), shards incoming learning sessions over <workers> threads
+// (default 2), and serves model queries from per-session snapshots.  Runs
+// until SIGINT/SIGTERM.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+
+#include "serve/server.hpp"
+
+using namespace bbmg;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_signal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServerConfig config;
+  config.port = argc > 1 ? static_cast<std::uint16_t>(std::strtoul(argv[1], nullptr, 10))
+                         : 7227;
+  config.manager.workers =
+      argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 2;
+  config.manager.queue_capacity =
+      argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 256;
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  try {
+    Server server(config);
+    server.start();
+    std::printf("bbmg_served: listening on 127.0.0.1:%u (%zu workers, "
+                "queue capacity %zu periods)\n",
+                unsigned{server.port()}, server.manager().num_workers(),
+                config.manager.queue_capacity);
+    std::fflush(stdout);
+    while (!g_stop) {
+      struct timespec ts {0, 100 * 1000 * 1000};
+      nanosleep(&ts, nullptr);
+    }
+    std::printf("bbmg_served: shutting down (%zu sessions served)\n",
+                server.manager().num_sessions());
+    server.stop();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bbmg_served: error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

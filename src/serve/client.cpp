@@ -1,0 +1,112 @@
+#include "serve/client.hpp"
+
+#include "common/error.hpp"
+#include "serve/net.hpp"
+#include "trace/event.hpp"
+
+namespace bbmg {
+
+ServeClient::~ServeClient() { disconnect(); }
+
+void ServeClient::connect(const std::string& host, std::uint16_t port) {
+  BBMG_REQUIRE(fd_ < 0, "client already connected");
+  fd_ = net::connect_tcp(host, port);
+  try {
+    net::write_frame(fd_, HelloMsg{}.to_frame(FrameType::Hello));
+    (void)HelloMsg::decode(expect_reply(FrameType::HelloAck));
+  } catch (...) {
+    disconnect();
+    throw;
+  }
+}
+
+void ServeClient::disconnect() {
+  if (fd_ >= 0) {
+    net::shutdown_socket(fd_);
+    net::close_socket(fd_);
+    fd_ = -1;
+  }
+}
+
+Frame ServeClient::expect_reply(FrameType expected) {
+  BBMG_REQUIRE(fd_ >= 0, "client not connected");
+  std::optional<Frame> frame = net::read_frame(fd_, decoder_);
+  if (!frame.has_value()) {
+    raise("client: server closed the connection while awaiting a reply");
+  }
+  if (frame->type == FrameType::ErrorReply) {
+    const ErrorReplyMsg err = ErrorReplyMsg::decode(*frame);
+    raise("client: server error " +
+          std::to_string(static_cast<int>(err.code)) + ": " + err.message);
+  }
+  if (frame->type != expected) {
+    raise("client: unexpected reply frame type");
+  }
+  return std::move(*frame);
+}
+
+std::uint32_t ServeClient::open_session(
+    const std::vector<std::string>& task_names, std::uint32_t bound,
+    SanitizePolicy policy, std::uint32_t snapshot_interval) {
+  OpenSessionMsg msg;
+  msg.task_names = task_names;
+  msg.bound = bound;
+  msg.policy = policy;
+  msg.snapshot_interval = snapshot_interval;
+  net::write_frame(fd_, msg.to_frame());
+  return SessionRefMsg::decode(expect_reply(FrameType::SessionOpened)).session;
+}
+
+void ServeClient::send_period(std::uint32_t session,
+                              const std::vector<Event>& events) {
+  BBMG_REQUIRE(fd_ >= 0, "client not connected");
+  EventsMsg msg;
+  msg.session = session;
+  msg.events = events;
+  // One write for both frames: the period payload and its delimiter.
+  std::vector<std::uint8_t> bytes;
+  append_frame(bytes, msg.to_frame());
+  append_frame(bytes, SessionRefMsg{session}.to_frame(FrameType::EndPeriod));
+  net::write_all(fd_, bytes.data(), bytes.size());
+}
+
+std::size_t ServeClient::send_trace(std::uint32_t session, const Trace& trace) {
+  for (const Period& p : trace.periods()) {
+    send_period(session, p.to_events());
+  }
+  return trace.num_periods();
+}
+
+WireSnapshot ServeClient::query(std::uint32_t session, bool drain,
+                                const std::vector<Event>* probe) {
+  BBMG_REQUIRE(fd_ >= 0, "client not connected");
+  QueryMsg msg;
+  msg.session = session;
+  msg.drain = drain;
+  if (probe != nullptr) msg.probe = *probe;
+  net::write_frame(fd_, msg.to_frame());
+  const ModelReplyMsg reply =
+      ModelReplyMsg::decode(expect_reply(FrameType::ModelReply));
+  WireSnapshot snap;
+  snap.session = reply.session;
+  snap.health = static_cast<HealthState>(reply.health);
+  snap.periods_seen = reply.periods_seen;
+  snap.periods_learned = reply.periods_learned;
+  snap.periods_quarantined = reply.periods_quarantined;
+  snap.repairs = reply.repairs;
+  snap.converged = reply.converged != 0;
+  snap.num_hypotheses = reply.num_hypotheses;
+  snap.weight = reply.weight;
+  snap.verdict = static_cast<ProbeVerdict>(reply.verdict);
+  snap.num_violations = reply.num_violations;
+  snap.lub = reply.lub;
+  return snap;
+}
+
+void ServeClient::close_session(std::uint32_t session) {
+  BBMG_REQUIRE(fd_ >= 0, "client not connected");
+  net::write_frame(fd_, SessionRefMsg{session}.to_frame(FrameType::CloseSession));
+  (void)SessionRefMsg::decode(expect_reply(FrameType::SessionClosed));
+}
+
+}  // namespace bbmg

@@ -1,0 +1,74 @@
+// Client side of the learning service: connect, open sessions, stream
+// periods, fetch model snapshots.  The library half of bbmg_client, also
+// used by the end-to-end tests and the live-serve example.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lattice/dependency_matrix.hpp"
+#include "robust/robust_online_learner.hpp"
+#include "serve/protocol.hpp"
+#include "trace/trace.hpp"
+
+namespace bbmg {
+
+/// A model snapshot as it came over the wire.
+struct WireSnapshot {
+  std::uint32_t session{0};
+  HealthState health{HealthState::OK};
+  std::uint64_t periods_seen{0};
+  std::uint64_t periods_learned{0};
+  std::uint64_t periods_quarantined{0};
+  std::uint64_t repairs{0};
+  bool converged{false};
+  std::uint32_t num_hypotheses{0};
+  std::uint64_t weight{0};
+  ProbeVerdict verdict{ProbeVerdict::None};
+  std::uint32_t num_violations{0};
+  DependencyMatrix lub;
+};
+
+class ServeClient {
+ public:
+  ServeClient() = default;
+  ~ServeClient();
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// TCP connect + Hello/HelloAck handshake; throws bbmg::Error on refusal
+  /// or protocol mismatch.
+  void connect(const std::string& host, std::uint16_t port);
+  void disconnect();
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  [[nodiscard]] std::uint32_t open_session(
+      const std::vector<std::string>& task_names, std::uint32_t bound = 16,
+      SanitizePolicy policy = SanitizePolicy::Repair,
+      std::uint32_t snapshot_interval = 1);
+
+  /// Stream one raw period (Events + EndPeriod, fire-and-forget).
+  void send_period(std::uint32_t session, const std::vector<Event>& events);
+
+  /// Stream every period of a trace; returns the number of periods sent.
+  std::size_t send_trace(std::uint32_t session, const Trace& trace);
+
+  /// Fetch the served model.  drain=true waits until everything this
+  /// client submitted has been learned from; probe, if given, is
+  /// conformance-checked server-side against the served model.
+  [[nodiscard]] WireSnapshot query(std::uint32_t session, bool drain = true,
+                                   const std::vector<Event>* probe = nullptr);
+
+  void close_session(std::uint32_t session);
+
+ private:
+  [[nodiscard]] Frame expect_reply(FrameType expected);
+
+  int fd_{-1};
+  FrameDecoder decoder_;
+};
+
+}  // namespace bbmg

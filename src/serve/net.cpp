@@ -1,0 +1,135 @@
+#include "serve/net.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace bbmg::net {
+
+namespace {
+
+[[noreturn]] void raise_errno(const std::string& what) {
+  std::ostringstream os;
+  os << "net: " << what << ": " << std::strerror(errno);
+  raise(os.str());
+}
+
+}  // namespace
+
+Listener listen_tcp(std::uint16_t port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) raise_errno("socket");
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    raise_errno("bind");
+  }
+  if (::listen(fd, backlog) < 0) {
+    ::close(fd);
+    raise_errno("listen");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    ::close(fd);
+    raise_errno("getsockname");
+  }
+  return Listener{fd, ntohs(addr.sin_port)};
+}
+
+std::optional<int> accept_connection(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    // EBADF/EINVAL: the listener was closed or shut down — clean stop.
+    return std::nullopt;
+  }
+}
+
+int connect_tcp(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) raise_errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    raise("net: invalid IPv4 address: " + host);
+  }
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      const int one = 1;
+      (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    ::close(fd);
+    raise_errno("connect to " + host);
+  }
+}
+
+void close_socket(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+void shutdown_socket(int fd) {
+  if (fd >= 0) (void)::shutdown(fd, SHUT_RDWR);
+}
+
+void write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      raise_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void write_frame(int fd, const Frame& frame) {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(5 + frame.payload.size());
+  append_frame(bytes, frame);
+  write_all(fd, bytes.data(), bytes.size());
+}
+
+std::optional<Frame> read_frame(int fd, FrameDecoder& decoder) {
+  if (auto frame = decoder.next()) return frame;
+  std::uint8_t chunk[16 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      raise_errno("recv");
+    }
+    if (n == 0) {
+      if (decoder.buffered() != 0) {
+        raise("net: connection closed mid-frame");
+      }
+      return std::nullopt;
+    }
+    decoder.feed(chunk, static_cast<std::size_t>(n));
+    if (auto frame = decoder.next()) return frame;
+  }
+}
+
+}  // namespace bbmg::net

@@ -1,0 +1,42 @@
+// Thin POSIX socket layer shared by the serve front-end and the client:
+// enough to open/accept TCP connections and move whole protocol frames,
+// with EINTR handled and errors surfaced as bbmg::Error.  Kept apart from
+// protocol.hpp so the codec/framing logic stays testable without sockets.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "serve/protocol.hpp"
+
+namespace bbmg::net {
+
+/// Listening TCP socket bound to 127.0.0.1:<port> (port 0 = ephemeral).
+struct Listener {
+  int fd{-1};
+  std::uint16_t port{0};
+};
+
+[[nodiscard]] Listener listen_tcp(std::uint16_t port, int backlog);
+
+/// Accept one connection; nullopt when the listener was shut down.
+[[nodiscard]] std::optional<int> accept_connection(int listen_fd);
+
+[[nodiscard]] int connect_tcp(const std::string& host, std::uint16_t port);
+
+/// Half-close + close, tolerating already-closed fds.
+void close_socket(int fd);
+/// Unblock a peer's pending reads without closing our fd yet.
+void shutdown_socket(int fd);
+
+/// Write the whole buffer; throws bbmg::Error on a broken connection.
+void write_all(int fd, const std::uint8_t* data, std::size_t size);
+void write_frame(int fd, const Frame& frame);
+
+/// Read one frame via the decoder, pulling more bytes from the socket as
+/// needed.  nullopt on clean EOF at a frame boundary; throws bbmg::Error
+/// on mid-frame EOF, read errors, or malformed framing.
+[[nodiscard]] std::optional<Frame> read_frame(int fd, FrameDecoder& decoder);
+
+}  // namespace bbmg::net

@@ -1,0 +1,311 @@
+#include "serve/protocol.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace bbmg {
+
+namespace {
+
+ByteReader payload_reader(const Frame& frame) {
+  return ByteReader(frame.payload.data(), frame.payload.size());
+}
+
+void finish(const Frame& frame, const ByteReader& r, const char* what) {
+  if (!r.done()) {
+    std::ostringstream os;
+    os << "protocol: trailing garbage in " << what << " frame ("
+       << frame.payload.size() - r.position() << " extra bytes)";
+    raise(os.str());
+  }
+}
+
+}  // namespace
+
+void append_frame(std::vector<std::uint8_t>& out, const Frame& frame) {
+  BBMG_REQUIRE(frame.payload.size() <= kMaxFramePayload,
+               "frame payload exceeds limit");
+  append_u32(out, static_cast<std::uint32_t>(frame.payload.size()));
+  append_u8(out, static_cast<std::uint8_t>(frame.type));
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+}
+
+void FrameDecoder::feed(const std::uint8_t* data, std::size_t size) {
+  // Compact lazily: drop consumed prefix once it dominates the buffer.
+  if (consumed_ > 4096 && consumed_ * 2 > buffer_.size()) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  const std::size_t avail = buffer_.size() - consumed_;
+  if (avail < 5) return std::nullopt;
+  ByteReader r(buffer_.data() + consumed_, avail);
+  const std::uint32_t length = r.read_u32();
+  if (length > kMaxFramePayload) {
+    raise("protocol: frame length exceeds limit (corrupt stream?)");
+  }
+  const std::uint8_t type = r.read_u8();
+  if (type < static_cast<std::uint8_t>(FrameType::Hello) ||
+      type > static_cast<std::uint8_t>(FrameType::ErrorReply)) {
+    std::ostringstream os;
+    os << "protocol: unknown frame type " << int{type};
+    raise(os.str());
+  }
+  if (avail < 5 + static_cast<std::size_t>(length)) return std::nullopt;
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  const std::uint8_t* body = buffer_.data() + consumed_ + 5;
+  frame.payload.assign(body, body + length);
+  consumed_ += 5 + length;
+  return frame;
+}
+
+// -- Hello -----------------------------------------------------------------
+
+Frame HelloMsg::to_frame(FrameType type) const {
+  Frame f;
+  f.type = type;
+  append_u32(f.payload, magic);
+  append_u16(f.payload, version);
+  return f;
+}
+
+HelloMsg HelloMsg::decode(const Frame& frame) {
+  ByteReader r = payload_reader(frame);
+  HelloMsg m;
+  m.magic = r.read_u32();
+  m.version = r.read_u16();
+  finish(frame, r, "hello");
+  if (m.magic != kServeMagic) {
+    raise("protocol: bad magic in hello (peer is not a bbmg client)");
+  }
+  if (m.version != kServeProtocolVersion) {
+    std::ostringstream os;
+    os << "protocol: unsupported version " << m.version << " (expected "
+       << kServeProtocolVersion << ")";
+    raise(os.str());
+  }
+  return m;
+}
+
+// -- OpenSession -----------------------------------------------------------
+
+Frame OpenSessionMsg::to_frame() const {
+  Frame f;
+  f.type = FrameType::OpenSession;
+  append_task_names(f.payload, task_names);
+  append_u32(f.payload, bound);
+  append_u8(f.payload, static_cast<std::uint8_t>(policy));
+  append_u32(f.payload, snapshot_interval);
+  return f;
+}
+
+OpenSessionMsg OpenSessionMsg::decode(const Frame& frame) {
+  ByteReader r = payload_reader(frame);
+  OpenSessionMsg m;
+  m.task_names = read_task_names(r);
+  m.bound = r.read_u32();
+  const std::uint8_t policy = r.read_u8();
+  if (policy > static_cast<std::uint8_t>(SanitizePolicy::Quarantine)) {
+    raise("protocol: invalid sanitize policy in open-session");
+  }
+  m.policy = static_cast<SanitizePolicy>(policy);
+  m.snapshot_interval = r.read_u32();
+  finish(frame, r, "open-session");
+  if (m.bound == 0) raise("protocol: open-session bound must be >= 1");
+  return m;
+}
+
+SessionConfig OpenSessionMsg::to_session_config() const {
+  SessionConfig cfg;
+  cfg.robust.online.bound = bound;
+  cfg.robust.sanitize.policy = policy;
+  cfg.snapshot_interval = snapshot_interval;
+  return cfg;
+}
+
+// -- SessionRef ------------------------------------------------------------
+
+Frame SessionRefMsg::to_frame(FrameType type) const {
+  Frame f;
+  f.type = type;
+  append_u32(f.payload, session);
+  return f;
+}
+
+SessionRefMsg SessionRefMsg::decode(const Frame& frame) {
+  ByteReader r = payload_reader(frame);
+  SessionRefMsg m;
+  m.session = r.read_u32();
+  finish(frame, r, "session-ref");
+  return m;
+}
+
+// -- Events ----------------------------------------------------------------
+
+Frame EventsMsg::to_frame() const {
+  Frame f;
+  f.type = FrameType::Events;
+  append_u32(f.payload, session);
+  append_u32(f.payload, static_cast<std::uint32_t>(events.size()));
+  for (const Event& e : events) append_event(f.payload, e);
+  return f;
+}
+
+EventsMsg EventsMsg::decode(const Frame& frame) {
+  ByteReader r = payload_reader(frame);
+  EventsMsg m;
+  m.session = r.read_u32();
+  const std::uint32_t count = r.read_u32();
+  if (count > kMaxEventsPerPeriod) {
+    raise("protocol: event count exceeds sanity cap");
+  }
+  m.events.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) m.events.push_back(r.read_event());
+  finish(frame, r, "events");
+  return m;
+}
+
+// -- Query -----------------------------------------------------------------
+
+Frame QueryMsg::to_frame() const {
+  Frame f;
+  f.type = FrameType::Query;
+  append_u32(f.payload, session);
+  std::uint8_t flags = 0;
+  if (drain) flags |= 1;
+  if (probe.has_value()) flags |= 2;
+  append_u8(f.payload, flags);
+  if (probe.has_value()) {
+    append_u32(f.payload, static_cast<std::uint32_t>(probe->size()));
+    for (const Event& e : *probe) append_event(f.payload, e);
+  }
+  return f;
+}
+
+QueryMsg QueryMsg::decode(const Frame& frame) {
+  ByteReader r = payload_reader(frame);
+  QueryMsg m;
+  m.session = r.read_u32();
+  const std::uint8_t flags = r.read_u8();
+  if ((flags & ~0x3u) != 0) raise("protocol: unknown query flags");
+  m.drain = (flags & 1) != 0;
+  if ((flags & 2) != 0) {
+    const std::uint32_t count = r.read_u32();
+    if (count > kMaxEventsPerPeriod) {
+      raise("protocol: probe event count exceeds sanity cap");
+    }
+    std::vector<Event> probe;
+    probe.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) probe.push_back(r.read_event());
+    m.probe = std::move(probe);
+  }
+  finish(frame, r, "query");
+  return m;
+}
+
+// -- ModelReply ------------------------------------------------------------
+
+void append_matrix(std::vector<std::uint8_t>& out, const DependencyMatrix& m) {
+  BBMG_REQUIRE(m.num_tasks() <= kMaxTasks, "matrix too large for codec");
+  append_u16(out, static_cast<std::uint16_t>(m.num_tasks()));
+  for (std::size_t a = 0; a < m.num_tasks(); ++a) {
+    for (std::size_t b = 0; b < m.num_tasks(); ++b) {
+      append_u8(out, static_cast<std::uint8_t>(m.at(a, b)));
+    }
+  }
+}
+
+DependencyMatrix read_matrix_payload(ByteReader& r) {
+  const std::uint16_t n = r.read_u16();
+  if (n > kMaxTasks) raise("protocol: matrix size exceeds sanity cap");
+  DependencyMatrix m(n);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      const std::uint8_t v = r.read_u8();
+      if (v >= kNumDepValues) {
+        raise("protocol: invalid dependency value in matrix payload");
+      }
+      if (a == b) {
+        if (v != static_cast<std::uint8_t>(DepValue::Parallel)) {
+          raise("protocol: matrix diagonal must be parallel");
+        }
+        continue;
+      }
+      m.set(a, b, static_cast<DepValue>(v));
+    }
+  }
+  return m;
+}
+
+Frame ModelReplyMsg::to_frame() const {
+  Frame f;
+  f.type = FrameType::ModelReply;
+  append_u32(f.payload, session);
+  append_u8(f.payload, health);
+  append_u64(f.payload, periods_seen);
+  append_u64(f.payload, periods_learned);
+  append_u64(f.payload, periods_quarantined);
+  append_u64(f.payload, repairs);
+  append_u8(f.payload, converged);
+  append_u32(f.payload, num_hypotheses);
+  append_u64(f.payload, weight);
+  append_u8(f.payload, verdict);
+  append_u32(f.payload, num_violations);
+  append_matrix(f.payload, lub);
+  return f;
+}
+
+ModelReplyMsg ModelReplyMsg::decode(const Frame& frame) {
+  ByteReader r = payload_reader(frame);
+  ModelReplyMsg m;
+  m.session = r.read_u32();
+  m.health = r.read_u8();
+  if (m.health > static_cast<std::uint8_t>(HealthState::Failed)) {
+    raise("protocol: invalid health state in model reply");
+  }
+  m.periods_seen = r.read_u64();
+  m.periods_learned = r.read_u64();
+  m.periods_quarantined = r.read_u64();
+  m.repairs = r.read_u64();
+  m.converged = r.read_u8();
+  m.num_hypotheses = r.read_u32();
+  m.weight = r.read_u64();
+  m.verdict = r.read_u8();
+  if (m.verdict > static_cast<std::uint8_t>(ProbeVerdict::Unverifiable)) {
+    raise("protocol: invalid probe verdict in model reply");
+  }
+  m.num_violations = r.read_u32();
+  m.lub = read_matrix_payload(r);
+  finish(frame, r, "model-reply");
+  return m;
+}
+
+// -- ErrorReply ------------------------------------------------------------
+
+Frame ErrorReplyMsg::to_frame() const {
+  Frame f;
+  f.type = FrameType::ErrorReply;
+  append_u16(f.payload, static_cast<std::uint16_t>(code));
+  append_string(f.payload, message.size() <= kMaxNameLength
+                               ? message
+                               : message.substr(0, kMaxNameLength));
+  return f;
+}
+
+ErrorReplyMsg ErrorReplyMsg::decode(const Frame& frame) {
+  ByteReader r = payload_reader(frame);
+  ErrorReplyMsg m;
+  m.code = static_cast<WireErrorCode>(r.read_u16());
+  m.message = r.read_string();
+  finish(frame, r, "error-reply");
+  return m;
+}
+
+}  // namespace bbmg

@@ -1,0 +1,157 @@
+// Framed wire protocol of the learning service, built on the binary codec
+// (trace/binary_codec.hpp).  Every frame is
+//
+//   length u32 (payload bytes) | type u8 | payload
+//
+// and a connection opens with a Hello/HelloAck pair carrying the protocol
+// magic and version, so a peer speaking the wrong protocol (or a text
+// client hitting the port) is rejected on the first frame.  All encoding
+// is little-endian; decode is bounds-checked and throws bbmg::Error on
+// truncated or malformed payloads — a garbage frame can kill its own
+// connection, never the server.
+//
+// Conversation (client-driven, one reply per request except Events and
+// EndPeriod, which are fire-and-forget so period streaming is not
+// round-trip bound):
+//
+//   Hello            -> HelloAck
+//   OpenSession      -> SessionOpened | ErrorReply
+//   Events           (accumulates the current period, no reply)
+//   EndPeriod        (submits the period, no reply; lossless — the server
+//                     blocks on its shard queue, so TCP itself carries the
+//                     backpressure to the producer)
+//   Query            -> ModelReply | ErrorReply  (optionally drains first,
+//                     optionally carries a probe period to check)
+//   CloseSession     -> SessionClosed | ErrorReply
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lattice/dependency_matrix.hpp"
+#include "serve/session_manager.hpp"
+#include "trace/binary_codec.hpp"
+
+namespace bbmg {
+
+inline constexpr std::uint32_t kServeMagic = 0x474d4242u;  // "BBMG"
+inline constexpr std::uint16_t kServeProtocolVersion = 1;
+/// Frames larger than this are rejected before allocation (garbage guard).
+inline constexpr std::size_t kMaxFramePayload = 64u << 20;
+
+enum class FrameType : std::uint8_t {
+  Hello = 1,
+  HelloAck = 2,
+  OpenSession = 3,
+  SessionOpened = 4,
+  Events = 5,
+  EndPeriod = 6,
+  Query = 7,
+  ModelReply = 8,
+  CloseSession = 9,
+  SessionClosed = 10,
+  ErrorReply = 11,
+};
+
+struct Frame {
+  FrameType type{FrameType::Hello};
+  std::vector<std::uint8_t> payload;
+};
+
+/// Append the framed encoding (length, type, payload) to a byte buffer.
+void append_frame(std::vector<std::uint8_t>& out, const Frame& frame);
+
+/// Incremental frame parser for a byte stream: feed() arbitrary chunks,
+/// next() yields complete frames in order.  Throws bbmg::Error on an
+/// oversized length field or unknown frame type.
+class FrameDecoder {
+ public:
+  void feed(const std::uint8_t* data, std::size_t size);
+  [[nodiscard]] std::optional<Frame> next();
+  [[nodiscard]] std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_{0};
+};
+
+// -- payload schemas -------------------------------------------------------
+
+struct HelloMsg {
+  std::uint32_t magic{kServeMagic};
+  std::uint16_t version{kServeProtocolVersion};
+  [[nodiscard]] Frame to_frame(FrameType type) const;
+  [[nodiscard]] static HelloMsg decode(const Frame& frame);
+};
+
+struct OpenSessionMsg {
+  std::vector<std::string> task_names;
+  std::uint32_t bound{16};
+  SanitizePolicy policy{SanitizePolicy::Repair};
+  std::uint32_t snapshot_interval{1};
+  [[nodiscard]] Frame to_frame() const;
+  [[nodiscard]] static OpenSessionMsg decode(const Frame& frame);
+  [[nodiscard]] SessionConfig to_session_config() const;
+};
+
+struct SessionRefMsg {  // SessionOpened / EndPeriod / CloseSession / SessionClosed
+  std::uint32_t session{0};
+  [[nodiscard]] Frame to_frame(FrameType type) const;
+  [[nodiscard]] static SessionRefMsg decode(const Frame& frame);
+};
+
+struct EventsMsg {
+  std::uint32_t session{0};
+  std::vector<Event> events;
+  [[nodiscard]] Frame to_frame() const;
+  [[nodiscard]] static EventsMsg decode(const Frame& frame);
+};
+
+struct QueryMsg {
+  std::uint32_t session{0};
+  bool drain{true};
+  /// Probe period to conformance-check against the served model.
+  std::optional<std::vector<Event>> probe;
+  [[nodiscard]] Frame to_frame() const;
+  [[nodiscard]] static QueryMsg decode(const Frame& frame);
+};
+
+struct ModelReplyMsg {
+  std::uint32_t session{0};
+  std::uint8_t health{0};  // HealthState
+  std::uint64_t periods_seen{0};
+  std::uint64_t periods_learned{0};
+  std::uint64_t periods_quarantined{0};
+  std::uint64_t repairs{0};
+  std::uint8_t converged{0};
+  std::uint32_t num_hypotheses{0};
+  std::uint64_t weight{0};  // of the dLUB summary
+  std::uint8_t verdict{0};  // ProbeVerdict
+  std::uint32_t num_violations{0};
+  DependencyMatrix lub;
+  [[nodiscard]] Frame to_frame() const;
+  [[nodiscard]] static ModelReplyMsg decode(const Frame& frame);
+};
+
+enum class WireErrorCode : std::uint16_t {
+  BadFrame = 1,
+  UnknownSession = 2,
+  Overflow = 3,
+  Internal = 4,
+};
+
+struct ErrorReplyMsg {
+  WireErrorCode code{WireErrorCode::BadFrame};
+  std::string message;
+  [[nodiscard]] Frame to_frame() const;
+  [[nodiscard]] static ErrorReplyMsg decode(const Frame& frame);
+};
+
+// -- matrix payload helpers (shared by ModelReply and tests) ---------------
+
+void append_matrix(std::vector<std::uint8_t>& out, const DependencyMatrix& m);
+[[nodiscard]] DependencyMatrix read_matrix_payload(ByteReader& r);
+
+}  // namespace bbmg

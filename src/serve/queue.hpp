@@ -1,0 +1,85 @@
+// Bounded multi-producer single-consumer queue, the only synchronization
+// point on the serve ingest hot path (DESIGN.md "Service architecture"):
+// producers are connection/replay threads handing over whole periods,
+// the single consumer is the worker thread the owning shard is pinned to.
+// Bounded capacity is the backpressure mechanism — try_push refuses when
+// full (the caller accounts the overflow), push blocks (lossless replay).
+//
+// A mutex + two condvars is deliberate: items are whole periods (hundreds
+// of events, milliseconds of learner work), so queue transfer cost is noise
+// and the simple implementation is trivially correct under TSan — which the
+// serve test suite runs under (README "Thread sanitizer").
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace bbmg {
+
+template <typename T>
+class BoundedMpscQueue {
+ public:
+  explicit BoundedMpscQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedMpscQueue(const BoundedMpscQueue&) = delete;
+  BoundedMpscQueue& operator=(const BoundedMpscQueue&) = delete;
+
+  /// Non-blocking producer: false if the queue is full or closed.
+  [[nodiscard]] bool try_push(T item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking producer: waits for space; false only if closed meanwhile.
+  [[nodiscard]] bool push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking consumer: nullopt once the queue is closed and drained.
+  [[nodiscard]] std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Wake every waiter; producers fail, the consumer drains then stops.
+  void close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_{false};
+};
+
+}  // namespace bbmg

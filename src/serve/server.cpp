@@ -1,0 +1,173 @@
+#include "serve/server.hpp"
+
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "serve/net.hpp"
+
+namespace bbmg {
+
+Server::Server(ServerConfig config)
+    : config_(config), manager_(config.manager) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  BBMG_REQUIRE(listen_fd_ < 0, "server already started");
+  const net::Listener listener = net::listen_tcp(config_.port, config_.backlog);
+  listen_fd_ = listener.fd;
+  port_ = listener.port;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::stop() {
+  if (stopping_.exchange(true)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  // Unblock the accept loop and join it before closing or clearing the
+  // fd: the accept thread keeps reading listen_fd_ until it exits.
+  net::shutdown_socket(listen_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  net::close_socket(listen_fd_);
+  listen_fd_ = -1;
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    for (auto& conn : connections_) net::shutdown_socket(conn->fd);
+  }
+  // Connection threads exit on the shutdown-induced EOF; join outside the
+  // lock (threads remove nothing themselves, the vector is stable).
+  for (;;) {
+    std::unique_ptr<Connection> conn;
+    {
+      std::lock_guard<std::mutex> lock(connections_mu_);
+      if (connections_.empty()) break;
+      conn = std::move(connections_.back());
+      connections_.pop_back();
+    }
+    if (conn->thread.joinable()) conn->thread.join();
+    net::close_socket(conn->fd);
+  }
+  manager_.stop();
+}
+
+void Server::accept_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    std::optional<int> fd = net::accept_connection(listen_fd_);
+    if (!fd.has_value()) break;
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    if (stopping_.load(std::memory_order_relaxed)) {
+      net::close_socket(*fd);
+      break;
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->fd = *fd;
+    Connection* raw = conn.get();
+    connections_.push_back(std::move(conn));
+    raw->thread = std::thread([this, raw] { serve_connection(raw->fd); });
+  }
+}
+
+void Server::serve_connection(int fd) {
+  FrameDecoder decoder;
+  // Period under construction per session addressed by this connection.
+  std::unordered_map<std::uint32_t, std::vector<Event>> pending;
+  bool greeted = false;
+  try {
+    while (auto frame = net::read_frame(fd, decoder)) {
+      switch (frame->type) {
+        case FrameType::Hello: {
+          (void)HelloMsg::decode(*frame);
+          greeted = true;
+          net::write_frame(fd, HelloMsg{}.to_frame(FrameType::HelloAck));
+          break;
+        }
+        case FrameType::OpenSession: {
+          if (!greeted) raise("protocol: open-session before hello");
+          const OpenSessionMsg msg = OpenSessionMsg::decode(*frame);
+          const SessionId id = manager_.open_session(
+              msg.task_names, msg.to_session_config());
+          SessionRefMsg reply{static_cast<std::uint32_t>(id.index())};
+          net::write_frame(fd, reply.to_frame(FrameType::SessionOpened));
+          break;
+        }
+        case FrameType::Events: {
+          EventsMsg msg = EventsMsg::decode(*frame);
+          auto& buffer = pending[msg.session];
+          buffer.insert(buffer.end(), msg.events.begin(), msg.events.end());
+          break;
+        }
+        case FrameType::EndPeriod: {
+          const SessionRefMsg msg = SessionRefMsg::decode(*frame);
+          std::vector<Event> events = std::move(pending[msg.session]);
+          pending[msg.session].clear();
+          const SubmitStatus status = manager_.submit(
+              SessionId{msg.session}, std::move(events), /*block=*/true);
+          if (status != SubmitStatus::Accepted) {
+            ErrorReplyMsg err;
+            err.code = status == SubmitStatus::Overflow
+                           ? WireErrorCode::Overflow
+                           : WireErrorCode::UnknownSession;
+            err.message = std::string("end-period: ") +
+                          std::string(submit_status_name(status));
+            net::write_frame(fd, err.to_frame());
+          }
+          break;
+        }
+        case FrameType::Query: {
+          const QueryMsg msg = QueryMsg::decode(*frame);
+          const SessionId id{msg.session};
+          if (msg.drain) manager_.drain(id);
+          const QueryResult q =
+              manager_.query(id, msg.probe ? &*msg.probe : nullptr);
+          const RobustSnapshot& snap = *q.snapshot;
+          ModelReplyMsg reply;
+          reply.session = msg.session;
+          reply.health = static_cast<std::uint8_t>(snap.health);
+          reply.periods_seen = snap.periods_seen;
+          reply.periods_learned = snap.periods_learned;
+          reply.periods_quarantined = snap.periods_quarantined;
+          reply.repairs = snap.repairs;
+          reply.converged = snap.result.converged() ? 1 : 0;
+          reply.num_hypotheses =
+              static_cast<std::uint32_t>(snap.result.hypotheses.size());
+          reply.lub = snap.result.hypotheses.empty()
+                          ? DependencyMatrix(0)
+                          : snap.result.lub();
+          reply.weight = reply.lub.weight();
+          reply.verdict = static_cast<std::uint8_t>(q.verdict);
+          reply.num_violations =
+              static_cast<std::uint32_t>(q.violations.size());
+          net::write_frame(fd, reply.to_frame());
+          break;
+        }
+        case FrameType::CloseSession: {
+          const SessionRefMsg msg = SessionRefMsg::decode(*frame);
+          if (!manager_.close_session(SessionId{msg.session})) {
+            ErrorReplyMsg err{WireErrorCode::UnknownSession,
+                              "close-session: unknown session"};
+            net::write_frame(fd, err.to_frame());
+            break;
+          }
+          net::write_frame(fd,
+                           SessionRefMsg{msg.session}.to_frame(
+                               FrameType::SessionClosed));
+          break;
+        }
+        default:
+          raise("protocol: unexpected frame type from client");
+      }
+    }
+  } catch (const std::exception& e) {
+    // Best-effort error report; the connection dies either way, the
+    // server and every other session keep running.
+    try {
+      ErrorReplyMsg err{WireErrorCode::BadFrame, e.what()};
+      net::write_frame(fd, err.to_frame());
+    } catch (...) {
+    }
+  }
+  net::shutdown_socket(fd);
+}
+
+}  // namespace bbmg

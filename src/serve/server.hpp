@@ -1,0 +1,78 @@
+// bbmg_served's engine: a TCP front-end over the SessionManager.
+//
+// One accept thread plus one thread per connection; each connection speaks
+// the framed protocol (protocol.hpp), accumulates Events frames into the
+// current period of each session it addresses, and hands complete periods
+// to the manager at EndPeriod.  Submission blocks when the session's shard
+// queue is full, so backpressure propagates to the producer through TCP
+// itself and replays are lossless.  Queries (optionally draining first)
+// are answered from the session's published snapshot and carry the dLUB
+// matrix, health, quarantine accounting, and — when the query included a
+// probe period — a conformance verdict.
+//
+// Threads-per-connection is deliberate at this stage: the protocol is
+// period-granular and connections are few (stream producers + the odd
+// query client); the scaling axis that matters, learner work, is already
+// decoupled into the manager's worker pool.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/session_manager.hpp"
+
+namespace bbmg {
+
+struct ServerConfig {
+  /// 0 = ephemeral; the bound port is reported by port() after start().
+  std::uint16_t port{0};
+  int backlog{16};
+  ManagerConfig manager;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, listen, and spawn the accept loop; throws bbmg::Error on bind
+  /// failure.
+  void start();
+
+  /// The actually bound port (after start()).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  [[nodiscard]] SessionManager& manager() { return manager_; }
+
+  /// Stop accepting, unblock and join every connection, stop the manager.
+  /// Idempotent; also run by the destructor.
+  void stop();
+
+ private:
+  struct Connection {
+    int fd{-1};
+    std::thread thread;
+  };
+
+  void accept_loop();
+  void serve_connection(int fd);
+
+  ServerConfig config_;
+  SessionManager manager_;
+  int listen_fd_{-1};
+  std::uint16_t port_{0};
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex connections_mu_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace bbmg

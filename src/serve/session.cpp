@@ -1,0 +1,58 @@
+#include "serve/session.hpp"
+
+namespace bbmg {
+
+LearningSession::LearningSession(SessionId id,
+                                 std::vector<std::string> task_names,
+                                 SessionConfig config)
+    : id_(id),
+      task_names_(std::move(task_names)),
+      config_(config),
+      learner_(task_names_, config.robust) {
+  if (config_.snapshot_interval == 0) config_.snapshot_interval = 1;
+  snapshot_ = std::make_shared<const RobustSnapshot>(learner_.full_snapshot());
+}
+
+void LearningSession::drain() {
+  std::unique_lock<std::mutex> lock(state_mu_);
+  drained_.wait(lock, [&] {
+    return processed_ >= accepted_.load(std::memory_order_relaxed);
+  });
+}
+
+void LearningSession::process(const std::vector<Event>& period_events) {
+  (void)learner_.observe_raw_period(period_events);
+  ++since_publish_;
+  // processed_ is written only by this (the affine) worker, so reading it
+  // without the lock here is race-free; the lock below orders the write.
+  const std::size_t next = processed_ + 1;
+  const bool backlog_empty =
+      next >= accepted_.load(std::memory_order_relaxed);
+  std::shared_ptr<const RobustSnapshot> snap;
+  if (since_publish_ >= config_.snapshot_interval || backlog_empty) {
+    // Snapshot construction copies the hypothesis set; build it before
+    // taking the lock so a concurrent query is never stalled behind the
+    // copy.  Storing it before processed_ becomes visible guarantees a
+    // drain()-then-query caller sees the final model, not a stale one.
+    snap = std::make_shared<const RobustSnapshot>(learner_.full_snapshot());
+    since_publish_ = 0;
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (snap) snapshot_ = std::move(snap);
+    processed_ = next;
+  }
+  drained_.notify_all();
+}
+
+std::shared_ptr<const RobustSnapshot> LearningSession::snapshot() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return snapshot_;
+}
+
+std::size_t LearningSession::processed() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return processed_;
+}
+
+}  // namespace bbmg

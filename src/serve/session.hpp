@@ -1,0 +1,114 @@
+// One learning session: the unit of sharding in the serve layer.
+//
+// A session owns a RobustOnlineLearner (lenient sanitizer + degradation
+// tracking, src/robust) and is pinned to exactly one worker thread of the
+// SessionManager — every process() call for a session happens on that
+// worker, in submission order, so the learner needs no locking and its
+// result is byte-identical to feeding the same periods to a single-threaded
+// RobustOnlineLearner (the determinism test's property).
+//
+// Queries never touch the learner.  After each processed period the worker
+// publishes an immutable RobustSnapshot behind a shared_ptr; a query just
+// copies the pointer (copy-on-snapshot).  The consistency guarantee is
+// prefix-exactness: a query sees the model that was exact for the first k
+// periods the session accepted, for some k between 0 and everything
+// processed so far — never a half-updated model.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "robust/robust_online_learner.hpp"
+#include "trace/event.hpp"
+
+namespace bbmg {
+
+struct SessionTag {};
+using SessionId = detail::StrongIndex<SessionTag>;
+
+struct SessionConfig {
+  RobustConfig robust;
+  /// Publish a fresh snapshot every N processed periods (1 = every period).
+  /// Regardless of N, a snapshot is published when the session's backlog
+  /// empties, so a drained session always serves its final model.
+  std::size_t snapshot_interval{1};
+};
+
+class LearningSession {
+ public:
+  LearningSession(SessionId id, std::vector<std::string> task_names,
+                  SessionConfig config);
+
+  [[nodiscard]] SessionId id() const { return id_; }
+  [[nodiscard]] const std::vector<std::string>& task_names() const {
+    return task_names_;
+  }
+  [[nodiscard]] const SessionConfig& config() const { return config_; }
+
+  // -- producer side (any thread) --
+
+  /// Reserve an ingest slot before pushing to the worker queue; pairs with
+  /// either the worker's process() or note_rejected() if the push failed.
+  void note_submitted() { accepted_.fetch_add(1, std::memory_order_relaxed); }
+  void note_rejected() {
+    accepted_.fetch_sub(1, std::memory_order_relaxed);
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Block until every accepted period has been processed.  Callers invoke
+  /// this after their own submissions returned, so the accepted count is
+  /// stable from their perspective.
+  void drain();
+
+  // -- consumer side (the session's affine worker only) --
+
+  /// Feed one raw period to the learner, update accounting, and publish a
+  /// snapshot if the interval elapsed or the backlog just emptied.
+  void process(const std::vector<Event>& period_events);
+
+  // -- query side (any thread) --
+
+  /// Latest published snapshot; never null (an empty-model snapshot is
+  /// published at construction).
+  [[nodiscard]] std::shared_ptr<const RobustSnapshot> snapshot() const;
+
+  [[nodiscard]] std::size_t accepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t processed() const;
+
+  /// Closed sessions refuse new submissions; in-flight periods still learn.
+  void mark_closed() { closed_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool closed() const {
+    return closed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void publish();
+
+  SessionId id_;
+  std::vector<std::string> task_names_;
+  SessionConfig config_;
+  RobustOnlineLearner learner_;  // worker thread only, after construction
+  std::size_t since_publish_{0};
+
+  std::atomic<std::size_t> accepted_{0};
+  std::atomic<std::size_t> rejected_{0};
+  std::atomic<bool> closed_{false};
+
+  mutable std::mutex state_mu_;  // guards processed_ and snapshot_
+  std::condition_variable drained_;
+  std::size_t processed_{0};
+  std::shared_ptr<const RobustSnapshot> snapshot_;
+};
+
+}  // namespace bbmg

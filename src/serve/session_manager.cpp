@@ -1,0 +1,148 @@
+#include "serve/session_manager.hpp"
+
+#include "common/error.hpp"
+#include "robust/sanitizer.hpp"
+
+namespace bbmg {
+
+std::string_view submit_status_name(SubmitStatus s) {
+  switch (s) {
+    case SubmitStatus::Accepted:
+      return "accepted";
+    case SubmitStatus::Overflow:
+      return "overflow";
+    case SubmitStatus::UnknownSession:
+      return "unknown-session";
+    case SubmitStatus::ShuttingDown:
+      return "shutting-down";
+  }
+  return "?";
+}
+
+SessionManager::SessionManager(ManagerConfig config) : config_(config) {
+  if (config_.workers == 0) config_.workers = 1;
+  queues_.reserve(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    queues_.push_back(
+        std::make_unique<BoundedMpscQueue<WorkItem>>(config_.queue_capacity));
+  }
+  workers_.reserve(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+SessionManager::~SessionManager() { stop(); }
+
+void SessionManager::stop() {
+  if (stopping_.exchange(true)) {
+    // Second caller: queues already closed; just make sure joins happened.
+  }
+  for (auto& q : queues_) q->close();
+  for (auto& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void SessionManager::worker_loop(std::size_t worker_index) {
+  BoundedMpscQueue<WorkItem>& queue = *queues_[worker_index];
+  while (auto item = queue.pop()) {
+    item->session->process(item->events);
+  }
+}
+
+SessionId SessionManager::open_session(std::vector<std::string> task_names,
+                                       SessionConfig config) {
+  BBMG_REQUIRE(!stopping_.load(), "manager is shutting down");
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  const SessionId id{sessions_.size()};
+  sessions_.push_back(std::make_shared<LearningSession>(
+      id, std::move(task_names), config));
+  return id;
+}
+
+std::shared_ptr<LearningSession> SessionManager::find(SessionId id) const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  if (id.index() >= sessions_.size()) return nullptr;
+  return sessions_[id.index()];
+}
+
+bool SessionManager::close_session(SessionId id) {
+  auto session = find(id);
+  if (!session) return false;
+  session->mark_closed();
+  return true;
+}
+
+SubmitStatus SessionManager::submit(SessionId id,
+                                    std::vector<Event> period_events,
+                                    bool block) {
+  if (stopping_.load(std::memory_order_relaxed)) {
+    return SubmitStatus::ShuttingDown;
+  }
+  auto session = find(id);
+  if (!session || session->closed()) return SubmitStatus::UnknownSession;
+  BoundedMpscQueue<WorkItem>& queue =
+      *queues_[id.index() % queues_.size()];
+  // Reserve the slot before the push so a drain() that starts after this
+  // submit returns can never run ahead of the queued period.
+  session->note_submitted();
+  WorkItem item{session, std::move(period_events)};
+  const bool pushed =
+      block ? queue.push(std::move(item)) : queue.try_push(std::move(item));
+  if (!pushed) {
+    session->note_rejected();
+    return stopping_.load(std::memory_order_relaxed)
+               ? SubmitStatus::ShuttingDown
+               : SubmitStatus::Overflow;
+  }
+  return SubmitStatus::Accepted;
+}
+
+void SessionManager::drain(SessionId id) {
+  auto session = find(id);
+  BBMG_REQUIRE(session != nullptr, "drain: unknown session");
+  session->drain();
+}
+
+QueryResult SessionManager::query(SessionId id,
+                                  const std::vector<Event>* probe) const {
+  auto session = find(id);
+  BBMG_REQUIRE(session != nullptr, "query: unknown session");
+  QueryResult result;
+  result.snapshot = session->snapshot();
+  if (probe != nullptr) {
+    const TraceSanitizer sanitizer(session->task_names(),
+                                   session->config().robust.sanitize);
+    const SanitizedPeriod sp = sanitizer.sanitize_period(*probe);
+    if (sp.quarantined()) {
+      result.verdict = ProbeVerdict::Unverifiable;
+    } else {
+      const DependencyMatrix model = result.snapshot->result.lub();
+      check_period_conformance(model, *sp.period,
+                               session->task_names().size(), 0,
+                               result.violations);
+      result.verdict = result.violations.empty() ? ProbeVerdict::Conforms
+                                                 : ProbeVerdict::Violates;
+    }
+  }
+  return result;
+}
+
+SessionStats SessionManager::stats(SessionId id) const {
+  auto session = find(id);
+  BBMG_REQUIRE(session != nullptr, "stats: unknown session");
+  SessionStats s;
+  s.accepted = session->accepted();
+  s.rejected = session->rejected();
+  s.processed = session->processed();
+  s.health = session->snapshot()->health;
+  return s;
+}
+
+std::size_t SessionManager::num_sessions() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return sessions_.size();
+}
+
+}  // namespace bbmg

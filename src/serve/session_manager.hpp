@@ -1,0 +1,128 @@
+// SessionManager: N independent learning sessions sharded over a fixed
+// pool of worker threads.
+//
+// Sharding model (DESIGN.md "Service architecture"): each worker owns one
+// bounded MPSC queue; a session is pinned to worker (id mod workers), so
+// all periods of one session are processed by one thread in submission
+// order — per-session determinism — while distinct sessions on distinct
+// workers learn fully in parallel.  The only hot-path synchronization is
+// the queue handoff; the learner itself is single-threaded per session.
+//
+// Backpressure: submit(..., block=false) refuses when the shard's queue is
+// full and the rejection is accounted on the session (clients replaying
+// files use block=true and are simply throttled).  Queries are answered
+// from the session's published snapshot and never stall ingestion.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/conformance.hpp"
+#include "serve/queue.hpp"
+#include "serve/session.hpp"
+
+namespace bbmg {
+
+struct ManagerConfig {
+  /// Worker threads (and ingest queues); sessions are sharded across them.
+  std::size_t workers{2};
+  /// Per-worker queue capacity, in periods.
+  std::size_t queue_capacity{256};
+};
+
+enum class SubmitStatus : std::uint8_t {
+  Accepted,
+  /// Bounded queue full and block=false: the period was NOT ingested.
+  Overflow,
+  /// No such session, or the session was closed.
+  UnknownSession,
+  /// The manager is stopping; nothing is ingested any more.
+  ShuttingDown,
+};
+
+[[nodiscard]] std::string_view submit_status_name(SubmitStatus s);
+
+/// Outcome of checking a probe period against a served snapshot.
+enum class ProbeVerdict : std::uint8_t {
+  None = 0,          // no probe submitted
+  Conforms = 1,      // probe period conforms to the snapshot's dLUB model
+  Violates = 2,      // at least one conformance violation
+  Unverifiable = 3,  // the sanitizer quarantined the probe period
+};
+
+struct QueryResult {
+  std::shared_ptr<const RobustSnapshot> snapshot;
+  ProbeVerdict verdict{ProbeVerdict::None};
+  std::vector<ConformanceViolation> violations;
+};
+
+struct SessionStats {
+  std::size_t accepted{0};
+  std::size_t rejected{0};
+  std::size_t processed{0};
+  HealthState health{HealthState::OK};
+};
+
+class SessionManager {
+ public:
+  explicit SessionManager(ManagerConfig config = {});
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Create a session for the given task universe.  Thread-safe.
+  [[nodiscard]] SessionId open_session(std::vector<std::string> task_names,
+                                       SessionConfig config = {});
+
+  /// Refuse further submissions to the session; periods already queued are
+  /// still learned.  Returns false for an unknown id.
+  bool close_session(SessionId id);
+
+  /// Hand one raw period to the session's shard.  block=true waits for
+  /// queue space (lossless replay); block=false returns Overflow when the
+  /// shard is saturated (backpressure).
+  SubmitStatus submit(SessionId id, std::vector<Event> period_events,
+                      bool block = true);
+
+  /// Wait until every period accepted so far has been processed.
+  void drain(SessionId id);
+
+  /// Copy out the session's latest published snapshot (never stalls the
+  /// worker).  probe, if non-null, is additionally sanitized and checked
+  /// against the snapshot's dLUB model.  Throws bbmg::Error for unknown
+  /// ids.
+  [[nodiscard]] QueryResult query(SessionId id,
+                                  const std::vector<Event>* probe = nullptr) const;
+
+  [[nodiscard]] SessionStats stats(SessionId id) const;
+  [[nodiscard]] std::size_t num_sessions() const;
+  [[nodiscard]] std::size_t num_workers() const { return queues_.size(); }
+  [[nodiscard]] const ManagerConfig& config() const { return config_; }
+
+  /// Close all queues, finish queued work, join the pool.  Idempotent;
+  /// also run by the destructor.
+  void stop();
+
+ private:
+  struct WorkItem {
+    std::shared_ptr<LearningSession> session;
+    std::vector<Event> events;
+  };
+
+  [[nodiscard]] std::shared_ptr<LearningSession> find(SessionId id) const;
+  void worker_loop(std::size_t worker_index);
+
+  ManagerConfig config_;
+  std::vector<std::unique_ptr<BoundedMpscQueue<WorkItem>>> queues_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stopping_{false};
+
+  mutable std::mutex sessions_mu_;
+  std::vector<std::shared_ptr<LearningSession>> sessions_;  // index == id
+};
+
+}  // namespace bbmg

@@ -1,0 +1,166 @@
+// Binary trace codec: exact round-trips over generated traces, and
+// rejection of truncated / corrupted buffers (the malformed-corpus style of
+// tests/trace, ported to the binary format).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "gen/gm_case_study.hpp"
+#include "gen/random_model.hpp"
+#include "gen/scenarios.hpp"
+#include "sim/simulator.hpp"
+#include "trace/binary_codec.hpp"
+#include "trace/serialize.hpp"
+
+namespace bbmg {
+namespace {
+
+// Byte-for-byte equality through the text serializer: if the texts match,
+// periods, events, times and task names all survived exactly.
+void expect_traces_identical(const Trace& a, const Trace& b) {
+  EXPECT_EQ(trace_to_string(a), trace_to_string(b));
+}
+
+TEST(BinaryCodec, RoundTripPaperExample) {
+  const Trace t = paper_example_trace();
+  expect_traces_identical(t, decode_trace(encode_trace(t)));
+}
+
+TEST(BinaryCodec, RoundTripGmCaseStudy) {
+  SimConfig cfg;
+  cfg.seed = 7;
+  const Trace t = simulate_trace(gm_case_study_model(), 9, cfg);
+  expect_traces_identical(t, decode_trace(encode_trace(t)));
+}
+
+TEST(BinaryCodec, RoundTripEmptyTrace) {
+  const Trace t(std::vector<std::string>{"a", "b"});
+  expect_traces_identical(t, decode_trace(encode_trace(t)));
+}
+
+class BinaryCodecRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BinaryCodecRoundTrip, RandomSimulatedTraces) {
+  RandomModelParams params;
+  params.num_tasks = 8;
+  params.num_layers = 3;
+  params.seed = GetParam();
+  SimConfig cfg;
+  cfg.seed = GetParam() * 31 + 1;
+  const Trace t = simulate_trace(random_model(params), 6, cfg);
+  expect_traces_identical(t, decode_trace(encode_trace(t)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BinaryCodecRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(BinaryCodec, EventEncodingIsCompact) {
+  std::vector<std::uint8_t> out;
+  append_event(out, Event::task_start(42, TaskId{3u}));
+  EXPECT_EQ(out.size(), kEncodedEventSize);
+}
+
+TEST(BinaryCodec, EventRoundTripPreservesEveryField) {
+  std::vector<std::uint8_t> out;
+  append_event(out, Event::task_start(17, TaskId{5u}));
+  append_event(out, Event::task_end(23, TaskId{5u}));
+  append_event(out, Event::msg_rise(29, 0x123));
+  append_event(out, Event::msg_fall(31, 0x123));
+  ByteReader r(out.data(), out.size());
+  Event e = r.read_event();
+  EXPECT_EQ(e.kind, EventKind::TaskStart);
+  EXPECT_EQ(e.task, TaskId{5u});
+  EXPECT_EQ(e.time, 17u);
+  e = r.read_event();
+  EXPECT_EQ(e.kind, EventKind::TaskEnd);
+  e = r.read_event();
+  EXPECT_EQ(e.kind, EventKind::MsgRise);
+  EXPECT_EQ(e.can_id, 0x123u);
+  EXPECT_EQ(e.time, 29u);
+  e = r.read_event();
+  EXPECT_EQ(e.kind, EventKind::MsgFall);
+  EXPECT_TRUE(r.done());
+}
+
+// -- rejection -------------------------------------------------------------
+
+std::vector<std::uint8_t> sample_bytes() {
+  const Trace t = paper_example_trace();
+  return encode_trace(t);
+}
+
+TEST(BinaryCodecRejects, EveryTruncationPoint) {
+  const std::vector<std::uint8_t> bytes = sample_bytes();
+  ASSERT_GT(bytes.size(), 8u);
+  // A strict prefix can never decode: either a load runs out of bytes or
+  // the trailing-garbage check fires on the period counts.
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_THROW((void)decode_trace(bytes.data(), cut), Error)
+        << "prefix of " << cut << " bytes decoded";
+  }
+}
+
+TEST(BinaryCodecRejects, BadMagic) {
+  std::vector<std::uint8_t> bytes = sample_bytes();
+  bytes[0] ^= 0xff;
+  EXPECT_THROW((void)decode_trace(bytes), Error);
+}
+
+TEST(BinaryCodecRejects, UnsupportedVersion) {
+  std::vector<std::uint8_t> bytes = sample_bytes();
+  bytes[4] = 0x7f;  // version lives right after the u32 magic
+  EXPECT_THROW((void)decode_trace(bytes), Error);
+}
+
+TEST(BinaryCodecRejects, TrailingGarbage) {
+  std::vector<std::uint8_t> bytes = sample_bytes();
+  bytes.push_back(0xee);
+  EXPECT_THROW((void)decode_trace(bytes), Error);
+}
+
+TEST(BinaryCodecRejects, InvalidEventKind) {
+  const Trace t = paper_example_trace();
+  std::vector<std::uint8_t> bytes;
+  append_u32(bytes, kBinaryCodecMagic);
+  append_u16(bytes, kBinaryCodecVersion);
+  append_task_names(bytes, t.task_names());
+  append_u32(bytes, 1);  // one period
+  append_u32(bytes, 1);  // one event
+  append_u8(bytes, 0x9);  // kind out of range
+  append_u32(bytes, 0);
+  append_u64(bytes, 0);
+  EXPECT_THROW((void)decode_trace(bytes), Error);
+}
+
+TEST(BinaryCodecRejects, InsaneCountsWithoutAllocating) {
+  const Trace t = paper_example_trace();
+  std::vector<std::uint8_t> bytes;
+  append_u32(bytes, kBinaryCodecMagic);
+  append_u16(bytes, kBinaryCodecVersion);
+  append_task_names(bytes, t.task_names());
+  append_u32(bytes, 0xffffffffu);  // absurd period count
+  EXPECT_THROW((void)decode_trace(bytes), Error);
+}
+
+TEST(BinaryCodecRejects, EventStreamViolatingTraceInvariants) {
+  // Structurally valid codec bytes whose events break period rules (end
+  // without start) must be rejected by the TraceBuilder re-validation.
+  std::vector<std::uint8_t> bytes;
+  append_u32(bytes, kBinaryCodecMagic);
+  append_u16(bytes, kBinaryCodecVersion);
+  append_task_names(bytes, {"a", "b"});
+  append_u32(bytes, 1);
+  append_u32(bytes, 1);
+  append_event(bytes, Event::task_end(10, TaskId{0u}));
+  EXPECT_THROW((void)decode_trace(bytes), Error);
+}
+
+TEST(BinaryCodec, FileRoundTrip) {
+  const Trace t = paper_example_trace();
+  const std::string path = ::testing::TempDir() + "/bbmg_codec_test.btrace";
+  save_trace_file_binary(path, t);
+  expect_traces_identical(t, load_trace_file_binary(path));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace bbmg

@@ -1,0 +1,191 @@
+// Wire protocol framing: every message schema round-trips exactly through
+// its frame; the incremental decoder reassembles frames from arbitrary
+// chunk boundaries; truncated and corrupted frames are rejected.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "gen/scenarios.hpp"
+#include "serve/protocol.hpp"
+
+namespace bbmg {
+namespace {
+
+Frame through_decoder(const Frame& frame, std::size_t chunk_size) {
+  std::vector<std::uint8_t> bytes;
+  append_frame(bytes, frame);
+  FrameDecoder decoder;
+  std::optional<Frame> out;
+  for (std::size_t i = 0; i < bytes.size(); i += chunk_size) {
+    const std::size_t n = std::min(chunk_size, bytes.size() - i);
+    decoder.feed(bytes.data() + i, n);
+    if (auto f = decoder.next()) {
+      EXPECT_FALSE(out.has_value()) << "frame decoded twice";
+      out = std::move(f);
+    }
+  }
+  EXPECT_TRUE(out.has_value()) << "frame never completed";
+  EXPECT_EQ(decoder.buffered(), 0u);
+  return std::move(*out);
+}
+
+TEST(Protocol, HelloRoundTripAnyChunking) {
+  for (const std::size_t chunk : {1u, 2u, 3u, 7u, 64u}) {
+    const Frame f = through_decoder(HelloMsg{}.to_frame(FrameType::Hello), chunk);
+    EXPECT_EQ(f.type, FrameType::Hello);
+    const HelloMsg m = HelloMsg::decode(f);
+    EXPECT_EQ(m.magic, kServeMagic);
+    EXPECT_EQ(m.version, kServeProtocolVersion);
+  }
+}
+
+TEST(Protocol, OpenSessionRoundTrip) {
+  OpenSessionMsg msg;
+  msg.task_names = {"brake", "abs", "esp"};
+  msg.bound = 8;
+  msg.policy = SanitizePolicy::Quarantine;
+  msg.snapshot_interval = 4;
+  const OpenSessionMsg back =
+      OpenSessionMsg::decode(through_decoder(msg.to_frame(), 5));
+  EXPECT_EQ(back.task_names, msg.task_names);
+  EXPECT_EQ(back.bound, 8u);
+  EXPECT_EQ(back.policy, SanitizePolicy::Quarantine);
+  EXPECT_EQ(back.snapshot_interval, 4u);
+}
+
+TEST(Protocol, EventsRoundTrip) {
+  EventsMsg msg;
+  msg.session = 3;
+  msg.events = {Event::task_start(10, TaskId{0u}),
+                Event::msg_rise(12, 0x5a5),
+                Event::msg_fall(14, 0x5a5),
+                Event::task_end(20, TaskId{0u})};
+  const EventsMsg back = EventsMsg::decode(through_decoder(msg.to_frame(), 3));
+  ASSERT_EQ(back.events.size(), 4u);
+  EXPECT_EQ(back.session, 3u);
+  EXPECT_EQ(back.events[1].can_id, 0x5a5u);
+  EXPECT_EQ(back.events[3].time, 20u);
+}
+
+TEST(Protocol, QueryRoundTripWithAndWithoutProbe) {
+  QueryMsg plain;
+  plain.session = 9;
+  plain.drain = false;
+  const QueryMsg plain_back = QueryMsg::decode(through_decoder(plain.to_frame(), 4));
+  EXPECT_EQ(plain_back.session, 9u);
+  EXPECT_FALSE(plain_back.drain);
+  EXPECT_FALSE(plain_back.probe.has_value());
+
+  QueryMsg probed;
+  probed.session = 2;
+  probed.probe = std::vector<Event>{Event::task_start(1, TaskId{1u}),
+                                    Event::task_end(2, TaskId{1u})};
+  const QueryMsg probed_back =
+      QueryMsg::decode(through_decoder(probed.to_frame(), 4));
+  ASSERT_TRUE(probed_back.probe.has_value());
+  EXPECT_EQ(probed_back.probe->size(), 2u);
+  EXPECT_TRUE(probed_back.drain);
+}
+
+TEST(Protocol, ModelReplyRoundTripCarriesTheMatrixExactly) {
+  ModelReplyMsg msg;
+  msg.session = 1;
+  msg.health = 1;
+  msg.periods_seen = 27;
+  msg.periods_learned = 26;
+  msg.periods_quarantined = 1;
+  msg.repairs = 3;
+  msg.converged = 1;
+  msg.num_hypotheses = 1;
+  msg.verdict = static_cast<std::uint8_t>(ProbeVerdict::Conforms);
+  DependencyMatrix m(4);
+  m.set_pair(0, 1, DepValue::Forward);
+  m.set(2, 3, DepValue::MaybeBackward);
+  msg.lub = m;
+  msg.weight = m.weight();
+  const ModelReplyMsg back =
+      ModelReplyMsg::decode(through_decoder(msg.to_frame(), 6));
+  EXPECT_EQ(back.periods_seen, 27u);
+  EXPECT_EQ(back.periods_quarantined, 1u);
+  EXPECT_EQ(back.weight, m.weight());
+  EXPECT_TRUE(back.lub == m);
+}
+
+TEST(Protocol, ErrorReplyRoundTrip) {
+  ErrorReplyMsg msg{WireErrorCode::Overflow, "shard queue full"};
+  const ErrorReplyMsg back =
+      ErrorReplyMsg::decode(through_decoder(msg.to_frame(), 2));
+  EXPECT_EQ(back.code, WireErrorCode::Overflow);
+  EXPECT_EQ(back.message, "shard queue full");
+}
+
+TEST(Protocol, DecoderHoldsPartialFrameUntilComplete) {
+  std::vector<std::uint8_t> bytes;
+  append_frame(bytes, HelloMsg{}.to_frame(FrameType::Hello));
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size() - 1);
+  EXPECT_FALSE(decoder.next().has_value());
+  decoder.feed(bytes.data() + bytes.size() - 1, 1);
+  EXPECT_TRUE(decoder.next().has_value());
+}
+
+TEST(Protocol, DecoderRejectsUnknownFrameType) {
+  std::vector<std::uint8_t> bytes;
+  append_u32(bytes, 0);
+  append_u8(bytes, 0x7f);  // no such frame type
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  EXPECT_THROW((void)decoder.next(), Error);
+}
+
+TEST(Protocol, DecoderRejectsOversizedLength) {
+  std::vector<std::uint8_t> bytes;
+  append_u32(bytes, 0xffffffffu);
+  append_u8(bytes, static_cast<std::uint8_t>(FrameType::Hello));
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  EXPECT_THROW((void)decoder.next(), Error);
+}
+
+TEST(Protocol, TruncatedPayloadsAreRejectedByEverySchema) {
+  OpenSessionMsg open;
+  open.task_names = {"a", "b"};
+  const Frame f = open.to_frame();
+  for (std::size_t cut = 0; cut < f.payload.size(); ++cut) {
+    Frame shorter;
+    shorter.type = f.type;
+    shorter.payload.assign(f.payload.begin(),
+                           f.payload.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW((void)OpenSessionMsg::decode(shorter), Error)
+        << "payload prefix of " << cut << " bytes decoded";
+  }
+}
+
+TEST(Protocol, GarbagePayloadBitsAreRejected) {
+  QueryMsg msg;
+  msg.session = 1;
+  Frame f = msg.to_frame();
+  f.payload.back() = 0xf0;  // unknown flag bits
+  EXPECT_THROW((void)QueryMsg::decode(f), Error);
+}
+
+TEST(Protocol, MatrixPayloadRejectsInvalidValues) {
+  std::vector<std::uint8_t> bytes;
+  append_u16(bytes, 2);
+  append_u8(bytes, 0);
+  append_u8(bytes, 7);  // not a DepValue
+  append_u8(bytes, 1);
+  append_u8(bytes, 0);
+  ByteReader r(bytes.data(), bytes.size());
+  EXPECT_THROW((void)read_matrix_payload(r), Error);
+}
+
+TEST(Protocol, MatrixPayloadRejectsNonParallelDiagonal) {
+  std::vector<std::uint8_t> bytes;
+  append_u16(bytes, 1);
+  append_u8(bytes, static_cast<std::uint8_t>(DepValue::Forward));
+  ByteReader r(bytes.data(), bytes.size());
+  EXPECT_THROW((void)read_matrix_payload(r), Error);
+}
+
+}  // namespace
+}  // namespace bbmg
