@@ -76,4 +76,21 @@ bool starts_with(std::string_view s, std::string_view prefix) {
   return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
 }
 
+std::size_t token_col(std::string_view line, std::size_t token_index) {
+  std::size_t i = 0;
+  std::size_t tok = 0;
+  const auto is_ws = [](char c) {
+    return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\v' ||
+           c == '\f';
+  };
+  while (i < line.size()) {
+    while (i < line.size() && is_ws(line[i])) ++i;
+    if (i >= line.size()) break;
+    if (tok == token_index) return i + 1;
+    while (i < line.size() && !is_ws(line[i])) ++i;
+    ++tok;
+  }
+  return 1;
+}
+
 }  // namespace bbmg

@@ -31,4 +31,10 @@ bool parse_double(std::string_view s, double& out);
 /// True if `s` begins with `prefix`.
 bool starts_with(std::string_view s, std::string_view prefix);
 
+/// 1-based column of the first character of the Nth (0-based)
+/// whitespace-separated token of `line`; 1 when the token does not exist.
+/// Both trace loaders use this to point their `line:col` diagnostics at
+/// the offending token rather than just the offending line.
+std::size_t token_col(std::string_view line, std::size_t token_index);
+
 }  // namespace bbmg

@@ -7,7 +7,9 @@
 #include "common/stopwatch.hpp"
 #include "core/history.hpp"
 #include "core/hypothesis.hpp"
+#include "core/learner_metrics.hpp"
 #include "core/post_process.hpp"
+#include "obs/span.hpp"
 
 namespace bbmg {
 
@@ -73,9 +75,13 @@ LearnResult learn_exact(const Trace& trace, const ExactConfig& config) {
 
   CoExecutionHistory history(n);
 
+  LearnerMetrics& metrics = LearnerMetrics::get();
   std::size_t period_no = 0;
   for (const auto& period : trace.periods()) {
     ++period_no;
+    obs::Span span(&metrics.period_latency_us, "learner.exact_period");
+    const std::uint64_t created0 = stats.hypotheses_created;
+    std::uint64_t pruned = 0;
     const PeriodCandidates pc(period, n);
 
     for (std::size_t msg = 0; msg < pc.num_messages(); ++msg) {
@@ -111,7 +117,9 @@ LearnResult learn_exact(const Trace& trace, const ExactConfig& config) {
       stats.peak_hypotheses = std::max(stats.peak_hypotheses, next.size());
       frontier = std::move(next);
       if (config.dominance_pruning && frontier.size() <= config.dominance_limit) {
+        const std::size_t before = frontier.size();
         prune_dominated(frontier);
+        pruned += before - frontier.size();
       }
     }
 
@@ -119,6 +127,13 @@ LearnResult learn_exact(const Trace& trace, const ExactConfig& config) {
     ++stats.periods_processed;
     stats.frontier_after_period.push_back(frontier.size());
     history.record_period(pc);
+
+    metrics.periods.inc();
+    metrics.messages.inc(pc.num_messages());
+    metrics.branched.inc(stats.hypotheses_created - created0);
+    metrics.pruned.inc(pruned);
+    metrics.version_space_peak.set_max(
+        static_cast<std::int64_t>(stats.peak_hypotheses));
   }
 
   result.hypotheses.reserve(frontier.size());

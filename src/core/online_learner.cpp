@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "core/learner_metrics.hpp"
 #include "core/post_process.hpp"
+#include "obs/span.hpp"
 
 namespace bbmg {
 
@@ -88,6 +90,13 @@ OnlineLearner::OnlineLearner(std::size_t num_tasks, const OnlineConfig& config)
 }
 
 void OnlineLearner::observe_period(const Period& period) {
+  LearnerMetrics& metrics = LearnerMetrics::get();
+  obs::Span span(&metrics.period_latency_us, "learner.period");
+  // Hot-path accounting stays in the plain LearnStats fields; the global
+  // metrics are fed once per period from the stats deltas below.
+  const std::uint64_t created0 = stats_.hypotheses_created;
+  const std::uint64_t merges0 = stats_.merges;
+  const std::uint64_t unexplained0 = stats_.unexplained_messages;
   const PeriodCandidates pc(period, num_tasks_);
 
   for (std::size_t msg = 0; msg < pc.num_messages(); ++msg) {
@@ -121,6 +130,14 @@ void OnlineLearner::observe_period(const Period& period) {
   ++stats_.periods_processed;
   stats_.frontier_after_period.push_back(frontier_.size());
   history_.record_period(pc);
+
+  metrics.periods.inc();
+  metrics.messages.inc(pc.num_messages());
+  metrics.branched.inc(stats_.hypotheses_created - created0);
+  metrics.pruned.inc(stats_.merges - merges0);
+  metrics.unexplained.inc(stats_.unexplained_messages - unexplained0);
+  metrics.version_space_peak.set_max(
+      static_cast<std::int64_t>(stats_.peak_hypotheses));
 }
 
 void OnlineLearner::observe_quarantined_period(
@@ -131,6 +148,7 @@ void OnlineLearner::observe_quarantined_period(
   for (auto& h : frontier_) weaken_possibly_unmet_requirements(h, observed);
   remove_duplicates_and_redundant(frontier_);
   ++stats_.quarantined_periods;
+  LearnerMetrics::get().quarantined.inc();
 }
 
 LearnResult OnlineLearner::snapshot() const {

@@ -1,0 +1,104 @@
+#include "obs/exposition.hpp"
+
+#include <sstream>
+
+namespace bbmg::obs {
+
+namespace {
+
+/// `bbmg_x_total{kind="foo"}` -> base `bbmg_x_total`, labels `kind="foo"`.
+void split_labels(const std::string& name, std::string& base,
+                  std::string& labels) {
+  const std::size_t brace = name.find('{');
+  if (brace == std::string::npos || name.back() != '}') {
+    base = name;
+    labels.clear();
+    return;
+  }
+  base = name.substr(0, brace);
+  labels = name.substr(brace + 1, name.size() - brace - 2);
+}
+
+void append_json_string(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else {
+      os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  for (const auto& c : snapshot.counters) {
+    os << c.name << ' ' << c.value << '\n';
+  }
+  for (const auto& g : snapshot.gauges) {
+    os << g.name << ' ' << g.value << '\n';
+  }
+  for (const auto& h : snapshot.histograms) {
+    std::string base, labels;
+    split_labels(h.name, base, labels);
+    const std::string prefix =
+        base + "_bucket{" + (labels.empty() ? "" : labels + ",");
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      cumulative += h.counts[i];
+      os << prefix << "le=\"";
+      if (i < h.upper_bounds.size()) {
+        os << h.upper_bounds[i];
+      } else {
+        os << "+Inf";
+      }
+      os << "\"} " << cumulative << '\n';
+    }
+    os << base << "_sum" << (labels.empty() ? "" : "{" + labels + "}") << ' '
+       << h.sum << '\n';
+    os << base << "_count" << (labels.empty() ? "" : "{" + labels + "}") << ' '
+       << h.count << '\n';
+  }
+  return os.str();
+}
+
+std::string to_json(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    os << (i == 0 ? "\n    " : ",\n    ");
+    append_json_string(os, snapshot.counters[i].name);
+    os << ": " << snapshot.counters[i].value;
+  }
+  os << (snapshot.counters.empty() ? "}" : "\n  }");
+  os << ",\n  \"gauges\": {";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    os << (i == 0 ? "\n    " : ",\n    ");
+    append_json_string(os, snapshot.gauges[i].name);
+    os << ": " << snapshot.gauges[i].value;
+  }
+  os << (snapshot.gauges.empty() ? "}" : "\n  }");
+  os << ",\n  \"histograms\": {";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& h = snapshot.histograms[i];
+    os << (i == 0 ? "\n    " : ",\n    ");
+    append_json_string(os, h.name);
+    os << ": {\"le\": [";
+    for (std::size_t b = 0; b < h.upper_bounds.size(); ++b) {
+      os << (b == 0 ? "" : ", ") << h.upper_bounds[b];
+    }
+    os << "], \"counts\": [";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      os << (b == 0 ? "" : ", ") << h.counts[b];
+    }
+    os << "], \"sum\": " << h.sum << ", \"count\": " << h.count << "}";
+  }
+  os << (snapshot.histograms.empty() ? "}" : "\n  }");
+  os << "\n}\n";
+  return os.str();
+}
+
+}  // namespace bbmg::obs

@@ -1,0 +1,23 @@
+// In-process observability, layer 3: snapshot serializers.
+//
+// Two renderings of a MetricsSnapshot:
+//   * Prometheus-style text exposition (`to_prometheus`): counters and
+//     gauges as `name value` lines, histograms as cumulative `_bucket`
+//     series with `le` labels plus `_sum`/`_count` — scrape-compatible
+//     without pulling in any client library;
+//   * a JSON document (`to_json`): the same data as one object, for the
+//     stats CLI and for machine diffing in tests (golden files).
+// Both are deterministic: metrics are emitted name-sorted (the registry
+// snapshots in map order), so output is diff- and golden-test-stable.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace bbmg::obs {
+
+[[nodiscard]] std::string to_prometheus(const MetricsSnapshot& snapshot);
+[[nodiscard]] std::string to_json(const MetricsSnapshot& snapshot);
+
+}  // namespace bbmg::obs

@@ -1,0 +1,121 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace bbmg::obs {
+
+Histogram::Histogram(std::vector<std::uint64_t> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  counts_ = std::make_unique<AtomicCounter[]>(bounds_.size() + 1);
+}
+
+std::size_t Histogram::bucket_index(std::uint64_t v) const {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  return static_cast<std::size_t>(it - bounds_.begin());
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = counts_[i].value();
+  return out;
+}
+
+std::vector<std::uint64_t> default_latency_buckets_us() {
+  // 1 us .. ~16.8 s in powers of 4: 13 buckets + the +Inf overflow.
+  std::vector<std::uint64_t> bounds;
+  for (std::uint64_t b = 1; b <= 16'777'216; b *= 4) bounds.push_back(b);
+  return bounds;
+}
+
+std::string labeled_name(const std::string& base, const std::string& label,
+                         const std::string& value) {
+  return base + "{" + label + "=\"" + value + "\"}";
+}
+
+const CounterSample* MetricsSnapshot::find_counter(
+    const std::string& name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const GaugeSample* MetricsSnapshot::find_gauge(const std::string& name) const {
+  for (const auto& g : gauges) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+const HistogramSample* MetricsSnapshot::find_histogram(
+    const std::string& name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+std::uint64_t MetricsSnapshot::counter_value(const std::string& name) const {
+  const CounterSample* c = find_counter(name);
+  return c == nullptr ? 0 : c->value;
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<std::uint64_t> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.push_back(CounterSample{name, c->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.push_back(GaugeSample{name, g->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSample s;
+    s.name = name;
+    s.upper_bounds = h->upper_bounds();
+    s.counts = h->bucket_counts();
+    s.sum = h->sum();
+    s.count = h->count();
+    snap.histograms.push_back(std::move(s));
+  }
+  return snap;
+}
+
+std::size_t MetricsRegistry::num_metrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+}  // namespace bbmg::obs

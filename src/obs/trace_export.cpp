@@ -1,0 +1,36 @@
+#include "obs/trace_export.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace bbmg::obs {
+
+std::string to_chrome_trace_json(const std::vector<SpanRecord>& spans) {
+  // chrome://tracing wants timestamps/durations in microseconds; fractional
+  // microseconds keep sub-us spans visible.
+  std::ostringstream os;
+  os << "[\n";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& s = spans[i];
+    os << (i == 0 ? "" : ",\n");
+    os << "  {\"name\": \"" << s.name << "\", \"ph\": \"X\", \"pid\": 1"
+       << ", \"tid\": " << s.thread
+       << ", \"ts\": " << static_cast<double>(s.start_ns) / 1e3
+       << ", \"dur\": " << static_cast<double>(s.duration_ns) / 1e3 << "}";
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+std::size_t export_chrome_trace(SpanRing& ring, const std::string& path) {
+  const std::vector<SpanRecord> spans = ring.drain();
+  std::ofstream ofs(path);
+  BBMG_REQUIRE(ofs.good(), "cannot open chrome trace file for writing: " + path);
+  ofs << to_chrome_trace_json(spans);
+  BBMG_REQUIRE(ofs.good(), "failed writing chrome trace file: " + path);
+  return spans.size();
+}
+
+}  // namespace bbmg::obs

@@ -1,0 +1,24 @@
+// Chrome trace export: render a batch of SpanRecords as the JSON array
+// format understood by chrome://tracing and https://ui.perfetto.dev —
+// one complete ("ph":"X") event per span, with the span's dense thread
+// index as the tid so per-worker timelines line up.  Pairs with
+// SpanRing::drain(): enable the ring around the window of interest,
+// drain, export, load in the viewer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/span.hpp"
+
+namespace bbmg::obs {
+
+[[nodiscard]] std::string to_chrome_trace_json(
+    const std::vector<SpanRecord>& spans);
+
+/// Convenience: drain the ring and write the JSON to `path`; returns the
+/// number of spans exported.  Throws bbmg::Error if the file cannot be
+/// written.
+std::size_t export_chrome_trace(SpanRing& ring, const std::string& path);
+
+}  // namespace bbmg::obs

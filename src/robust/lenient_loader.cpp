@@ -36,8 +36,15 @@ IngestReport read_trace_lenient(std::istream& is,
     }
     return false;
   };
-  auto diag = [&](std::string message) {
-    rep.diagnostics.push_back(LineDiagnostic{line_no, std::move(message)});
+  // Token-addressed faults pass the 0-based index of the offending token;
+  // whole-line faults default to column 1 (same `line:col` convention as
+  // the strict reader's diagnostics).
+  auto diag = [&](std::string message, std::size_t col = 1) {
+    rep.diagnostics.push_back(
+        LineDiagnostic{line_no, col, std::move(message)});
+  };
+  auto diag_at_token = [&](std::string message, std::size_t token_index) {
+    diag(std::move(message), token_col(line, token_index));
   };
 
   // The two header lines are the one thing we cannot recover from: without
@@ -106,12 +113,12 @@ IngestReport read_trace_lenient(std::istream& is,
       }
       const auto t = task_id(toks[1]);
       if (!t) {
-        diag("unknown task '" + toks[1] + "'");
+        diag_at_token("unknown task '" + toks[1] + "'", 1);
         continue;
       }
       const auto time = parse_time_opt(toks[2]);
       if (!time) {
-        diag("bad time '" + toks[2] + "'");
+        diag_at_token("bad time '" + toks[2] + "'", 2);
         continue;
       }
       current.push_back(kw == "start" ? Event::task_start(*time, *t)
@@ -127,12 +134,12 @@ IngestReport read_trace_lenient(std::istream& is,
       }
       std::uint64_t can_id = 0;
       if (!parse_u64(toks[1], can_id)) {
-        diag("bad can id '" + toks[1] + "'");
+        diag_at_token("bad can id '" + toks[1] + "'", 1);
         continue;
       }
       const auto time = parse_time_opt(toks[2]);
       if (!time) {
-        diag("bad time '" + toks[2] + "'");
+        diag_at_token("bad time '" + toks[2] + "'", 2);
         continue;
       }
       current.push_back(kw == "rise"
@@ -173,7 +180,7 @@ IngestReport load_trace_file_lenient(const std::string& path,
   if (!ifs.good()) {
     IngestReport rep;
     rep.diagnostics.push_back(
-        LineDiagnostic{0, "cannot open trace file: " + path});
+        LineDiagnostic{0, 1, "cannot open trace file: " + path});
     return rep;
   }
   return read_trace_lenient(ifs, config);

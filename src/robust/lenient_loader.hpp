@@ -18,7 +18,15 @@ namespace bbmg {
 
 struct LineDiagnostic {
   std::size_t line_no{0};
+  /// 1-based column of the offending token (1 for whole-line faults),
+  /// matching the strict loader's `line:col` convention.
+  std::size_t col{1};
   std::string message;
+
+  /// Normalized "line:col" rendering, e.g. "6:1".
+  [[nodiscard]] std::string position() const {
+    return std::to_string(line_no) + ":" + std::to_string(col);
+  }
 };
 
 struct IngestReport {

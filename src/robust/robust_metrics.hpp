@@ -1,0 +1,65 @@
+// Process-wide ingestion-robustness metrics (DESIGN.md "Observability"):
+// the defect taxonomy as one labeled counter per DefectKind, quarantine
+// and repair totals, and health-state transition counters.  Resolved once
+// behind a function-local static like core/learner_metrics.hpp; aggregates
+// across every RobustOnlineLearner in the process.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "robust/robust_online_learner.hpp"
+#include "robust/sanitizer.hpp"
+
+namespace bbmg {
+
+struct RobustMetrics {
+  /// Raw periods through a sanitizer-backed learner.
+  obs::Counter& periods;
+  /// Periods quarantined (skipped with conservative weakening).
+  obs::Counter& quarantined;
+  /// In-place event repairs (policy Repair).
+  obs::Counter& repairs;
+  /// Per-kind defect counts: bbmg_robust_defects_total{kind="..."}.
+  std::array<obs::Counter*, kNumDefectKinds> defects;
+  /// Health-state transitions: bbmg_robust_health_transitions_total{to="..."}.
+  std::array<obs::Counter*, 3> health_transitions;
+
+  [[nodiscard]] obs::Counter& defect(DefectKind k) const {
+    return *defects[static_cast<std::size_t>(k)];
+  }
+  [[nodiscard]] obs::Counter& health_transition(HealthState to) const {
+    return *health_transitions[static_cast<std::size_t>(to)];
+  }
+
+  static RobustMetrics& get() {
+    static RobustMetrics m = make();
+    return m;
+  }
+
+ private:
+  static RobustMetrics make() {
+    auto& r = obs::MetricsRegistry::instance();
+    RobustMetrics m{
+        r.counter("bbmg_robust_periods_total"),
+        r.counter("bbmg_robust_quarantined_periods_total"),
+        r.counter("bbmg_robust_repairs_total"),
+        {},
+        {},
+    };
+    for (std::size_t k = 0; k < kNumDefectKinds; ++k) {
+      m.defects[k] = &r.counter(obs::labeled_name(
+          "bbmg_robust_defects_total", "kind",
+          std::string(defect_kind_slug(static_cast<DefectKind>(k)))));
+    }
+    const char* states[3] = {"ok", "degraded", "failed"};
+    for (std::size_t s = 0; s < 3; ++s) {
+      m.health_transitions[s] = &r.counter(obs::labeled_name(
+          "bbmg_robust_health_transitions_total", "to", states[s]));
+    }
+    return m;
+  }
+};
+
+}  // namespace bbmg

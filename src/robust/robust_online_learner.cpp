@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "common/error.hpp"
+#include "robust/robust_metrics.hpp"
 
 namespace bbmg {
 
@@ -28,23 +29,38 @@ RobustOnlineLearner::RobustOnlineLearner(std::vector<std::string> task_names,
 }
 
 bool RobustOnlineLearner::observe_raw_period(const std::vector<Event>& events) {
+  RobustMetrics& metrics = RobustMetrics::get();
   SanitizedPeriod sp = sanitizer_.sanitize_period(events, seen_);
   ++seen_;
   repairs_ += sp.repairs;
   defects_.insert(defects_.end(), sp.defects.begin(), sp.defects.end());
+  metrics.periods.inc();
+  metrics.repairs.inc(sp.repairs);
+  for (const Defect& d : sp.defects) metrics.defect(d.kind).inc();
   if (!sp.quarantined()) {
     try {
       learner_.observe_period(*sp.period);
+      note_health_transition();
       return true;
     } catch (const Error&) {
       // A repaired period the learner still chokes on: degrade, don't die.
       defects_.push_back(
           Defect{DefectKind::ResidualViolation, seen_ - 1, 0, false});
+      metrics.defect(DefectKind::ResidualViolation).inc();
     }
   }
   ++quarantined_;
+  metrics.quarantined.inc();
   learner_.observe_quarantined_period(sp.observed_tasks);
+  note_health_transition();
   return false;
+}
+
+void RobustOnlineLearner::note_health_transition() {
+  const HealthState now = health();
+  if (now == last_health_) return;
+  RobustMetrics::get().health_transition(now).inc();
+  last_health_ = now;
 }
 
 void RobustOnlineLearner::observe_clean_period(const Period& period) {

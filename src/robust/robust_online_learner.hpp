@@ -108,9 +108,14 @@ class RobustOnlineLearner {
   [[nodiscard]] std::string health_summary() const;
 
  private:
+  /// Count a health-state change into the transition metrics (called after
+  /// every raw period; no-op while the state is stable).
+  void note_health_transition();
+
   RobustConfig config_;
   TraceSanitizer sanitizer_;
   OnlineLearner learner_;
+  HealthState last_health_{HealthState::OK};
   std::size_t seen_{0};
   std::size_t quarantined_{0};
   std::size_t repairs_{0};

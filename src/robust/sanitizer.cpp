@@ -56,6 +56,44 @@ std::string_view defect_kind_name(DefectKind k) {
   return "?";
 }
 
+std::string_view defect_kind_slug(DefectKind k) {
+  switch (k) {
+    case DefectKind::OutOfOrderTimestamp:
+      return "out_of_order_timestamp";
+    case DefectKind::ClockSkewExceeded:
+      return "clock_skew_exceeded";
+    case DefectKind::DuplicateTaskStart:
+      return "duplicate_task_start";
+    case DefectKind::DuplicateTaskEnd:
+      return "duplicate_task_end";
+    case DefectKind::RepeatedExecution:
+      return "repeated_execution";
+    case DefectKind::OrphanTaskStart:
+      return "orphan_task_start";
+    case DefectKind::OrphanTaskEnd:
+      return "orphan_task_end";
+    case DefectKind::OrphanMsgRise:
+      return "orphan_msg_rise";
+    case DefectKind::OrphanMsgFall:
+      return "orphan_msg_fall";
+    case DefectKind::MsgIdMismatch:
+      return "msg_id_mismatch";
+    case DefectKind::OverlappingMessages:
+      return "overlapping_messages";
+    case DefectKind::DegenerateInterval:
+      return "degenerate_interval";
+    case DefectKind::PeriodOverrun:
+      return "period_overrun";
+    case DefectKind::UnknownTask:
+      return "unknown_task";
+    case DefectKind::EmptyPeriod:
+      return "empty_period";
+    case DefectKind::ResidualViolation:
+      return "residual_violation";
+  }
+  return "unknown";
+}
+
 TraceSanitizer::TraceSanitizer(std::vector<std::string> task_names,
                                SanitizeConfig config)
     : task_names_(std::move(task_names)), config_(config) {

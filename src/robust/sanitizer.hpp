@@ -83,7 +83,14 @@ enum class DefectKind : std::uint8_t {
   ResidualViolation,
 };
 
+/// Number of DefectKind enumerators (metrics register one counter each).
+inline constexpr std::size_t kNumDefectKinds =
+    static_cast<std::size_t>(DefectKind::ResidualViolation) + 1;
+
 [[nodiscard]] std::string_view defect_kind_name(DefectKind k);
+
+/// Stable snake_case identifier (metric labels, machine-readable output).
+[[nodiscard]] std::string_view defect_kind_slug(DefectKind k);
 
 struct Defect {
   DefectKind kind{DefectKind::OutOfOrderTimestamp};

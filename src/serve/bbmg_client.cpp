@@ -10,6 +10,9 @@
 //   bbmg_client check <host> <port> <session-id> <in.trace>
 //       conformance-check every period of <in.trace> against the served
 //       model of <session-id> (probe queries; no learning).
+//   bbmg_client metrics <host> <port> [--json]
+//       fetch the server's observability snapshot and print it in
+//       Prometheus text exposition format (or one JSON object).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -17,6 +20,7 @@
 
 #include "common/error.hpp"
 #include "lattice/matrix_io.hpp"
+#include "obs/exposition.hpp"
 #include "serve/client.hpp"
 #include "trace/binary_codec.hpp"
 #include "trace/serialize.hpp"
@@ -31,7 +35,8 @@ int usage() {
                "  bbmg_client replay <host> <port> <in.trace> [out.model] "
                "[bound]\n"
                "  bbmg_client query <host> <port> <session-id>\n"
-               "  bbmg_client check <host> <port> <session-id> <in.trace>\n");
+               "  bbmg_client check <host> <port> <session-id> <in.trace>\n"
+               "  bbmg_client metrics <host> <port> [--json]\n");
   return 2;
 }
 
@@ -126,6 +131,20 @@ int cmd_check(int argc, char** argv) {
   return violating == 0 ? 0 : 1;
 }
 
+int cmd_metrics(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const bool json = argc > 4 && std::strcmp(argv[4], "--json") == 0;
+  ServeClient client;
+  client.connect(argv[2],
+                 static_cast<std::uint16_t>(std::strtoul(argv[3], nullptr, 10)));
+  const obs::MetricsSnapshot snap = client.fetch_metrics();
+  const std::string text =
+      json ? obs::to_json(snap) : obs::to_prometheus(snap);
+  std::fwrite(text.data(), 1, text.size(), stdout);
+  if (json) std::fputc('\n', stdout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -134,6 +153,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[1], "replay") == 0) return cmd_replay(argc, argv);
     if (std::strcmp(argv[1], "query") == 0) return cmd_query(argc, argv);
     if (std::strcmp(argv[1], "check") == 0) return cmd_check(argc, argv);
+    if (std::strcmp(argv[1], "metrics") == 0) return cmd_metrics(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bbmg_client: error: %s\n", e.what());
     return 2;

@@ -1,15 +1,20 @@
 // bbmg_served: the learning service daemon.
 //
-//   bbmg_served [port] [workers] [queue-capacity]
+//   bbmg_served [port] [workers] [queue-capacity] [--stats-interval <sec>]
 //
 // Listens on 127.0.0.1:<port> (default 7227; 0 picks an ephemeral port and
 // prints it), shards incoming learning sessions over <workers> threads
-// (default 2), and serves model queries from per-session snapshots.  Runs
+// (default 2), and serves model queries from per-session snapshots.  With
+// --stats-interval N a one-line observability summary (sessions, periods,
+// queries, quarantine, queue depth) is printed every N seconds.  Runs
 // until SIGINT/SIGTERM.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <vector>
 
+#include "obs/metrics.hpp"
 #include "serve/server.hpp"
 
 using namespace bbmg;
@@ -20,16 +25,64 @@ volatile std::sig_atomic_t g_stop = 0;
 
 void handle_signal(int) { g_stop = 1; }
 
+int usage() {
+  std::fprintf(stderr,
+               "usage: bbmg_served [port] [workers] [queue-capacity] "
+               "[--stats-interval <seconds>]\n");
+  return 2;
+}
+
+/// One operator-facing line from the live metrics registry, e.g.
+///   stats: 3 sessions, 1200 periods applied (0 overflows), 7 queries,
+///          1190 learned / 10 quarantined, queue depth 4
+void print_stats_line(const SessionManager& manager) {
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::instance().snapshot();
+  std::int64_t depth = 0;
+  for (const obs::GaugeSample& g : snap.gauges) {
+    if (g.name.rfind("bbmg_serve_queue_depth", 0) == 0) depth += g.value;
+  }
+  std::printf(
+      "bbmg_served: stats: %zu sessions, %llu periods applied "
+      "(%llu overflows), %llu queries, %llu learned / %llu quarantined, "
+      "queue depth %lld\n",
+      manager.num_sessions(),
+      static_cast<unsigned long long>(
+          snap.counter_value("bbmg_serve_periods_applied_total")),
+      static_cast<unsigned long long>(
+          snap.counter_value("bbmg_serve_overflows_total")),
+      static_cast<unsigned long long>(
+          snap.counter_value("bbmg_serve_queries_total")),
+      static_cast<unsigned long long>(
+          snap.counter_value("bbmg_learner_periods_total")),
+      static_cast<unsigned long long>(
+          snap.counter_value("bbmg_robust_quarantined_periods_total")),
+      static_cast<long long>(depth));
+  std::fflush(stdout);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   ServerConfig config;
-  config.port = argc > 1 ? static_cast<std::uint16_t>(std::strtoul(argv[1], nullptr, 10))
-                         : 7227;
+  unsigned long stats_interval = 0;  // seconds; 0 = no periodic stats line
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stats-interval") == 0) {
+      if (i + 1 >= argc) return usage();
+      stats_interval = std::strtoul(argv[++i], nullptr, 10);
+      if (stats_interval == 0) return usage();
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  config.port =
+      !positional.empty()
+          ? static_cast<std::uint16_t>(std::strtoul(positional[0], nullptr, 10))
+          : 7227;
   config.manager.workers =
-      argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 2;
+      positional.size() > 1 ? std::strtoul(positional[1], nullptr, 10) : 2;
   config.manager.queue_capacity =
-      argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 256;
+      positional.size() > 2 ? std::strtoul(positional[2], nullptr, 10) : 256;
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
@@ -42,9 +95,14 @@ int main(int argc, char** argv) {
                 unsigned{server.port()}, server.manager().num_workers(),
                 config.manager.queue_capacity);
     std::fflush(stdout);
+    std::size_t ticks = 0;
     while (!g_stop) {
       struct timespec ts {0, 100 * 1000 * 1000};
       nanosleep(&ts, nullptr);
+      if (stats_interval != 0 && ++ticks >= stats_interval * 10) {
+        ticks = 0;
+        print_stats_line(server.manager());
+      }
     }
     std::printf("bbmg_served: shutting down (%zu sessions served)\n",
                 server.manager().num_sessions());

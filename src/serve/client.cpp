@@ -103,6 +103,13 @@ WireSnapshot ServeClient::query(std::uint32_t session, bool drain,
   return snap;
 }
 
+obs::MetricsSnapshot ServeClient::fetch_metrics() {
+  BBMG_REQUIRE(fd_ >= 0, "client not connected");
+  net::write_frame(fd_, MetricsRequestMsg{}.to_frame());
+  return MetricsResponseMsg::decode(expect_reply(FrameType::MetricsResponse))
+      .snapshot;
+}
+
 void ServeClient::close_session(std::uint32_t session) {
   BBMG_REQUIRE(fd_ >= 0, "client not connected");
   net::write_frame(fd_, SessionRefMsg{session}.to_frame(FrameType::CloseSession));

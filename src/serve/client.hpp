@@ -64,6 +64,11 @@ class ServeClient {
 
   void close_session(std::uint32_t session);
 
+  /// Fetch the server's process-wide observability snapshot (every
+  /// registered counter, gauge and histogram; all zeros when the server
+  /// was built with BBMG_OBS=OFF).
+  [[nodiscard]] obs::MetricsSnapshot fetch_metrics();
+
  private:
   [[nodiscard]] Frame expect_reply(FrameType expected);
 

@@ -52,7 +52,7 @@ std::optional<Frame> FrameDecoder::next() {
   }
   const std::uint8_t type = r.read_u8();
   if (type < static_cast<std::uint8_t>(FrameType::Hello) ||
-      type > static_cast<std::uint8_t>(FrameType::ErrorReply)) {
+      type > kMaxFrameType) {
     std::ostringstream os;
     os << "protocol: unknown frame type " << int{type};
     raise(os.str());
@@ -305,6 +305,105 @@ ErrorReplyMsg ErrorReplyMsg::decode(const Frame& frame) {
   m.code = static_cast<WireErrorCode>(r.read_u16());
   m.message = r.read_string();
   finish(frame, r, "error-reply");
+  return m;
+}
+
+// -- Metrics ---------------------------------------------------------------
+
+Frame MetricsRequestMsg::to_frame() const {
+  Frame f;
+  f.type = FrameType::MetricsRequest;
+  return f;
+}
+
+MetricsRequestMsg MetricsRequestMsg::decode(const Frame& frame) {
+  ByteReader r = payload_reader(frame);
+  finish(frame, r, "metrics-request");
+  return {};
+}
+
+namespace {
+
+std::uint32_t read_metric_count(ByteReader& r, std::size_t cap,
+                                const char* what) {
+  const std::uint32_t n = r.read_u32();
+  if (n > cap) {
+    std::ostringstream os;
+    os << "protocol: " << what << " count exceeds sanity cap";
+    raise(os.str());
+  }
+  return n;
+}
+
+}  // namespace
+
+Frame MetricsResponseMsg::to_frame() const {
+  Frame f;
+  f.type = FrameType::MetricsResponse;
+  append_u32(f.payload, static_cast<std::uint32_t>(snapshot.counters.size()));
+  for (const obs::CounterSample& c : snapshot.counters) {
+    append_string(f.payload, c.name);
+    append_u64(f.payload, c.value);
+  }
+  append_u32(f.payload, static_cast<std::uint32_t>(snapshot.gauges.size()));
+  for (const obs::GaugeSample& g : snapshot.gauges) {
+    append_string(f.payload, g.name);
+    append_u64(f.payload, static_cast<std::uint64_t>(g.value));
+  }
+  append_u32(f.payload,
+             static_cast<std::uint32_t>(snapshot.histograms.size()));
+  for (const obs::HistogramSample& h : snapshot.histograms) {
+    append_string(f.payload, h.name);
+    append_u32(f.payload, static_cast<std::uint32_t>(h.upper_bounds.size()));
+    for (const std::uint64_t b : h.upper_bounds) append_u64(f.payload, b);
+    for (const std::uint64_t c : h.counts) append_u64(f.payload, c);
+    append_u64(f.payload, h.sum);
+    append_u64(f.payload, h.count);
+  }
+  return f;
+}
+
+MetricsResponseMsg MetricsResponseMsg::decode(const Frame& frame) {
+  ByteReader r = payload_reader(frame);
+  MetricsResponseMsg m;
+  const std::uint32_t ncounters =
+      read_metric_count(r, kMaxWireMetrics, "counter");
+  m.snapshot.counters.reserve(ncounters);
+  for (std::uint32_t i = 0; i < ncounters; ++i) {
+    obs::CounterSample c;
+    c.name = r.read_string();
+    c.value = r.read_u64();
+    m.snapshot.counters.push_back(std::move(c));
+  }
+  const std::uint32_t ngauges = read_metric_count(r, kMaxWireMetrics, "gauge");
+  m.snapshot.gauges.reserve(ngauges);
+  for (std::uint32_t i = 0; i < ngauges; ++i) {
+    obs::GaugeSample g;
+    g.name = r.read_string();
+    g.value = static_cast<std::int64_t>(r.read_u64());
+    m.snapshot.gauges.push_back(std::move(g));
+  }
+  const std::uint32_t nhists =
+      read_metric_count(r, kMaxWireMetrics, "histogram");
+  m.snapshot.histograms.reserve(nhists);
+  for (std::uint32_t i = 0; i < nhists; ++i) {
+    obs::HistogramSample h;
+    h.name = r.read_string();
+    const std::uint32_t nbounds =
+        read_metric_count(r, kMaxWireHistogramBuckets, "histogram bucket");
+    h.upper_bounds.reserve(nbounds);
+    for (std::uint32_t b = 0; b < nbounds; ++b) {
+      h.upper_bounds.push_back(r.read_u64());
+    }
+    h.counts.reserve(nbounds + 1);
+    for (std::uint32_t b = 0; b < nbounds + 1; ++b) {
+      h.counts.push_back(r.read_u64());
+    }
+    h.sum = r.read_u64();
+    h.count = r.read_u64();
+    m.snapshot.histograms.push_back(std::move(h));
+  }
+  finish(frame, r, "metrics-response");
   return m;
 }
 

@@ -23,6 +23,8 @@
 //   Query            -> ModelReply | ErrorReply  (optionally drains first,
 //                     optionally carries a probe period to check)
 //   CloseSession     -> SessionClosed | ErrorReply
+//   MetricsRequest   -> MetricsResponse  (process-wide observability
+//                     snapshot: every registered counter/gauge/histogram)
 #pragma once
 
 #include <cstdint>
@@ -31,6 +33,7 @@
 #include <vector>
 
 #include "lattice/dependency_matrix.hpp"
+#include "obs/metrics.hpp"
 #include "serve/session_manager.hpp"
 #include "trace/binary_codec.hpp"
 
@@ -53,7 +56,13 @@ enum class FrameType : std::uint8_t {
   CloseSession = 9,
   SessionClosed = 10,
   ErrorReply = 11,
+  MetricsRequest = 12,
+  MetricsResponse = 13,
 };
+
+/// Highest FrameType value; the decoder rejects types beyond this.
+inline constexpr std::uint8_t kMaxFrameType =
+    static_cast<std::uint8_t>(FrameType::MetricsResponse);
 
 struct Frame {
   FrameType type{FrameType::Hello};
@@ -147,6 +156,25 @@ struct ErrorReplyMsg {
   std::string message;
   [[nodiscard]] Frame to_frame() const;
   [[nodiscard]] static ErrorReplyMsg decode(const Frame& frame);
+};
+
+/// Sanity caps for metrics payloads (a snapshot is small; a frame claiming
+/// otherwise is garbage).
+inline constexpr std::size_t kMaxWireMetrics = 1u << 16;
+inline constexpr std::size_t kMaxWireHistogramBuckets = 1u << 10;
+
+struct MetricsRequestMsg {
+  [[nodiscard]] Frame to_frame() const;
+  [[nodiscard]] static MetricsRequestMsg decode(const Frame& frame);
+};
+
+/// A full observability snapshot on the wire: every registered counter,
+/// gauge and histogram by name (obs/metrics.hpp).  Gauges are signed and
+/// carried as two's-complement u64.
+struct MetricsResponseMsg {
+  obs::MetricsSnapshot snapshot;
+  [[nodiscard]] Frame to_frame() const;
+  [[nodiscard]] static MetricsResponseMsg decode(const Frame& frame);
 };
 
 // -- matrix payload helpers (shared by ModelReply and tests) ---------------

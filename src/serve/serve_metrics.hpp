@@ -1,0 +1,67 @@
+// Process-wide serving-daemon metrics (DESIGN.md "Observability"): session
+// and connection totals, ingest accounting (submits / overflows / periods
+// applied), the two end-to-end latency histograms (enqueue->apply and
+// query), and one queue-depth gauge per worker shard.  Resolved once
+// behind a function-local static like core/learner_metrics.hpp; the
+// per-worker gauges are registered lazily because the worker count is a
+// runtime configuration.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace bbmg {
+
+struct ServeMetrics {
+  /// Sessions ever opened across all managers in the process.
+  obs::Counter& sessions_opened;
+  /// Client connections accepted by the server.
+  obs::Counter& connections;
+  /// Periods handed to submit() (accepted or not).
+  obs::Counter& submits;
+  /// Submissions refused because the shard queue was full (block=false).
+  obs::Counter& overflows;
+  /// Periods a worker finished applying to a learner.
+  obs::Counter& periods_applied;
+  /// Model queries answered (snapshot copies, probe checks included).
+  obs::Counter& queries;
+  /// Wall time from queue push to the learner having applied the period.
+  obs::Histogram& enqueue_apply_latency_us;
+  /// Wall time to answer one query (snapshot copy + optional probe check).
+  obs::Histogram& query_latency_us;
+
+  /// Depth gauge of one worker's shard queue:
+  /// bbmg_serve_queue_depth{worker="N"}.  Registration is idempotent, so
+  /// managers with the same worker index share a gauge; callers cache the
+  /// reference (SessionManager resolves its gauges at construction).
+  static obs::Gauge& queue_depth(std::size_t worker) {
+    return obs::MetricsRegistry::instance().gauge(obs::labeled_name(
+        "bbmg_serve_queue_depth", "worker", std::to_string(worker)));
+  }
+
+  static ServeMetrics& get() {
+    static ServeMetrics m = make();
+    return m;
+  }
+
+ private:
+  static ServeMetrics make() {
+    auto& r = obs::MetricsRegistry::instance();
+    return ServeMetrics{
+        r.counter("bbmg_serve_sessions_opened_total"),
+        r.counter("bbmg_serve_connections_total"),
+        r.counter("bbmg_serve_submits_total"),
+        r.counter("bbmg_serve_overflows_total"),
+        r.counter("bbmg_serve_periods_applied_total"),
+        r.counter("bbmg_serve_queries_total"),
+        r.histogram("bbmg_serve_enqueue_apply_latency_us",
+                    obs::default_latency_buckets_us()),
+        r.histogram("bbmg_serve_query_latency_us",
+                    obs::default_latency_buckets_us()),
+    };
+  }
+};
+
+}  // namespace bbmg

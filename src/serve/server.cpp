@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "serve/net.hpp"
+#include "serve/serve_metrics.hpp"
 
 namespace bbmg {
 
@@ -69,6 +70,7 @@ void Server::accept_loop() {
 }
 
 void Server::serve_connection(int fd) {
+  ServeMetrics::get().connections.inc();
   FrameDecoder decoder;
   // Period under construction per session addressed by this connection.
   std::unordered_map<std::uint32_t, std::vector<Event>> pending;
@@ -138,6 +140,13 @@ void Server::serve_connection(int fd) {
           reply.verdict = static_cast<std::uint8_t>(q.verdict);
           reply.num_violations =
               static_cast<std::uint32_t>(q.violations.size());
+          net::write_frame(fd, reply.to_frame());
+          break;
+        }
+        case FrameType::MetricsRequest: {
+          (void)MetricsRequestMsg::decode(*frame);
+          MetricsResponseMsg reply;
+          reply.snapshot = obs::MetricsRegistry::instance().snapshot();
           net::write_frame(fd, reply.to_frame());
           break;
         }

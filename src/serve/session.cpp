@@ -1,5 +1,8 @@
 #include "serve/session.hpp"
 
+#include "obs/span.hpp"
+#include "serve/serve_metrics.hpp"
+
 namespace bbmg {
 
 LearningSession::LearningSession(SessionId id,
@@ -15,19 +18,24 @@ LearningSession::LearningSession(SessionId id,
 
 void LearningSession::drain() {
   std::unique_lock<std::mutex> lock(state_mu_);
-  drained_.wait(lock, [&] {
-    return processed_ >= accepted_.load(std::memory_order_relaxed);
-  });
+  drained_.wait(lock, [&] { return processed_ >= accepted_.value(); });
 }
 
-void LearningSession::process(const std::vector<Event>& period_events) {
+void LearningSession::process(const std::vector<Event>& period_events,
+                              std::uint64_t enqueue_ns) {
+  stream_stats_.observe_events(period_events);
   (void)learner_.observe_raw_period(period_events);
+  ServeMetrics& metrics = ServeMetrics::get();
+  metrics.periods_applied.inc();
+  if (enqueue_ns != 0) {
+    metrics.enqueue_apply_latency_us.observe((obs::now_ns() - enqueue_ns) /
+                                             1000);
+  }
   ++since_publish_;
   // processed_ is written only by this (the affine) worker, so reading it
   // without the lock here is race-free; the lock below orders the write.
   const std::size_t next = processed_ + 1;
-  const bool backlog_empty =
-      next >= accepted_.load(std::memory_order_relaxed);
+  const bool backlog_empty = next >= accepted_.value();
   std::shared_ptr<const RobustSnapshot> snap;
   if (since_publish_ >= config_.snapshot_interval || backlog_empty) {
     // Snapshot construction copies the hypothesis set; build it before

@@ -24,8 +24,10 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/metrics.hpp"
 #include "robust/robust_online_learner.hpp"
 #include "trace/event.hpp"
+#include "trace/stats.hpp"
 
 namespace bbmg {
 
@@ -55,10 +57,10 @@ class LearningSession {
 
   /// Reserve an ingest slot before pushing to the worker queue; pairs with
   /// either the worker's process() or note_rejected() if the push failed.
-  void note_submitted() { accepted_.fetch_add(1, std::memory_order_relaxed); }
+  void note_submitted() { accepted_.add(1); }
   void note_rejected() {
-    accepted_.fetch_sub(1, std::memory_order_relaxed);
-    rejected_.fetch_add(1, std::memory_order_relaxed);
+    accepted_.sub(1);
+    rejected_.add(1);
   }
 
   /// Block until every accepted period has been processed.  Callers invoke
@@ -70,7 +72,12 @@ class LearningSession {
 
   /// Feed one raw period to the learner, update accounting, and publish a
   /// snapshot if the interval elapsed or the backlog just emptied.
-  void process(const std::vector<Event>& period_events);
+  /// enqueue_ns (obs::now_ns() at submit; 0 = unknown) feeds the
+  /// enqueue->apply latency histogram.  All metric updates land before the
+  /// completion publication, so a drain()-then-snapshot reader observes
+  /// the counters of everything it drained.
+  void process(const std::vector<Event>& period_events,
+               std::uint64_t enqueue_ns = 0);
 
   // -- query side (any thread) --
 
@@ -79,12 +86,18 @@ class LearningSession {
   [[nodiscard]] std::shared_ptr<const RobustSnapshot> snapshot() const;
 
   [[nodiscard]] std::size_t accepted() const {
-    return accepted_.load(std::memory_order_relaxed);
+    return static_cast<std::size_t>(accepted_.value());
   }
   [[nodiscard]] std::size_t rejected() const {
-    return rejected_.load(std::memory_order_relaxed);
+    return static_cast<std::size_t>(rejected_.value());
   }
   [[nodiscard]] std::size_t processed() const;
+
+  /// Streaming descriptive statistics of everything this session ingested
+  /// (raw events, pre-sanitizer); readable from any thread.
+  [[nodiscard]] StreamingTraceStats::Summary stream_stats() const {
+    return stream_stats_.summary();
+  }
 
   /// Closed sessions refuse new submissions; in-flight periods still learn.
   void mark_closed() { closed_.store(true, std::memory_order_relaxed); }
@@ -101,8 +114,12 @@ class LearningSession {
   RobustOnlineLearner learner_;  // worker thread only, after construction
   std::size_t since_publish_{0};
 
-  std::atomic<std::size_t> accepted_{0};
-  std::atomic<std::size_t> rejected_{0};
+  // Functional accounting on the always-on atomic primitives (these keep
+  // counting when instrumentation is compiled out — drain() correctness
+  // depends on accepted_).
+  obs::AtomicCounter accepted_;
+  obs::AtomicCounter rejected_;
+  StreamingTraceStats stream_stats_;
   std::atomic<bool> closed_{false};
 
   mutable std::mutex state_mu_;  // guards processed_ and snapshot_

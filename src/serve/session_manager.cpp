@@ -1,7 +1,9 @@
 #include "serve/session_manager.hpp"
 
 #include "common/error.hpp"
+#include "obs/span.hpp"
 #include "robust/sanitizer.hpp"
+#include "serve/serve_metrics.hpp"
 
 namespace bbmg {
 
@@ -22,9 +24,11 @@ std::string_view submit_status_name(SubmitStatus s) {
 SessionManager::SessionManager(ManagerConfig config) : config_(config) {
   if (config_.workers == 0) config_.workers = 1;
   queues_.reserve(config_.workers);
+  queue_depth_.reserve(config_.workers);
   for (std::size_t i = 0; i < config_.workers; ++i) {
     queues_.push_back(
         std::make_unique<BoundedMpscQueue<WorkItem>>(config_.queue_capacity));
+    queue_depth_.push_back(&ServeMetrics::queue_depth(i));
   }
   workers_.reserve(config_.workers);
   for (std::size_t i = 0; i < config_.workers; ++i) {
@@ -45,9 +49,11 @@ void SessionManager::stop() {
 }
 
 void SessionManager::worker_loop(std::size_t worker_index) {
+  obs::Gauge& depth = *queue_depth_[worker_index];
   BoundedMpscQueue<WorkItem>& queue = *queues_[worker_index];
   while (auto item = queue.pop()) {
-    item->session->process(item->events);
+    depth.sub(1);
+    item->session->process(item->events, item->enqueue_ns);
   }
 }
 
@@ -58,6 +64,7 @@ SessionId SessionManager::open_session(std::vector<std::string> task_names,
   const SessionId id{sessions_.size()};
   sessions_.push_back(std::make_shared<LearningSession>(
       id, std::move(task_names), config));
+  ServeMetrics::get().sessions_opened.inc();
   return id;
 }
 
@@ -80,21 +87,30 @@ SubmitStatus SessionManager::submit(SessionId id,
   if (stopping_.load(std::memory_order_relaxed)) {
     return SubmitStatus::ShuttingDown;
   }
+  ServeMetrics& metrics = ServeMetrics::get();
+  metrics.submits.inc();
   auto session = find(id);
   if (!session || session->closed()) return SubmitStatus::UnknownSession;
-  BoundedMpscQueue<WorkItem>& queue =
-      *queues_[id.index() % queues_.size()];
+  const std::size_t shard = id.index() % queues_.size();
+  BoundedMpscQueue<WorkItem>& queue = *queues_[shard];
   // Reserve the slot before the push so a drain() that starts after this
   // submit returns can never run ahead of the queued period.
   session->note_submitted();
-  WorkItem item{session, std::move(period_events)};
+  // Likewise raise the depth gauge before the push: the worker decrements
+  // after its pop, so the gauge over-reports during the handoff instead of
+  // ever going negative.
+  queue_depth_[shard]->add(1);
+  WorkItem item{session, std::move(period_events), obs::now_ns()};
   const bool pushed =
       block ? queue.push(std::move(item)) : queue.try_push(std::move(item));
   if (!pushed) {
     session->note_rejected();
-    return stopping_.load(std::memory_order_relaxed)
-               ? SubmitStatus::ShuttingDown
-               : SubmitStatus::Overflow;
+    queue_depth_[shard]->sub(1);
+    if (!stopping_.load(std::memory_order_relaxed)) {
+      metrics.overflows.inc();
+      return SubmitStatus::Overflow;
+    }
+    return SubmitStatus::ShuttingDown;
   }
   return SubmitStatus::Accepted;
 }
@@ -107,6 +123,9 @@ void SessionManager::drain(SessionId id) {
 
 QueryResult SessionManager::query(SessionId id,
                                   const std::vector<Event>* probe) const {
+  ServeMetrics& metrics = ServeMetrics::get();
+  metrics.queries.inc();
+  obs::Span span(&metrics.query_latency_us, "serve.query");
   auto session = find(id);
   BBMG_REQUIRE(session != nullptr, "query: unknown session");
   QueryResult result;

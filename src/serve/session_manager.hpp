@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "analysis/conformance.hpp"
+#include "obs/metrics.hpp"
 #include "serve/queue.hpp"
 #include "serve/session.hpp"
 
@@ -111,6 +112,8 @@ class SessionManager {
   struct WorkItem {
     std::shared_ptr<LearningSession> session;
     std::vector<Event> events;
+    /// obs::now_ns() at submit; 0 when instrumentation is compiled out.
+    std::uint64_t enqueue_ns{0};
   };
 
   [[nodiscard]] std::shared_ptr<LearningSession> find(SessionId id) const;
@@ -118,6 +121,8 @@ class SessionManager {
 
   ManagerConfig config_;
   std::vector<std::unique_ptr<BoundedMpscQueue<WorkItem>>> queues_;
+  /// Per-worker shard depth gauges, resolved once at construction.
+  std::vector<obs::Gauge*> queue_depth_;
   std::vector<std::thread> workers_;
   std::atomic<bool> stopping_{false};
 

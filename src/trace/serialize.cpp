@@ -42,19 +42,6 @@ std::string trace_to_string(const Trace& trace) {
   return oss.str();
 }
 
-namespace {
-
-TimeNs parse_time(const std::string& tok, std::size_t line_no) {
-  std::uint64_t v = 0;
-  if (!parse_u64(tok, v)) {
-    raise("trace parse error at line " + std::to_string(line_no) +
-          ": bad time '" + tok + "'");
-  }
-  return v;
-}
-
-}  // namespace
-
 Trace read_trace(std::istream& is) {
   std::string line;
   std::size_t line_no = 0;
@@ -70,21 +57,34 @@ Trace read_trace(std::istream& is) {
     return false;
   };
 
-  // Every diagnostic below carries the line it points at; line_no is kept
-  // current by next_meaningful, so it is correct even inside the lazily
-  // evaluated BBMG_REQUIRE messages (the first line of an empty stream
-  // reports as line 1).
-  auto at_line = [&]() {
-    return " at line " + std::to_string(line_no == 0 ? 1 : line_no);
+  // Every diagnostic below carries the `line:col` position it points at;
+  // line_no is kept current by next_meaningful, so it is correct even
+  // inside the lazily evaluated BBMG_REQUIRE messages (the first line of
+  // an empty stream reports as line 1:1).  Token-addressed diagnostics
+  // pass the 0-based index of the offending token; line-level ones point
+  // at the first token.
+  auto at_pos = [&](std::size_t token_index = 0) {
+    return " at line " + std::to_string(line_no == 0 ? 1 : line_no) + ":" +
+           std::to_string(token_col(line, token_index));
+  };
+
+  auto parse_time = [&](const std::string& tok,
+                        std::size_t token_index) -> TimeNs {
+    std::uint64_t v = 0;
+    if (!parse_u64(tok, v)) {
+      raise("trace parse error" + at_pos(token_index) + ": bad time '" + tok +
+            "'");
+    }
+    return v;
   };
 
   std::vector<std::string> toks;
   BBMG_REQUIRE(next_meaningful(toks) && toks.size() == 2 &&
                    toks[0] == "trace-version" && toks[1] == "1",
-               "trace must start with 'trace-version 1'" + at_line());
+               "trace must start with 'trace-version 1'" + at_pos());
 
   BBMG_REQUIRE(next_meaningful(toks) && toks.size() >= 2 && toks[0] == "tasks",
-               "expected 'tasks <name>...' header" + at_line());
+               "expected 'tasks <name>...' header" + at_pos());
   std::vector<std::string> names(toks.begin() + 1, toks.end());
 
   TraceBuilder builder(names);
@@ -93,19 +93,18 @@ Trace read_trace(std::istream& is) {
     for (std::size_t i = 0; i < names.size(); ++i) {
       if (names[i] == name) return TaskId{i};
     }
-    raise("trace parse error at line " + std::to_string(line_no) +
-          ": unknown task '" + name + "'");
+    raise("trace parse error" + at_pos(1) + ": unknown task '" + name + "'");
   };
 
   // Builder invariant violations (duplicate starts, orphan edges, ...) are
   // detected inside TraceBuilder, which knows nothing about lines; re-raise
-  // them with the offending line attached so every parse diagnostic is
-  // uniformly line-addressed.
+  // them with the offending position attached so every parse diagnostic is
+  // uniformly line:col-addressed.
   auto with_line = [&](auto&& fn) {
     try {
       fn();
     } catch (const Error& e) {
-      raise(std::string(e.what()) + at_line());
+      raise(std::string(e.what()) + at_pos());
     }
   };
 
@@ -113,39 +112,38 @@ Trace read_trace(std::istream& is) {
   while (next_meaningful(toks)) {
     const std::string& kw = toks[0];
     if (kw == "period") {
-      BBMG_REQUIRE(!in_period, "nested 'period'" + at_line());
+      BBMG_REQUIRE(!in_period, "nested 'period'" + at_pos());
       with_line([&] { builder.begin_period(); });
       in_period = true;
     } else if (kw == "end-period") {
-      BBMG_REQUIRE(in_period, "'end-period' without 'period'" + at_line());
+      BBMG_REQUIRE(in_period, "'end-period' without 'period'" + at_pos());
       with_line([&] { builder.end_period(); });
       in_period = false;
     } else if (kw == "start" || kw == "end") {
       BBMG_REQUIRE(in_period && toks.size() == 3,
-                   "bad task event" + at_line());
+                   "bad task event" + at_pos());
       const TaskId t = task_id(toks[1]);
-      const TimeNs time = parse_time(toks[2], line_no);
+      const TimeNs time = parse_time(toks[2], 2);
       with_line([&] {
         builder.add_event(kw == "start" ? Event::task_start(time, t)
                                         : Event::task_end(time, t));
       });
     } else if (kw == "rise" || kw == "fall") {
       BBMG_REQUIRE(in_period && toks.size() == 3,
-                   "bad message event" + at_line());
+                   "bad message event" + at_pos());
       std::uint64_t can_id = 0;
-      BBMG_REQUIRE(parse_u64(toks[1], can_id), "bad can id" + at_line());
-      const TimeNs time = parse_time(toks[2], line_no);
+      BBMG_REQUIRE(parse_u64(toks[1], can_id), "bad can id" + at_pos(1));
+      const TimeNs time = parse_time(toks[2], 2);
       with_line([&] {
         builder.add_event(kw == "rise"
                               ? Event::msg_rise(time, static_cast<CanId>(can_id))
                               : Event::msg_fall(time, static_cast<CanId>(can_id)));
       });
     } else {
-      raise("trace parse error at line " + std::to_string(line_no) +
-            ": unknown keyword '" + kw + "'");
+      raise("trace parse error" + at_pos() + ": unknown keyword '" + kw + "'");
     }
   }
-  BBMG_REQUIRE(!in_period, "trace ended inside a period" + at_line());
+  BBMG_REQUIRE(!in_period, "trace ended inside a period" + at_pos());
   Trace result;
   with_line([&] { result = builder.take(); });
   return result;

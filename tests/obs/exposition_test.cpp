@@ -1,0 +1,87 @@
+// Golden tests for the snapshot serializers (obs/exposition.hpp).  The
+// snapshots are constructed literally rather than through a registry, so
+// the goldens hold in BBMG_OBS=OFF builds too — serialization is plain
+// data transformation, independent of the instrumentation gate.
+#include <gtest/gtest.h>
+
+#include "obs/exposition.hpp"
+
+namespace bbmg::obs {
+namespace {
+
+MetricsSnapshot sample_snapshot() {
+  MetricsSnapshot snap;
+  snap.counters.push_back({"bbmg_learner_periods_total", 12});
+  snap.counters.push_back({"bbmg_robust_defects_total{kind=\"orphan\"}", 3});
+  snap.gauges.push_back({"bbmg_serve_queue_depth{worker=\"0\"}", -2});
+  HistogramSample h;
+  h.name = "bbmg_learner_period_latency_us";
+  h.upper_bounds = {10, 100};
+  h.counts = {4, 1, 2};  // +Inf bucket last
+  h.sum = 777;
+  h.count = 7;
+  snap.histograms.push_back(h);
+  return snap;
+}
+
+TEST(Exposition, PrometheusGolden) {
+  const std::string expected =
+      "bbmg_learner_periods_total 12\n"
+      "bbmg_robust_defects_total{kind=\"orphan\"} 3\n"
+      "bbmg_serve_queue_depth{worker=\"0\"} -2\n"
+      "bbmg_learner_period_latency_us_bucket{le=\"10\"} 4\n"
+      "bbmg_learner_period_latency_us_bucket{le=\"100\"} 5\n"
+      "bbmg_learner_period_latency_us_bucket{le=\"+Inf\"} 7\n"
+      "bbmg_learner_period_latency_us_sum 777\n"
+      "bbmg_learner_period_latency_us_count 7\n";
+  EXPECT_EQ(to_prometheus(sample_snapshot()), expected);
+}
+
+TEST(Exposition, PrometheusMergesBakedLabelsWithLe) {
+  MetricsSnapshot snap;
+  HistogramSample h;
+  h.name = "bbmg_x_us{stage=\"learn\"}";
+  h.upper_bounds = {5};
+  h.counts = {1, 0};
+  h.sum = 2;
+  h.count = 1;
+  snap.histograms.push_back(h);
+  const std::string text = to_prometheus(snap);
+  EXPECT_NE(text.find("bbmg_x_us_bucket{stage=\"learn\",le=\"5\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("bbmg_x_us_sum{stage=\"learn\"} 2"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("bbmg_x_us_count{stage=\"learn\"} 1"), std::string::npos)
+      << text;
+}
+
+TEST(Exposition, JsonGolden) {
+  const std::string expected =
+      "{\n"
+      "  \"counters\": {\n"
+      "    \"bbmg_learner_periods_total\": 12,\n"
+      "    \"bbmg_robust_defects_total{kind=\\\"orphan\\\"}\": 3\n"
+      "  },\n"
+      "  \"gauges\": {\n"
+      "    \"bbmg_serve_queue_depth{worker=\\\"0\\\"}\": -2\n"
+      "  },\n"
+      "  \"histograms\": {\n"
+      "    \"bbmg_learner_period_latency_us\": "
+      "{\"le\": [10, 100], \"counts\": [4, 1, 2], "
+      "\"sum\": 777, \"count\": 7}\n"
+      "  }\n"
+      "}\n";
+  EXPECT_EQ(to_json(sample_snapshot()), expected);
+}
+
+TEST(Exposition, EmptySnapshotSerializes) {
+  const MetricsSnapshot empty;
+  EXPECT_EQ(to_prometheus(empty), "");
+  EXPECT_EQ(to_json(empty),
+            "{\n  \"counters\": {},\n  \"gauges\": {},\n"
+            "  \"histograms\": {}\n}\n");
+}
+
+}  // namespace
+}  // namespace bbmg::obs

@@ -187,5 +187,60 @@ TEST(Protocol, MatrixPayloadRejectsNonParallelDiagonal) {
   EXPECT_THROW((void)read_matrix_payload(r), Error);
 }
 
+TEST(Protocol, MetricsRequestRoundTrip) {
+  const Frame f = through_decoder(MetricsRequestMsg{}.to_frame(), 3);
+  EXPECT_EQ(f.type, FrameType::MetricsRequest);
+  EXPECT_TRUE(f.payload.empty());
+  (void)MetricsRequestMsg::decode(f);
+}
+
+TEST(Protocol, MetricsResponseRoundTripAnyChunking) {
+  MetricsResponseMsg msg;
+  msg.snapshot.counters.push_back({"bbmg_learner_periods_total", 42});
+  msg.snapshot.counters.push_back(
+      {"bbmg_robust_defects_total{kind=\"orphan_task_end\"}", 7});
+  msg.snapshot.gauges.push_back({"bbmg_serve_queue_depth{worker=\"1\"}", -3});
+  obs::HistogramSample h;
+  h.name = "bbmg_serve_query_latency_us";
+  h.upper_bounds = {1, 4, 16};
+  h.counts = {5, 2, 0, 1};
+  h.sum = 123;
+  h.count = 8;
+  msg.snapshot.histograms.push_back(h);
+
+  for (const std::size_t chunk : {1u, 5u, 64u}) {
+    const MetricsResponseMsg back =
+        MetricsResponseMsg::decode(through_decoder(msg.to_frame(), chunk));
+    ASSERT_EQ(back.snapshot.counters.size(), 2u);
+    EXPECT_EQ(back.snapshot.counters[0].name, "bbmg_learner_periods_total");
+    EXPECT_EQ(back.snapshot.counters[0].value, 42u);
+    EXPECT_EQ(back.snapshot.counter_value(
+                  "bbmg_robust_defects_total{kind=\"orphan_task_end\"}"),
+              7u);
+    ASSERT_EQ(back.snapshot.gauges.size(), 1u);
+    EXPECT_EQ(back.snapshot.gauges[0].value, -3);
+    ASSERT_EQ(back.snapshot.histograms.size(), 1u);
+    const obs::HistogramSample& hh = back.snapshot.histograms[0];
+    EXPECT_EQ(hh.upper_bounds, h.upper_bounds);
+    EXPECT_EQ(hh.counts, h.counts);
+    EXPECT_EQ(hh.sum, 123u);
+    EXPECT_EQ(hh.count, 8u);
+  }
+}
+
+TEST(Protocol, MetricsResponseRejectsTruncatedPayload) {
+  MetricsResponseMsg msg;
+  msg.snapshot.counters.push_back({"bbmg_a_total", 1});
+  const Frame f = msg.to_frame();
+  for (std::size_t cut = 0; cut < f.payload.size(); ++cut) {
+    Frame shorter;
+    shorter.type = f.type;
+    shorter.payload.assign(f.payload.begin(),
+                           f.payload.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW((void)MetricsResponseMsg::decode(shorter), Error)
+        << "payload prefix of " << cut << " bytes decoded";
+  }
+}
+
 }  // namespace
 }  // namespace bbmg

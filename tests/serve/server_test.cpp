@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "core/heuristic_learner.hpp"
 #include "gen/gm_case_study.hpp"
+#include "obs/metrics.hpp"
 #include "serve/client.hpp"
 #include "serve/net.hpp"
 #include "serve/server.hpp"
@@ -147,6 +148,56 @@ TEST(ServerRobustness, StopUnblocksLiveConnections) {
   (void)session;
   server->stop();  // must not deadlock on the open connection
   server.reset();
+}
+
+// The acceptance path of the observability layer: replay a trace, fetch
+// the process-wide metrics snapshot over the wire, and see the learner,
+// serve and queue instrumentation reflect the replay.  The registry is
+// process-global and monotone, so assertions are >= (other tests in this
+// binary also feed it); exact-nonzero checks are gated on obs::kEnabled.
+TEST(ServerEndToEnd, MetricsRoundTripOverTheWire) {
+  ServerConfig config;
+  config.manager.workers = 2;
+  Server server(config);
+  server.start();
+
+  const Trace trace = gm_trace(11, 8);
+  ServeClient client;
+  client.connect("127.0.0.1", server.port());
+  const std::uint32_t session = client.open_session(trace.task_names());
+  client.send_trace(session, trace);
+  (void)client.query(session, /*drain=*/true);
+
+  const obs::MetricsSnapshot snap = client.fetch_metrics();
+  ASSERT_FALSE(snap.counters.empty());
+  if (obs::kEnabled) {
+    EXPECT_GE(snap.counter_value("bbmg_learner_periods_total"),
+              trace.num_periods());
+    EXPECT_GE(snap.counter_value("bbmg_robust_periods_total"),
+              trace.num_periods());
+    EXPECT_GE(snap.counter_value("bbmg_serve_periods_applied_total"),
+              trace.num_periods());
+    EXPECT_GE(snap.counter_value("bbmg_serve_sessions_opened_total"), 1u);
+    EXPECT_GE(snap.counter_value("bbmg_serve_queries_total"), 1u);
+    EXPECT_GE(snap.counter_value("bbmg_serve_connections_total"), 1u);
+    const obs::HistogramSample* lat =
+        snap.find_histogram("bbmg_serve_enqueue_apply_latency_us");
+    ASSERT_NE(lat, nullptr);
+    EXPECT_GE(lat->count, trace.num_periods());
+    // A drained session's shard queues are empty again.
+    for (const obs::GaugeSample& g : snap.gauges) {
+      if (g.name.rfind("bbmg_serve_queue_depth", 0) == 0) {
+        EXPECT_GE(g.value, 0) << g.name;
+      }
+    }
+  } else {
+    // OFF build: the wire surface works identically, all values read zero.
+    EXPECT_EQ(snap.counter_value("bbmg_learner_periods_total"), 0u);
+    EXPECT_EQ(snap.counter_value("bbmg_serve_periods_applied_total"), 0u);
+  }
+
+  client.close_session(session);
+  server.stop();
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 // A corpus of malformed trace files, each exercised through both loaders:
-// the strict reader must throw with a line-addressed diagnostic, the
-// lenient loader must survive, report, and keep whatever is salvageable.
+// the strict reader must throw with a `line:col`-addressed diagnostic, the
+// lenient loader must survive, report (same position convention), and keep
+// whatever is salvageable.
 #include <gtest/gtest.h>
 
 #include <fstream>
@@ -73,31 +74,60 @@ std::string strict_error(const char* text) {
 TEST(MalformedCorpus, StrictRejectsTruncatedFileWithLine) {
   const std::string msg = strict_error(kTruncatedFile);
   EXPECT_NE(msg.find("inside a period"), std::string::npos) << msg;
-  EXPECT_NE(msg.find("line 5"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("line 5:1"), std::string::npos) << msg;
 }
 
 TEST(MalformedCorpus, StrictRejectsNestedPeriodWithLine) {
   const std::string msg = strict_error(kNestedPeriod);
   EXPECT_NE(msg.find("nested"), std::string::npos) << msg;
-  EXPECT_NE(msg.find("line 6"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("line 6:1"), std::string::npos) << msg;
 }
 
 TEST(MalformedCorpus, StrictRejectsOrphanFallingEdgeWithLine) {
   const std::string msg = strict_error(kOrphanFallingEdge);
   EXPECT_NE(msg.find("fall without rise"), std::string::npos) << msg;
-  EXPECT_NE(msg.find("line 6"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("line 6:1"), std::string::npos) << msg;
 }
 
 TEST(MalformedCorpus, StrictRejectsDuplicateTaskStartWithLine) {
   const std::string msg = strict_error(kDuplicateTaskStart);
   EXPECT_NE(msg.find("started twice"), std::string::npos) << msg;
-  EXPECT_NE(msg.find("line 5"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("line 5:1"), std::string::npos) << msg;
 }
 
 TEST(MalformedCorpus, StrictRejectsNonMonotoneTimestampsWithLine) {
   const std::string msg = strict_error(kNonMonotoneTimestamps);
   EXPECT_FALSE(msg.empty());
   EXPECT_NE(msg.find("line"), std::string::npos) << msg;
+}
+
+// The column half of `line:col` points at the offending token, not just
+// the line: a bad time is the third token of its event line.
+TEST(MalformedCorpus, StrictPointsAtOffendingTokenColumn) {
+  const std::string msg = strict_error(
+      "trace-version 1\n"
+      "tasks a\n"
+      "period\n"
+      "start a xyz\n"  // line 4; "xyz" starts at column 9
+      "end a 1000\n"
+      "end-period\n");
+  EXPECT_NE(msg.find("bad time 'xyz'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("line 4:9"), std::string::npos) << msg;
+}
+
+TEST(MalformedCorpus, LenientPointsAtOffendingTokenColumn) {
+  const IngestReport rep = ingest_trace_string(
+      "trace-version 1\n"
+      "tasks a\n"
+      "period\n"
+      "start a xyz\n"  // line 4; "xyz" starts at column 9
+      "start a 0\n"
+      "end a 1000\n"
+      "end-period\n");
+  ASSERT_EQ(rep.diagnostics.size(), 1u);
+  EXPECT_EQ(rep.diagnostics[0].line_no, 4u);
+  EXPECT_EQ(rep.diagnostics[0].col, 9u);
+  EXPECT_EQ(rep.diagnostics[0].position(), "4:9");
 }
 
 TEST(MalformedCorpus, LenientSalvagesTruncatedFile) {
