@@ -68,6 +68,22 @@ class DynamicBitset {
     return !(a == b);
   }
 
+  /// Raw word storage, exposed for the durable snapshot codec
+  /// (src/durable): a bitset round-trips as (size, words).
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const {
+    return words_;
+  }
+
+  /// Rebuild a bitset from its serialized (size, words) form; `words` must
+  /// have exactly (bits + 63) / 64 entries.
+  [[nodiscard]] static DynamicBitset from_words(
+      std::size_t bits, std::vector<std::uint64_t> words) {
+    DynamicBitset b;
+    b.bits_ = bits;
+    b.words_ = std::move(words);
+    return b;
+  }
+
   [[nodiscard]] std::uint64_t hash_mix(std::uint64_t seed) const {
     std::uint64_t h = seed ^ (bits_ * 0x9e3779b97f4a7c15ull);
     for (auto w : words_) {

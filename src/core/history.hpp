@@ -56,6 +56,15 @@ class CoExecutionHistory {
     }
   }
 
+  /// Raw cell storage (n*n entries), exposed for the durable snapshot
+  /// codec: the history round-trips as a byte array.
+  [[nodiscard]] const std::vector<char>& cells() const { return ran_without_; }
+
+  /// Overwrite the history with serialized cells; must hold n*n entries.
+  void restore_cells(std::vector<char> cells) {
+    if (cells.size() == ran_without_.size()) ran_without_ = std::move(cells);
+  }
+
  private:
   std::size_t n_;
   std::vector<char> ran_without_;

@@ -1,6 +1,7 @@
 #include "core/online_learner.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/error.hpp"
 #include "core/learner_metrics.hpp"
@@ -149,6 +150,140 @@ void OnlineLearner::observe_quarantined_period(
   remove_duplicates_and_redundant(frontier_);
   ++stats_.quarantined_periods;
   LearnerMetrics::get().quarantined.inc();
+}
+
+// -- durable state codec ---------------------------------------------------
+//
+// Layout (little-endian, validated against the binary-codec sanity caps):
+//
+//   u32 num_tasks | u32 bound
+//   history: num_tasks^2 bytes (0/1 cells)
+//   u32 nfrontier x { matrix: n^2 value bytes |
+//                     bitset: u32 bits, u32 nwords, nwords x u64 }
+//   stats: u64 periods, messages, peak, created, merges, unexplained,
+//          quarantined | u64 wall_seconds (IEEE-754 bit pattern)
+//   u32 nfap x u32 (frontier size after each period)
+
+namespace {
+
+void encode_matrix_cells(std::vector<std::uint8_t>& out,
+                         const DependencyMatrix& m) {
+  for (std::size_t a = 0; a < m.num_tasks(); ++a) {
+    for (std::size_t b = 0; b < m.num_tasks(); ++b) {
+      append_u8(out, static_cast<std::uint8_t>(m.at(a, b)));
+    }
+  }
+}
+
+DependencyMatrix decode_matrix_cells(ByteReader& r, std::size_t n) {
+  DependencyMatrix m(n);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      const std::uint8_t v = r.read_u8();
+      if (v >= kNumDepValues) {
+        raise("learner state: invalid dependency value");
+      }
+      if (a == b) {
+        if (v != static_cast<std::uint8_t>(DepValue::Parallel)) {
+          raise("learner state: matrix diagonal must be parallel");
+        }
+        continue;
+      }
+      m.set(a, b, static_cast<DepValue>(v));
+    }
+  }
+  return m;
+}
+
+/// Hypothesis-set cap for decode: far above any reachable bound, low
+/// enough that a garbage count cannot drive a huge allocation.
+constexpr std::size_t kMaxStateFrontier = 1u << 20;
+
+}  // namespace
+
+void OnlineLearner::encode_state(std::vector<std::uint8_t>& out) const {
+  append_u32(out, static_cast<std::uint32_t>(num_tasks_));
+  append_u32(out, static_cast<std::uint32_t>(config_.bound));
+  for (const char c : history_.cells()) {
+    append_u8(out, static_cast<std::uint8_t>(c != 0 ? 1 : 0));
+  }
+  append_u32(out, static_cast<std::uint32_t>(frontier_.size()));
+  for (const Hypothesis& h : frontier_) {
+    encode_matrix_cells(out, h.d);
+    append_u32(out, static_cast<std::uint32_t>(h.used.size()));
+    append_u32(out, static_cast<std::uint32_t>(h.used.words().size()));
+    for (const std::uint64_t w : h.used.words()) append_u64(out, w);
+  }
+  append_u64(out, stats_.periods_processed);
+  append_u64(out, stats_.messages_processed);
+  append_u64(out, stats_.peak_hypotheses);
+  append_u64(out, stats_.hypotheses_created);
+  append_u64(out, stats_.merges);
+  append_u64(out, stats_.unexplained_messages);
+  append_u64(out, stats_.quarantined_periods);
+  std::uint64_t wall_bits = 0;
+  static_assert(sizeof(wall_bits) == sizeof(stats_.wall_seconds));
+  std::memcpy(&wall_bits, &stats_.wall_seconds, sizeof(wall_bits));
+  append_u64(out, wall_bits);
+  append_u32(out, static_cast<std::uint32_t>(stats_.frontier_after_period.size()));
+  for (const std::size_t f : stats_.frontier_after_period) {
+    append_u32(out, static_cast<std::uint32_t>(f));
+  }
+}
+
+OnlineLearner OnlineLearner::decode_state(ByteReader& r) {
+  const std::uint32_t n = r.read_u32();
+  if (n == 0 || n > kMaxTasks) raise("learner state: task count out of range");
+  const std::uint32_t bound = r.read_u32();
+  if (bound == 0) raise("learner state: bound must be >= 1");
+  OnlineConfig config;
+  config.bound = bound;
+  OnlineLearner learner(n, config);
+
+  std::vector<char> cells(static_cast<std::size_t>(n) * n);
+  for (char& c : cells) c = static_cast<char>(r.read_u8() != 0 ? 1 : 0);
+  learner.history_.restore_cells(std::move(cells));
+
+  const std::uint32_t nfrontier = r.read_u32();
+  if (nfrontier == 0 || nfrontier > kMaxStateFrontier) {
+    raise("learner state: frontier size out of range");
+  }
+  learner.frontier_.clear();
+  learner.frontier_.reserve(nfrontier);
+  const std::size_t bits_expected = static_cast<std::size_t>(n) * n;
+  const std::size_t words_expected = (bits_expected + 63) / 64;
+  for (std::uint32_t i = 0; i < nfrontier; ++i) {
+    DependencyMatrix d = decode_matrix_cells(r, n);
+    const std::uint32_t bits = r.read_u32();
+    const std::uint32_t nwords = r.read_u32();
+    if (bits != bits_expected || nwords != words_expected) {
+      raise("learner state: assumption bitset shape mismatch");
+    }
+    std::vector<std::uint64_t> words;
+    words.reserve(nwords);
+    for (std::uint32_t w = 0; w < nwords; ++w) words.push_back(r.read_u64());
+    learner.frontier_.emplace_back(
+        std::move(d), DynamicBitset::from_words(bits, std::move(words)));
+  }
+
+  learner.stats_.periods_processed = r.read_u64();
+  learner.stats_.messages_processed = r.read_u64();
+  learner.stats_.peak_hypotheses = r.read_u64();
+  learner.stats_.hypotheses_created = r.read_u64();
+  learner.stats_.merges = r.read_u64();
+  learner.stats_.unexplained_messages = r.read_u64();
+  learner.stats_.quarantined_periods = r.read_u64();
+  const std::uint64_t wall_bits = r.read_u64();
+  std::memcpy(&learner.stats_.wall_seconds, &wall_bits,
+              sizeof(learner.stats_.wall_seconds));
+  const std::uint32_t nfap = r.read_u32();
+  if (nfap > kMaxPeriods) raise("learner state: period count out of range");
+  learner.stats_.frontier_after_period.clear();
+  learner.stats_.frontier_after_period.reserve(nfap);
+  for (std::uint32_t i = 0; i < nfap; ++i) {
+    learner.stats_.frontier_after_period.push_back(r.read_u32());
+  }
+  return learner;
 }
 
 LearnResult OnlineLearner::snapshot() const {

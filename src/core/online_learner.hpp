@@ -15,6 +15,7 @@
 #include "core/history.hpp"
 #include "core/hypothesis.hpp"
 #include "core/learn_result.hpp"
+#include "trace/binary_codec.hpp"
 #include "trace/trace.hpp"
 
 namespace bbmg {
@@ -53,6 +54,18 @@ class OnlineLearner {
 
   /// Copy out matrices + stats in the batch-result shape.
   [[nodiscard]] LearnResult snapshot() const;
+
+  // -- durable state codec (src/durable snapshot files) --------------------
+  //
+  // The full mutable state of the learner — co-execution history, frontier
+  // hypotheses with their assumption bitsets, and accumulated stats — as a
+  // little-endian byte stream.  decode_state(encode_state(L)) is
+  // behaviourally identical to L: feeding both the same subsequent periods
+  // yields byte-identical hypothesis sets (the crash-recovery determinism
+  // property).  Decoding validates sizes against the binary-codec sanity
+  // caps and throws bbmg::Error on malformed input.
+  void encode_state(std::vector<std::uint8_t>& out) const;
+  [[nodiscard]] static OnlineLearner decode_state(ByteReader& r);
 
  private:
   std::size_t num_tasks_;

@@ -1,0 +1,20 @@
+// CRC32 (IEEE 802.3 polynomial, the zlib/PNG variant) for the durable
+// file formats: every snapshot payload and every WAL record carries a
+// checksum so a torn write or bit rot is detected at recovery time and
+// the damaged unit is quarantined instead of silently corrupting a model.
+// Table-driven, no external dependency.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bbmg::durable {
+
+[[nodiscard]] std::uint32_t crc32(const std::uint8_t* data, std::size_t size);
+
+[[nodiscard]] inline std::uint32_t crc32(const std::vector<std::uint8_t>& bytes) {
+  return crc32(bytes.data(), bytes.size());
+}
+
+}  // namespace bbmg::durable

@@ -1,0 +1,66 @@
+// Process-wide durability metrics (DESIGN.md "Durability & recovery"):
+// WAL append/fsync accounting, snapshot write cost, and the recovery
+// pass's outcome counters (sessions restored, WAL periods replayed, files
+// quarantined, torn tails truncated).  Resolved once behind a
+// function-local static like serve/serve_metrics.hpp.
+#pragma once
+
+#include "obs/metrics.hpp"
+
+namespace bbmg::durable {
+
+struct DurableMetrics {
+  /// WAL records appended (one per applied period on a durable session).
+  obs::Counter& wal_appends;
+  /// Bytes appended to WALs (records incl. framing).
+  obs::Counter& wal_bytes;
+  /// fsync calls issued on WAL files (group commit: one per N appends).
+  obs::Counter& wal_fsyncs;
+  /// Snapshot files written (periodic compaction + shutdown checkpoints).
+  obs::Counter& snapshots_written;
+  /// Bytes written into snapshot files.
+  obs::Counter& snapshot_bytes;
+  /// Sessions restored by a recovery pass.
+  obs::Counter& recovered_sessions;
+  /// WAL tail periods replayed into restored learners.
+  obs::Counter& replayed_periods;
+  /// Corrupt snapshot/WAL files moved to the quarantine directory.
+  obs::Counter& quarantined_files;
+  /// WAL files whose torn tail was truncated at the last good record.
+  obs::Counter& torn_wal_tails;
+  /// Wall time of one WAL append (write syscall + optional fsync).
+  obs::Histogram& wal_append_us;
+  /// Wall time of one snapshot write (encode + write + fsync + rename).
+  obs::Histogram& snapshot_write_us;
+  /// Wall time of one full recovery pass.
+  obs::Histogram& recovery_us;
+
+  static DurableMetrics& get() {
+    static DurableMetrics m = make();
+    return m;
+  }
+
+ private:
+  static DurableMetrics make() {
+    auto& r = obs::MetricsRegistry::instance();
+    return DurableMetrics{
+        r.counter("bbmg_durable_wal_appends_total"),
+        r.counter("bbmg_durable_wal_bytes_total"),
+        r.counter("bbmg_durable_wal_fsyncs_total"),
+        r.counter("bbmg_durable_snapshots_written_total"),
+        r.counter("bbmg_durable_snapshot_bytes_total"),
+        r.counter("bbmg_durable_recovered_sessions_total"),
+        r.counter("bbmg_durable_replayed_periods_total"),
+        r.counter("bbmg_durable_quarantined_files_total"),
+        r.counter("bbmg_durable_torn_wal_tails_total"),
+        r.histogram("bbmg_durable_wal_append_us",
+                    obs::default_latency_buckets_us()),
+        r.histogram("bbmg_durable_snapshot_write_us",
+                    obs::default_latency_buckets_us()),
+        r.histogram("bbmg_durable_recovery_us",
+                    obs::default_latency_buckets_us()),
+    };
+  }
+};
+
+}  // namespace bbmg::durable

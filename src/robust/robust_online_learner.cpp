@@ -93,6 +93,66 @@ RobustSnapshot RobustOnlineLearner::full_snapshot() const {
   return snap;
 }
 
+// Decode-side cap: a garbage defect count must not drive a huge
+// allocation.  Real defect logs are bounded by the period count.
+namespace {
+constexpr std::size_t kMaxStateDefects = 1u << 26;
+}  // namespace
+
+void RobustOnlineLearner::encode_state(std::vector<std::uint8_t>& out) const {
+  append_u64(out, seen_);
+  append_u64(out, quarantined_);
+  append_u64(out, repairs_);
+  append_u8(out, static_cast<std::uint8_t>(last_health_));
+  append_u32(out, static_cast<std::uint32_t>(defects_.size()));
+  for (const Defect& d : defects_) {
+    append_u8(out, static_cast<std::uint8_t>(d.kind));
+    append_u64(out, d.period_index);
+    append_u64(out, d.event_index);
+    append_u8(out, d.repaired ? 1 : 0);
+  }
+  learner_.encode_state(out);
+}
+
+RobustOnlineLearner RobustOnlineLearner::decode_state(
+    std::vector<std::string> task_names, const RobustConfig& config,
+    ByteReader& r) {
+  RobustOnlineLearner rl(std::move(task_names), config);
+  rl.seen_ = r.read_u64();
+  rl.quarantined_ = r.read_u64();
+  rl.repairs_ = r.read_u64();
+  if (rl.quarantined_ > rl.seen_) {
+    raise("robust state: quarantined exceeds seen");
+  }
+  const std::uint8_t health = r.read_u8();
+  if (health > static_cast<std::uint8_t>(HealthState::Failed)) {
+    raise("robust state: invalid health state");
+  }
+  rl.last_health_ = static_cast<HealthState>(health);
+  const std::uint32_t ndefects = r.read_u32();
+  if (ndefects > kMaxStateDefects) {
+    raise("robust state: defect count out of range");
+  }
+  rl.defects_.clear();
+  rl.defects_.reserve(ndefects);
+  for (std::uint32_t i = 0; i < ndefects; ++i) {
+    Defect d;
+    const std::uint8_t kind = r.read_u8();
+    if (kind >= kNumDefectKinds) raise("robust state: invalid defect kind");
+    d.kind = static_cast<DefectKind>(kind);
+    d.period_index = r.read_u64();
+    d.event_index = r.read_u64();
+    d.repaired = r.read_u8() != 0;
+    rl.defects_.push_back(d);
+  }
+  OnlineLearner restored = OnlineLearner::decode_state(r);
+  if (restored.num_tasks() != rl.learner_.num_tasks()) {
+    raise("robust state: task count mismatch with nested learner");
+  }
+  rl.learner_ = std::move(restored);
+  return rl;
+}
+
 std::string RobustOnlineLearner::health_summary() const {
   char buf[192];
   const double learned_pct =

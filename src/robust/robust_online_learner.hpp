@@ -107,6 +107,18 @@ class RobustOnlineLearner {
   ///  (1 period, 4 repairs; health: OK)".
   [[nodiscard]] std::string health_summary() const;
 
+  // -- durable state codec (src/durable snapshot files) --------------------
+  //
+  // Ingestion accounting, the defect log, and the wrapped learner's full
+  // state as a little-endian byte stream.  decode_state restores a learner
+  // that continues byte-identically to the encoded one; the sanitizer is
+  // stateless and is rebuilt from (task_names, config).  Throws
+  // bbmg::Error on malformed input.
+  void encode_state(std::vector<std::uint8_t>& out) const;
+  [[nodiscard]] static RobustOnlineLearner decode_state(
+      std::vector<std::string> task_names, const RobustConfig& config,
+      ByteReader& r);
+
  private:
   /// Count a health-state change into the transition metrics (called after
   /// every raw period; no-op while the state is stable).

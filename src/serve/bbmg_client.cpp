@@ -13,6 +13,13 @@
 //   bbmg_client metrics <host> <port> [--json]
 //       fetch the server's observability snapshot and print it in
 //       Prometheus text exposition format (or one JSON object).
+//   bbmg_client resume <host> <port> <session-id>
+//       report the session's durable high-water mark (the sequence number
+//       below which every period survives a server crash).
+//
+// replay streams through the ResilientClient: periods carry sequence
+// numbers, and connection failures retry with exponential backoff, resume
+// the session, and resend whatever the server had not yet made durable.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,7 +28,7 @@
 #include "common/error.hpp"
 #include "lattice/matrix_io.hpp"
 #include "obs/exposition.hpp"
-#include "serve/client.hpp"
+#include "serve/resilient_client.hpp"
 #include "trace/binary_codec.hpp"
 #include "trace/serialize.hpp"
 
@@ -36,7 +43,8 @@ int usage() {
                "[bound]\n"
                "  bbmg_client query <host> <port> <session-id>\n"
                "  bbmg_client check <host> <port> <session-id> <in.trace>\n"
-               "  bbmg_client metrics <host> <port> [--json]\n");
+               "  bbmg_client metrics <host> <port> [--json]\n"
+               "  bbmg_client resume <host> <port> <session-id>\n");
   return 2;
 }
 
@@ -75,12 +83,19 @@ int cmd_replay(int argc, char** argv) {
       argc > 6 ? static_cast<std::uint32_t>(std::strtoul(argv[6], nullptr, 10))
                : 16;
 
-  ServeClient client;
+  ResilientClient client;
   client.connect(host, port);
   const std::uint32_t session = client.open_session(trace.task_names(), bound);
-  const std::size_t sent = client.send_trace(session, trace);
-  std::printf("streamed %zu periods (%zu event pairs) to session %u\n", sent,
-              trace.total_event_pairs(), session);
+  std::size_t sent = 0;
+  for (const Period& p : trace.periods()) {
+    client.send_period(session, p.to_events());
+    ++sent;
+  }
+  const std::uint64_t durable = client.flush(session);
+  std::printf("streamed %zu periods (%zu event pairs) to session %u "
+              "(durable through seq %llu)\n",
+              sent, trace.total_event_pairs(), session,
+              static_cast<unsigned long long>(durable));
   const WireSnapshot snap = client.query(session, /*drain=*/true);
   print_snapshot(snap, trace.task_names());
   if (argc > 5) {
@@ -145,6 +160,19 @@ int cmd_metrics(int argc, char** argv) {
   return 0;
 }
 
+int cmd_resume(int argc, char** argv) {
+  if (argc < 5) return usage();
+  ServeClient client;
+  client.connect(argv[2],
+                 static_cast<std::uint16_t>(std::strtoul(argv[3], nullptr, 10)));
+  const auto session =
+      static_cast<std::uint32_t>(std::strtoul(argv[4], nullptr, 10));
+  const std::uint64_t high_water = client.resume(session);
+  std::printf("session %u: durable high-water mark %llu\n", session,
+              static_cast<unsigned long long>(high_water));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -154,6 +182,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[1], "query") == 0) return cmd_query(argc, argv);
     if (std::strcmp(argv[1], "check") == 0) return cmd_check(argc, argv);
     if (std::strcmp(argv[1], "metrics") == 0) return cmd_metrics(argc, argv);
+    if (std::strcmp(argv[1], "resume") == 0) return cmd_resume(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bbmg_client: error: %s\n", e.what());
     return 2;

@@ -1,13 +1,20 @@
 // bbmg_served: the learning service daemon.
 //
 //   bbmg_served [port] [workers] [queue-capacity] [--stats-interval <sec>]
+//               [--data-dir <dir>] [--fsync-every <n>] [--snapshot-every <n>]
 //
 // Listens on 127.0.0.1:<port> (default 7227; 0 picks an ephemeral port and
 // prints it), shards incoming learning sessions over <workers> threads
 // (default 2), and serves model queries from per-session snapshots.  With
 // --stats-interval N a one-line observability summary (sessions, periods,
-// queries, quarantine, queue depth) is printed every N seconds.  Runs
-// until SIGINT/SIGTERM.
+// queries, quarantine, queue depth) is printed every N seconds.
+//
+// With --data-dir the daemon is crash-safe: every accepted period is
+// WAL-logged before it is learned from, sessions are compacted with
+// periodic snapshots, and startup recovers every session found in the
+// directory (quarantining corrupt files, never aborting).  SIGTERM/SIGINT
+// trigger a graceful drain: stop accepting, finish queued periods, flush
+// and snapshot every session, exit 0 — restart needs no WAL replay.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -15,6 +22,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "serve/net.hpp"
 #include "serve/server.hpp"
 
 using namespace bbmg;
@@ -28,7 +36,8 @@ void handle_signal(int) { g_stop = 1; }
 int usage() {
   std::fprintf(stderr,
                "usage: bbmg_served [port] [workers] [queue-capacity] "
-               "[--stats-interval <seconds>]\n");
+               "[--stats-interval <seconds>] [--data-dir <dir>] "
+               "[--fsync-every <n>] [--snapshot-every <n>]\n");
   return 2;
 }
 
@@ -71,6 +80,17 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) return usage();
       stats_interval = std::strtoul(argv[++i], nullptr, 10);
       if (stats_interval == 0) return usage();
+    } else if (std::strcmp(argv[i], "--data-dir") == 0) {
+      if (i + 1 >= argc) return usage();
+      config.manager.durable.dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--fsync-every") == 0) {
+      if (i + 1 >= argc) return usage();
+      config.manager.durable.fsync_every = std::strtoul(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--snapshot-every") == 0) {
+      if (i + 1 >= argc) return usage();
+      config.manager.durable.snapshot_every =
+          std::strtoul(argv[++i], nullptr, 10);
+      if (config.manager.durable.snapshot_every == 0) return usage();
     } else {
       positional.push_back(argv[i]);
     }
@@ -86,9 +106,24 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
+  // A client that vanishes mid-reply must not kill the daemon.
+  net::ignore_sigpipe();
 
   try {
     Server server(config);
+    if (config.manager.durable.enabled()) {
+      const RecoverySummary& rec = server.manager().recovery();
+      std::printf("bbmg_served: recovery: %zu sessions, %llu periods "
+                  "replayed, %llu torn WAL tails truncated, %zu files "
+                  "quarantined\n",
+                  rec.sessions,
+                  static_cast<unsigned long long>(rec.replayed_periods),
+                  static_cast<unsigned long long>(rec.torn_tails),
+                  rec.quarantined_files);
+      for (const std::string& d : rec.diagnostics) {
+        std::printf("bbmg_served: recovery: %s\n", d.c_str());
+      }
+    }
     server.start();
     std::printf("bbmg_served: listening on 127.0.0.1:%u (%zu workers, "
                 "queue capacity %zu periods)\n",
@@ -106,7 +141,14 @@ int main(int argc, char** argv) {
     }
     std::printf("bbmg_served: shutting down (%zu sessions served)\n",
                 server.manager().num_sessions());
+    // Graceful drain: stop() refuses new work and finishes every queued
+    // period; checkpoint_all() then snapshots each durable session so the
+    // next start recovers instantly, with no WAL tail to replay.
     server.stop();
+    if (config.manager.durable.enabled()) {
+      server.manager().checkpoint_all();
+      std::printf("bbmg_served: all sessions checkpointed\n");
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bbmg_served: error: %s\n", e.what());
     return 1;

@@ -1,0 +1,80 @@
+#include "serve/chaos_transport.hpp"
+
+#include <ctime>
+
+#include "common/error.hpp"
+
+namespace bbmg::net {
+
+void ChaosTransport::maybe_delay() {
+  if (config_.delay_prob <= 0.0 || !rng_.next_bool(config_.delay_prob)) {
+    return;
+  }
+  const std::uint64_t us = rng_.next_below(config_.max_delay_us + 1);
+  timespec ts{};
+  ts.tv_sec = static_cast<time_t>(us / 1000000);
+  ts.tv_nsec = static_cast<long>((us % 1000000) * 1000);
+  (void)::nanosleep(&ts, nullptr);
+}
+
+void ChaosTransport::inject_reset() {
+  poisoned_ = true;
+  ++faults_;
+  raise("chaos: injected connection reset");
+}
+
+void ChaosTransport::check_poisoned() const {
+  if (poisoned_) raise("chaos: transport already reset");
+}
+
+std::size_t ChaosTransport::read_some(std::uint8_t* data, std::size_t size) {
+  check_poisoned();
+  maybe_delay();
+  if (config_.reset_prob > 0.0 && rng_.next_bool(config_.reset_prob)) {
+    inject_reset();
+  }
+  const std::size_t n = inner_.read_some(data, size);
+  if (n > 1 && config_.truncate_read_prob > 0.0 &&
+      rng_.next_bool(config_.truncate_read_prob)) {
+    // Deliver a strict prefix, then poison: the caller sees a peer that
+    // died mid-frame.  The swallowed suffix is gone, exactly like bytes
+    // that were in flight when a real connection reset.
+    poisoned_ = true;
+    ++faults_;
+    return rng_.next_below(n - 1) + 1;
+  }
+  return n;
+}
+
+void ChaosTransport::write(const std::uint8_t* data, std::size_t size) {
+  check_poisoned();
+  maybe_delay();
+  if (config_.reset_prob > 0.0 && rng_.next_bool(config_.reset_prob)) {
+    inject_reset();
+  }
+  if (size > 1 && config_.partial_write_prob > 0.0 &&
+      rng_.next_bool(config_.partial_write_prob)) {
+    // Fragment the logical write; a reset can land between fragments,
+    // leaving a torn frame on the peer's side of the stream.
+    std::size_t off = 0;
+    while (off < size) {
+      const std::size_t remaining = size - off;
+      const std::size_t chunk =
+          remaining == 1 ? 1 : rng_.next_below(remaining - 1) + 1;
+      inner_.write(data + off, chunk);
+      off += chunk;
+      if (off < size) {
+        maybe_delay();
+        if (config_.reset_prob > 0.0 && rng_.next_bool(config_.reset_prob)) {
+          ++faults_;
+          inject_reset();
+        }
+      }
+    }
+    ++faults_;
+    return;
+  }
+  inner_.write(data, size);
+}
+
+}  // namespace bbmg::net

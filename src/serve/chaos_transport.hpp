@@ -1,0 +1,67 @@
+// ChaosTransport: a fault-injecting wrapper over net::Transport for the
+// crash/chaos tests (tests/durable/chaos_test.cpp).  Under a seeded RNG it
+// perturbs the byte stream the way a hostile network (or a dying peer)
+// would, without touching the protocol or socket code under test:
+//
+//   * delays   — sleep up to max_delay_us before an op;
+//   * resets   — throw bbmg::Error("chaos: injected connection reset")
+//                and poison the transport (every later op throws too),
+//                modelling ECONNRESET mid-conversation;
+//   * partial writes — split one logical write into several transport
+//                writes with delays between them, so the peer's decoder
+//                sees frames arriving in arbitrary fragments;
+//   * read truncation — deliver a prefix of what the inner transport
+//                returned, then reset, modelling a peer killed mid-frame.
+//
+// All randomness comes from the seeded bbmg::Rng, so a failing chaos run
+// reproduces from its seed alone.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "serve/net.hpp"
+
+namespace bbmg::net {
+
+struct ChaosConfig {
+  std::uint64_t seed{1};
+  /// Probability of sleeping before an op, and the sleep's upper bound.
+  double delay_prob{0.0};
+  std::uint32_t max_delay_us{500};
+  /// Probability of an injected connection reset per op.
+  double reset_prob{0.0};
+  /// Probability that a write is fragmented into multiple smaller writes.
+  double partial_write_prob{0.0};
+  /// Probability that a read delivers only a prefix and then resets.
+  double truncate_read_prob{0.0};
+};
+
+class ChaosTransport final : public Transport {
+ public:
+  ChaosTransport(Transport& inner, ChaosConfig config)
+      : inner_(inner), config_(config), rng_(config.seed) {}
+
+  [[nodiscard]] std::size_t read_some(std::uint8_t* data,
+                                      std::size_t size) override;
+  void write(const std::uint8_t* data, std::size_t size) override;
+
+  /// True once a reset was injected (or armed by a truncated read); every
+  /// subsequent op throws, like a socket after ECONNRESET.
+  [[nodiscard]] bool poisoned() const { return poisoned_; }
+  [[nodiscard]] std::uint64_t injected_faults() const { return faults_; }
+
+ private:
+  void maybe_delay();
+  [[noreturn]] void inject_reset();
+  void check_poisoned() const;
+
+  Transport& inner_;
+  ChaosConfig config_;
+  Rng rng_;
+  bool poisoned_{false};
+  std::uint64_t faults_{0};
+};
+
+}  // namespace bbmg::net

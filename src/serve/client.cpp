@@ -11,6 +11,9 @@ ServeClient::~ServeClient() { disconnect(); }
 void ServeClient::connect(const std::string& host, std::uint16_t port) {
   BBMG_REQUIRE(fd_ < 0, "client already connected");
   fd_ = net::connect_tcp(host, port);
+  if (request_timeout_ms_ != 0) {
+    net::set_socket_timeout(fd_, request_timeout_ms_);
+  }
   try {
     net::write_frame(fd_, HelloMsg{}.to_frame(FrameType::Hello));
     (void)HelloMsg::decode(expect_reply(FrameType::HelloAck));
@@ -58,7 +61,8 @@ std::uint32_t ServeClient::open_session(
 }
 
 void ServeClient::send_period(std::uint32_t session,
-                              const std::vector<Event>& events) {
+                              const std::vector<Event>& events,
+                              std::uint64_t seq) {
   BBMG_REQUIRE(fd_ >= 0, "client not connected");
   EventsMsg msg;
   msg.session = session;
@@ -66,8 +70,17 @@ void ServeClient::send_period(std::uint32_t session,
   // One write for both frames: the period payload and its delimiter.
   std::vector<std::uint8_t> bytes;
   append_frame(bytes, msg.to_frame());
-  append_frame(bytes, SessionRefMsg{session}.to_frame(FrameType::EndPeriod));
+  append_frame(bytes, EndPeriodMsg{session, seq}.to_frame());
   net::write_all(fd_, bytes.data(), bytes.size());
+}
+
+std::uint64_t ServeClient::resume(std::uint32_t session) {
+  BBMG_REQUIRE(fd_ >= 0, "client not connected");
+  net::write_frame(fd_, SessionRefMsg{session}.to_frame(FrameType::Resume));
+  const ResumeAckMsg ack =
+      ResumeAckMsg::decode(expect_reply(FrameType::ResumeAck));
+  BBMG_REQUIRE(ack.session == session, "resume: session mismatch in ack");
+  return ack.high_water;
 }
 
 std::size_t ServeClient::send_trace(std::uint32_t session, const Trace& trace) {

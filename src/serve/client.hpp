@@ -45,13 +45,29 @@ class ServeClient {
   void disconnect();
   [[nodiscard]] bool connected() const { return fd_ >= 0; }
 
+  /// Per-request deadline: every socket read/write after the next connect
+  /// fails with a deadline error instead of blocking forever (0 = never
+  /// time out, the default).  Applied at connect time.
+  void set_request_timeout_ms(std::uint32_t timeout_ms) {
+    request_timeout_ms_ = timeout_ms;
+  }
+
   [[nodiscard]] std::uint32_t open_session(
       const std::vector<std::string>& task_names, std::uint32_t bound = 16,
       SanitizePolicy policy = SanitizePolicy::Repair,
       std::uint32_t snapshot_interval = 1);
 
-  /// Stream one raw period (Events + EndPeriod, fire-and-forget).
-  void send_period(std::uint32_t session, const std::vector<Event>& events);
+  /// Stream one raw period (Events + EndPeriod, fire-and-forget).  seq,
+  /// when non-zero, is the idempotence sequence number for the period
+  /// (must be 1, 2, 3, ... per session); the server drops duplicates at or
+  /// below its high-water mark, making resends after a reconnect safe.
+  void send_period(std::uint32_t session, const std::vector<Event>& events,
+                   std::uint64_t seq = 0);
+
+  /// Ask the server for the session's durable high-water mark: the highest
+  /// sequence number whose period is applied AND fsynced.  Everything above
+  /// it must be re-sent after a reconnect.
+  [[nodiscard]] std::uint64_t resume(std::uint32_t session);
 
   /// Stream every period of a trace; returns the number of periods sent.
   std::size_t send_trace(std::uint32_t session, const Trace& trace);
@@ -74,6 +90,7 @@ class ServeClient {
 
   int fd_{-1};
   FrameDecoder decoder_;
+  std::uint32_t request_timeout_ms_{0};
 };
 
 }  // namespace bbmg

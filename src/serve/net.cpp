@@ -4,13 +4,24 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <csignal>
 #include <cstring>
 #include <sstream>
 
 #include "common/error.hpp"
+
+// Linux spells the don't-raise-SIGPIPE flag MSG_NOSIGNAL on send();
+// macOS/BSD instead set SO_NOSIGPIPE once per socket.  Normalize so the
+// send path below compiles (and is safe) on both.
+#ifndef MSG_NOSIGNAL
+#define BBMG_MSG_NOSIGNAL 0
+#else
+#define BBMG_MSG_NOSIGNAL MSG_NOSIGNAL
+#endif
 
 namespace bbmg::net {
 
@@ -22,7 +33,32 @@ namespace {
   raise(os.str());
 }
 
+void set_nosigpipe(int fd) {
+#ifdef SO_NOSIGPIPE
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof(one));
+#else
+  (void)fd;
+#endif
+}
+
 }  // namespace
+
+void ignore_sigpipe() {
+  // Process-wide and idempotent; SIG_IGN survives fork/exec of children
+  // that reset handlers, which is all we need for the daemon.
+  (void)std::signal(SIGPIPE, SIG_IGN);
+}
+
+void set_socket_timeout(int fd, std::uint32_t timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0 ||
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    raise_errno("setsockopt timeout");
+  }
+}
 
 Listener listen_tcp(std::uint16_t port, int backlog) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -55,6 +91,7 @@ std::optional<int> accept_connection(int listen_fd) {
     if (fd >= 0) {
       const int one = 1;
       (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      set_nosigpipe(fd);
       return fd;
     }
     if (errno == EINTR) continue;
@@ -77,6 +114,7 @@ int connect_tcp(const std::string& host, std::uint16_t port) {
     if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
       const int one = 1;
       (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      set_nosigpipe(fd);
       return fd;
     }
     if (errno == EINTR) continue;
@@ -96,38 +134,63 @@ void shutdown_socket(int fd) {
 void write_all(int fd, const std::uint8_t* data, std::size_t size) {
   std::size_t sent = 0;
   while (sent < size) {
-    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    const ssize_t n = ::send(fd, data + sent, size - sent, BBMG_MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        raise("net: send timed out (deadline exceeded)");
+      }
       raise_errno("send");
     }
     sent += static_cast<std::size_t>(n);
   }
 }
 
+std::size_t FdTransport::read_some(std::uint8_t* data, std::size_t size) {
+  for (;;) {
+    const ssize_t n = ::recv(fd_, data, size, 0);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      raise("net: recv timed out (deadline exceeded)");
+    }
+    raise_errno("recv");
+  }
+}
+
+void FdTransport::write(const std::uint8_t* data, std::size_t size) {
+  write_all(fd_, data, size);
+}
+
 void write_frame(int fd, const Frame& frame) {
+  FdTransport transport(fd);
+  write_frame(transport, frame);
+}
+
+void write_frame(Transport& transport, const Frame& frame) {
   std::vector<std::uint8_t> bytes;
   bytes.reserve(5 + frame.payload.size());
   append_frame(bytes, frame);
-  write_all(fd, bytes.data(), bytes.size());
+  transport.write(bytes.data(), bytes.size());
 }
 
 std::optional<Frame> read_frame(int fd, FrameDecoder& decoder) {
+  FdTransport transport(fd);
+  return read_frame(transport, decoder);
+}
+
+std::optional<Frame> read_frame(Transport& transport, FrameDecoder& decoder) {
   if (auto frame = decoder.next()) return frame;
   std::uint8_t chunk[16 * 1024];
   for (;;) {
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      raise_errno("recv");
-    }
+    const std::size_t n = transport.read_some(chunk, sizeof(chunk));
     if (n == 0) {
       if (decoder.buffered() != 0) {
         raise("net: connection closed mid-frame");
       }
       return std::nullopt;
     }
-    decoder.feed(chunk, static_cast<std::size_t>(n));
+    decoder.feed(chunk, n);
     if (auto frame = decoder.next()) return frame;
   }
 }

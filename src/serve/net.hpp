@@ -1,6 +1,20 @@
 // Thin POSIX socket layer shared by the serve front-end and the client:
 // enough to open/accept TCP connections and move whole protocol frames,
-// with EINTR handled and errors surfaced as bbmg::Error.  Kept apart from
+// with the classic raw-I/O hazards handled once, here:
+//
+//   * EINTR is retried on every syscall (connect/accept/send/recv);
+//   * short writes are completed in a loop — callers always get
+//     all-or-error semantics;
+//   * SIGPIPE can never kill the process: sends pass MSG_NOSIGNAL where
+//     the platform has it, SO_NOSIGPIPE is set where it doesn't (macOS),
+//     and ignore_sigpipe() is available as a belt-and-braces process-wide
+//     guard for platforms with neither;
+//   * per-request deadlines via set_socket_timeout(); a timed-out
+//     send/recv surfaces as bbmg::Error("net: ... timed out").
+//
+// I/O is routed through the Transport interface so tests can interpose a
+// fault-injecting wrapper (chaos_transport.hpp) between the protocol
+// logic and the socket without touching either.  Kept apart from
 // protocol.hpp so the codec/framing logic stays testable without sockets.
 #pragma once
 
@@ -30,13 +44,61 @@ void close_socket(int fd);
 /// Unblock a peer's pending reads without closing our fd yet.
 void shutdown_socket(int fd);
 
+/// Ignore SIGPIPE process-wide (idempotent).  MSG_NOSIGNAL/SO_NOSIGPIPE
+/// already cover socket sends on Linux/BSD; this guards any remaining
+/// write-to-dead-peer path and platforms with neither flag.
+void ignore_sigpipe();
+
+/// Arm send/receive deadlines on a connected socket (SO_SNDTIMEO /
+/// SO_RCVTIMEO).  0 = blocking forever (the default).  After this, a
+/// stalled peer turns into bbmg::Error instead of a hang — the client's
+/// per-request deadline mechanism.
+void set_socket_timeout(int fd, std::uint32_t timeout_ms);
+
+// -- transport abstraction -------------------------------------------------
+
+/// Byte-stream endpoint the framing logic reads/writes through.  The
+/// production implementation is FdTransport over a TCP socket; chaos tests
+/// interpose ChaosTransport to inject resets, delays, partial writes and
+/// truncations between the protocol and the wire.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  /// Read up to `size` bytes; returns 0 on clean EOF.  Throws bbmg::Error
+  /// on read errors or a timed-out receive deadline.
+  [[nodiscard]] virtual std::size_t read_some(std::uint8_t* data,
+                                              std::size_t size) = 0;
+  /// Write the whole buffer (all-or-error).  Throws bbmg::Error on broken
+  /// connections or a timed-out send deadline.
+  virtual void write(const std::uint8_t* data, std::size_t size) = 0;
+};
+
+/// Transport over a connected socket fd.  Non-owning: the fd's lifetime
+/// belongs to whoever accepted/connected it.
+class FdTransport final : public Transport {
+ public:
+  explicit FdTransport(int fd) : fd_(fd) {}
+  [[nodiscard]] std::size_t read_some(std::uint8_t* data,
+                                      std::size_t size) override;
+  void write(const std::uint8_t* data, std::size_t size) override;
+  [[nodiscard]] int fd() const { return fd_; }
+
+ private:
+  int fd_;
+};
+
+// -- frame I/O -------------------------------------------------------------
+
 /// Write the whole buffer; throws bbmg::Error on a broken connection.
 void write_all(int fd, const std::uint8_t* data, std::size_t size);
 void write_frame(int fd, const Frame& frame);
+void write_frame(Transport& transport, const Frame& frame);
 
-/// Read one frame via the decoder, pulling more bytes from the socket as
-/// needed.  nullopt on clean EOF at a frame boundary; throws bbmg::Error
-/// on mid-frame EOF, read errors, or malformed framing.
+/// Read one frame via the decoder, pulling more bytes from the transport
+/// as needed.  nullopt on clean EOF at a frame boundary; throws
+/// bbmg::Error on mid-frame EOF, read errors, or malformed framing.
 [[nodiscard]] std::optional<Frame> read_frame(int fd, FrameDecoder& decoder);
+[[nodiscard]] std::optional<Frame> read_frame(Transport& transport,
+                                              FrameDecoder& decoder);
 
 }  // namespace bbmg::net

@@ -42,13 +42,18 @@ void FrameDecoder::feed(const std::uint8_t* data, std::size_t size) {
   buffer_.insert(buffer_.end(), data, data + size);
 }
 
+void FrameDecoder::set_max_payload(std::size_t cap) {
+  if (cap == 0) return;
+  max_payload_ = cap < kMaxFramePayload ? cap : kMaxFramePayload;
+}
+
 std::optional<Frame> FrameDecoder::next() {
   const std::size_t avail = buffer_.size() - consumed_;
   if (avail < 5) return std::nullopt;
   ByteReader r(buffer_.data() + consumed_, avail);
   const std::uint32_t length = r.read_u32();
-  if (length > kMaxFramePayload) {
-    raise("protocol: frame length exceeds limit (corrupt stream?)");
+  if (length > max_payload_) {
+    throw FrameTooLarge(length, max_payload_);
   }
   const std::uint8_t type = r.read_u8();
   if (type < static_cast<std::uint8_t>(FrameType::Hello) ||
@@ -144,6 +149,44 @@ SessionRefMsg SessionRefMsg::decode(const Frame& frame) {
   SessionRefMsg m;
   m.session = r.read_u32();
   finish(frame, r, "session-ref");
+  return m;
+}
+
+// -- EndPeriod -------------------------------------------------------------
+
+Frame EndPeriodMsg::to_frame() const {
+  Frame f;
+  f.type = FrameType::EndPeriod;
+  append_u32(f.payload, session);
+  append_u64(f.payload, seq);
+  return f;
+}
+
+EndPeriodMsg EndPeriodMsg::decode(const Frame& frame) {
+  ByteReader r = payload_reader(frame);
+  EndPeriodMsg m;
+  m.session = r.read_u32();
+  m.seq = r.read_u64();
+  finish(frame, r, "end-period");
+  return m;
+}
+
+// -- ResumeAck -------------------------------------------------------------
+
+Frame ResumeAckMsg::to_frame() const {
+  Frame f;
+  f.type = FrameType::ResumeAck;
+  append_u32(f.payload, session);
+  append_u64(f.payload, high_water);
+  return f;
+}
+
+ResumeAckMsg ResumeAckMsg::decode(const Frame& frame) {
+  ByteReader r = payload_reader(frame);
+  ResumeAckMsg m;
+  m.session = r.read_u32();
+  m.high_water = r.read_u64();
+  finish(frame, r, "resume-ack");
   return m;
 }
 

@@ -25,6 +25,14 @@
 //   CloseSession     -> SessionClosed | ErrorReply
 //   MetricsRequest   -> MetricsResponse  (process-wide observability
 //                     snapshot: every registered counter/gauge/histogram)
+//   Resume           -> ResumeAck | ErrorReply  (v2: reports the server's
+//                     durable high-water mark for the session so a
+//                     reconnecting client knows which periods to resend)
+//
+// Version 2 additions (crash-safe serving): EndPeriod carries a client
+// sequence number (0 = unsequenced, v1 behaviour) so the server can drop
+// duplicates after a reconnect, and Resume/ResumeAck expose the durable
+// high-water mark.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "lattice/dependency_matrix.hpp"
 #include "obs/metrics.hpp"
 #include "serve/session_manager.hpp"
@@ -40,9 +49,30 @@
 namespace bbmg {
 
 inline constexpr std::uint32_t kServeMagic = 0x474d4242u;  // "BBMG"
-inline constexpr std::uint16_t kServeProtocolVersion = 1;
+inline constexpr std::uint16_t kServeProtocolVersion = 2;
 /// Frames larger than this are rejected before allocation (garbage guard).
+/// This is the hard upper bound; FrameDecoder::set_max_payload can lower
+/// it per decoder (e.g. a memory-constrained ingest front-end).
 inline constexpr std::size_t kMaxFramePayload = 64u << 20;
+
+/// Typed rejection for a frame whose declared length exceeds the
+/// decoder's cap, so callers can distinguish "peer sent a huge frame"
+/// (policy decision, maybe reject the connection with a specific error)
+/// from generic stream corruption.
+class FrameTooLarge : public Error {
+ public:
+  FrameTooLarge(std::size_t declared, std::size_t cap)
+      : Error("protocol: frame payload of " + std::to_string(declared) +
+              " bytes exceeds the decoder cap of " + std::to_string(cap)),
+        declared_(declared),
+        cap_(cap) {}
+  [[nodiscard]] std::size_t declared() const { return declared_; }
+  [[nodiscard]] std::size_t cap() const { return cap_; }
+
+ private:
+  std::size_t declared_;
+  std::size_t cap_;
+};
 
 enum class FrameType : std::uint8_t {
   Hello = 1,
@@ -58,11 +88,13 @@ enum class FrameType : std::uint8_t {
   ErrorReply = 11,
   MetricsRequest = 12,
   MetricsResponse = 13,
+  Resume = 14,
+  ResumeAck = 15,
 };
 
 /// Highest FrameType value; the decoder rejects types beyond this.
 inline constexpr std::uint8_t kMaxFrameType =
-    static_cast<std::uint8_t>(FrameType::MetricsResponse);
+    static_cast<std::uint8_t>(FrameType::ResumeAck);
 
 struct Frame {
   FrameType type{FrameType::Hello};
@@ -73,17 +105,24 @@ struct Frame {
 void append_frame(std::vector<std::uint8_t>& out, const Frame& frame);
 
 /// Incremental frame parser for a byte stream: feed() arbitrary chunks,
-/// next() yields complete frames in order.  Throws bbmg::Error on an
-/// oversized length field or unknown frame type.
+/// next() yields complete frames in order.  Throws FrameTooLarge on an
+/// oversized length field and bbmg::Error on an unknown frame type.
 class FrameDecoder {
  public:
   void feed(const std::uint8_t* data, std::size_t size);
   [[nodiscard]] std::optional<Frame> next();
   [[nodiscard]] std::size_t buffered() const { return buffer_.size() - consumed_; }
 
+  /// Lower the per-frame payload cap below kMaxFramePayload (values above
+  /// the global cap are clamped, 0 keeps the current cap).  Applies to
+  /// frames parsed after the call.
+  void set_max_payload(std::size_t cap);
+  [[nodiscard]] std::size_t max_payload() const { return max_payload_; }
+
  private:
   std::vector<std::uint8_t> buffer_;
   std::size_t consumed_{0};
+  std::size_t max_payload_{kMaxFramePayload};
 };
 
 // -- payload schemas -------------------------------------------------------
@@ -105,10 +144,32 @@ struct OpenSessionMsg {
   [[nodiscard]] SessionConfig to_session_config() const;
 };
 
-struct SessionRefMsg {  // SessionOpened / EndPeriod / CloseSession / SessionClosed
+struct SessionRefMsg {  // SessionOpened / CloseSession / SessionClosed / Resume
   std::uint32_t session{0};
   [[nodiscard]] Frame to_frame(FrameType type) const;
   [[nodiscard]] static SessionRefMsg decode(const Frame& frame);
+};
+
+struct EndPeriodMsg {
+  std::uint32_t session{0};
+  /// Client-assigned period sequence number for idempotent resume after a
+  /// reconnect; 0 = unsequenced (the server applies unconditionally).
+  /// Sequenced submissions must be 1, 2, 3, ... per session, one producer
+  /// per session; the server drops any seq at or below its high-water
+  /// mark as an already-applied duplicate.
+  std::uint64_t seq{0};
+  [[nodiscard]] Frame to_frame() const;
+  [[nodiscard]] static EndPeriodMsg decode(const Frame& frame);
+};
+
+struct ResumeAckMsg {
+  std::uint32_t session{0};
+  /// The server's durable high-water mark: every sequenced period with
+  /// seq <= high_water is fsynced to the WAL (or captured by a snapshot)
+  /// and will survive a crash; the client resends from high_water + 1.
+  std::uint64_t high_water{0};
+  [[nodiscard]] Frame to_frame() const;
+  [[nodiscard]] static ResumeAckMsg decode(const Frame& frame);
 };
 
 struct EventsMsg {

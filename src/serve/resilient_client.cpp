@@ -1,0 +1,167 @@
+#include "serve/resilient_client.hpp"
+
+#include <ctime>
+
+#include "common/error.hpp"
+#include "serve/serve_metrics.hpp"
+
+namespace bbmg {
+
+namespace {
+
+void sleep_ms(std::uint64_t ms) {
+  timespec ts{};
+  ts.tv_sec = static_cast<time_t>(ms / 1000);
+  ts.tv_nsec = static_cast<long>((ms % 1000) * 1000000);
+  (void)::nanosleep(&ts, nullptr);
+}
+
+}  // namespace
+
+ResilientClient::ResilientClient(RetryConfig config)
+    : config_(config), rng_(config.seed) {
+  client_.set_request_timeout_ms(config_.request_timeout_ms);
+}
+
+void ResilientClient::connect(const std::string& host, std::uint16_t port) {
+  host_ = host;
+  port_ = port;
+  with_retry([&] { ensure_connected(); });
+}
+
+void ResilientClient::set_endpoint(const std::string& host,
+                                   std::uint16_t port) {
+  host_ = host;
+  port_ = port;
+  client_.disconnect();
+}
+
+void ResilientClient::backoff(std::size_t attempt) {
+  std::uint64_t delay = config_.base_backoff_ms;
+  for (std::size_t i = 0; i < attempt && delay < config_.max_backoff_ms; ++i) {
+    delay *= 2;
+  }
+  if (delay > config_.max_backoff_ms) delay = config_.max_backoff_ms;
+  if (config_.jitter > 0.0 && delay > 0) {
+    const double spread = (rng_.next_double() * 2.0 - 1.0) * config_.jitter;
+    const double jittered = static_cast<double>(delay) * (1.0 + spread);
+    delay = jittered < 1.0 ? 1 : static_cast<std::uint64_t>(jittered);
+  }
+  if (delay > 0) sleep_ms(delay);
+}
+
+template <typename Fn>
+auto ResilientClient::with_retry(Fn&& fn) -> decltype(fn()) {
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      ensure_connected();
+      return fn();
+    } catch (const std::exception&) {
+      // A dead connection poisons any reply in flight; drop it so the next
+      // attempt reconnects, resumes, and resends before retrying fn.
+      client_.disconnect();
+      if (attempt >= config_.max_retries) throw;
+      ServeMetrics::get().client_retries.inc();
+      backoff(attempt);
+    }
+  }
+}
+
+void ResilientClient::ensure_connected() {
+  if (client_.connected()) return;
+  BBMG_REQUIRE(!host_.empty(), "resilient client: no endpoint configured");
+  client_.connect(host_, port_);
+  ServeMetrics::get().client_reconnects.inc();
+  // Learn what survived on the server (possibly a restarted process that
+  // recovered from disk), then resend the tail it lost.
+  for (auto& [id, state] : sessions_) {
+    const std::uint64_t high_water = client_.resume(id);
+    trim_acked(state, high_water);
+    resend_unacked(id, state);
+  }
+}
+
+void ResilientClient::trim_acked(SessionState& state,
+                                 std::uint64_t high_water) {
+  while (!state.unacked.empty() && state.unacked.front().seq <= high_water) {
+    state.unacked.pop_front();
+  }
+}
+
+void ResilientClient::resend_unacked(std::uint32_t session,
+                                     SessionState& state) {
+  ServeMetrics& metrics = ServeMetrics::get();
+  for (const PendingPeriod& p : state.unacked) {
+    client_.send_period(session, p.events, p.seq);
+    metrics.resent_periods.inc();
+  }
+}
+
+std::uint32_t ResilientClient::open_session(
+    const std::vector<std::string>& task_names, std::uint32_t bound,
+    SanitizePolicy policy, std::uint32_t snapshot_interval) {
+  const std::uint32_t id = with_retry([&] {
+    return client_.open_session(task_names, bound, policy, snapshot_interval);
+  });
+  sessions_.emplace(id, SessionState{});
+  return id;
+}
+
+void ResilientClient::attach_session(std::uint32_t session) {
+  const std::uint64_t high_water =
+      with_retry([&] { return client_.resume(session); });
+  SessionState state;
+  state.next_seq = high_water + 1;
+  sessions_[session] = std::move(state);
+}
+
+void ResilientClient::send_period(std::uint32_t session,
+                                  std::vector<Event> events) {
+  auto it = sessions_.find(session);
+  BBMG_REQUIRE(it != sessions_.end(),
+               "resilient client: unknown session (open or attach first)");
+  SessionState& state = it->second;
+  PendingPeriod pending{state.next_seq++, std::move(events)};
+  state.unacked.push_back(std::move(pending));
+  const PendingPeriod& p = state.unacked.back();
+  // A reconnect inside with_retry resends the whole unacked tail — p
+  // included — and the explicit send below then lands as a duplicate the
+  // server drops; either way the period is delivered exactly once.
+  with_retry([&] { client_.send_period(session, p.events, p.seq); });
+  if (++state.since_ack >= config_.ack_interval) {
+    state.since_ack = 0;
+    const std::uint64_t high_water =
+        with_retry([&] { return client_.resume(session); });
+    trim_acked(state, high_water);
+  }
+}
+
+std::uint64_t ResilientClient::flush(std::uint32_t session) {
+  auto it = sessions_.find(session);
+  BBMG_REQUIRE(it != sessions_.end(), "resilient client: unknown session");
+  SessionState& state = it->second;
+  for (std::size_t round = 0;; ++round) {
+    const std::uint64_t high_water =
+        with_retry([&] { return client_.resume(session); });
+    trim_acked(state, high_water);
+    state.since_ack = 0;
+    if (state.unacked.empty()) return high_water;
+    // Resume drains + fsyncs, so anything still unacked was lost in
+    // flight on a connection that died; push it again and re-ask.
+    BBMG_REQUIRE(round < config_.max_retries,
+                 "resilient client: flush could not land all periods");
+    with_retry([&] { resend_unacked(session, state); });
+  }
+}
+
+WireSnapshot ResilientClient::query(std::uint32_t session, bool drain,
+                                    const std::vector<Event>* probe) {
+  return with_retry([&] { return client_.query(session, drain, probe); });
+}
+
+std::size_t ResilientClient::unacked(std::uint32_t session) const {
+  auto it = sessions_.find(session);
+  return it == sessions_.end() ? 0 : it->second.unacked.size();
+}
+
+}  // namespace bbmg

@@ -1,0 +1,120 @@
+// ResilientClient: a crash-tolerant wrapper around ServeClient.
+//
+// Every period is sent with a client-assigned sequence number (1, 2, 3,
+// ... per session) and kept in an unacked buffer until the server's
+// durable high-water mark — fetched via Resume/ResumeAck — covers it.
+// When any request fails (connection reset, deadline, server restart) the
+// client backs off exponentially with jitter, reconnects, resumes every
+// open session to learn what survived, resends the unacked tail, and
+// retries the original request.  Because the server drops sequenced
+// duplicates at or below its high-water mark, resending is idempotent:
+// the learned model after any number of crash/retry cycles is exactly the
+// model of the uninterrupted stream (the crash-recovery test's property).
+//
+// Single-threaded: one ResilientClient per producer, matching the
+// one-producer-per-session contract of the sequence numbers.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "serve/client.hpp"
+
+namespace bbmg {
+
+struct RetryConfig {
+  /// Retries per request after the first attempt (so max_retries + 1
+  /// attempts total); the last failure propagates to the caller.
+  std::size_t max_retries{5};
+  /// First backoff delay; doubles per retry up to max_backoff_ms.
+  std::uint32_t base_backoff_ms{50};
+  std::uint32_t max_backoff_ms{2000};
+  /// Uniform jitter fraction applied to each delay (0.2 = +/-20%),
+  /// de-synchronizing clients that observed the same server restart.
+  double jitter{0.2};
+  /// Per-request socket deadline handed to ServeClient (0 = block forever).
+  std::uint32_t request_timeout_ms{5000};
+  /// Trim the unacked buffer with a Resume round-trip every N sends;
+  /// bounds client memory to ~N periods per session.
+  std::size_t ack_interval{64};
+  /// Seed for the jitter RNG (deterministic tests).
+  std::uint64_t seed{1};
+};
+
+class ResilientClient {
+ public:
+  explicit ResilientClient(RetryConfig config = {});
+
+  ResilientClient(const ResilientClient&) = delete;
+  ResilientClient& operator=(const ResilientClient&) = delete;
+
+  /// Remember the endpoint and connect (with retries).
+  void connect(const std::string& host, std::uint16_t port);
+
+  /// Point future reconnects at a new endpoint — a restarted server
+  /// typically binds a fresh ephemeral port.  Drops the current
+  /// connection; the next request reconnects, resumes and resends.
+  void set_endpoint(const std::string& host, std::uint16_t port);
+
+  void disconnect() { client_.disconnect(); }
+
+  /// Open a session (retried).  A retry after a lost reply can leave an
+  /// orphaned extra session server-side; orphans idle harmlessly.
+  [[nodiscard]] std::uint32_t open_session(
+      const std::vector<std::string>& task_names, std::uint32_t bound = 16,
+      SanitizePolicy policy = SanitizePolicy::Repair,
+      std::uint32_t snapshot_interval = 1);
+
+  /// Continue a session recovered by a restarted server (or owned by a
+  /// previous client process): fetches the durable high-water mark and
+  /// numbers the next period high_water + 1.
+  void attach_session(std::uint32_t session);
+
+  /// Sequence, buffer and send one period.  Failures retry transparently;
+  /// the period is resent after reconnects until acknowledged durable.
+  void send_period(std::uint32_t session, std::vector<Event> events);
+
+  /// Block until every period sent so far is durable on the server
+  /// (drained + fsynced); returns the acknowledged high-water mark.
+  std::uint64_t flush(std::uint32_t session);
+
+  /// Fetch the served model (retried; drain=true also waits for the
+  /// server-side backlog).
+  [[nodiscard]] WireSnapshot query(std::uint32_t session, bool drain = true,
+                                   const std::vector<Event>* probe = nullptr);
+
+  /// Periods buffered but not yet acknowledged durable.
+  [[nodiscard]] std::size_t unacked(std::uint32_t session) const;
+  [[nodiscard]] const RetryConfig& config() const { return config_; }
+
+ private:
+  struct PendingPeriod {
+    std::uint64_t seq{0};
+    std::vector<Event> events;
+  };
+  struct SessionState {
+    std::uint64_t next_seq{1};
+    std::deque<PendingPeriod> unacked;
+    std::size_t since_ack{0};
+  };
+
+  template <typename Fn>
+  auto with_retry(Fn&& fn) -> decltype(fn());
+  void ensure_connected();
+  void backoff(std::size_t attempt);
+  void resend_unacked(std::uint32_t session, SessionState& state);
+  static void trim_acked(SessionState& state, std::uint64_t high_water);
+
+  RetryConfig config_;
+  ServeClient client_;
+  Rng rng_;
+  std::string host_;
+  std::uint16_t port_{0};
+  std::unordered_map<std::uint32_t, SessionState> sessions_;
+};
+
+}  // namespace bbmg

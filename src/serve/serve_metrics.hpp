@@ -27,6 +27,15 @@ struct ServeMetrics {
   obs::Counter& periods_applied;
   /// Model queries answered (snapshot copies, probe checks included).
   obs::Counter& queries;
+  /// Sequenced periods dropped as already-ingested duplicates (client
+  /// resends after a reconnect; dropping them is the idempotence contract).
+  obs::Counter& duplicate_periods;
+  /// ResilientClient request attempts that failed and were retried.
+  obs::Counter& client_retries;
+  /// ResilientClient reconnect cycles (connect + hello + resume).
+  obs::Counter& client_reconnects;
+  /// Periods re-sent from the client's unacked buffer after a resume.
+  obs::Counter& resent_periods;
   /// Wall time from queue push to the learner having applied the period.
   obs::Histogram& enqueue_apply_latency_us;
   /// Wall time to answer one query (snapshot copy + optional probe check).
@@ -56,6 +65,10 @@ struct ServeMetrics {
         r.counter("bbmg_serve_overflows_total"),
         r.counter("bbmg_serve_periods_applied_total"),
         r.counter("bbmg_serve_queries_total"),
+        r.counter("bbmg_serve_duplicate_periods_total"),
+        r.counter("bbmg_serve_client_retries_total"),
+        r.counter("bbmg_serve_client_reconnects_total"),
+        r.counter("bbmg_serve_resent_periods_total"),
         r.histogram("bbmg_serve_enqueue_apply_latency_us",
                     obs::default_latency_buckets_us()),
         r.histogram("bbmg_serve_query_latency_us",

@@ -100,11 +100,12 @@ void Server::serve_connection(int fd) {
           break;
         }
         case FrameType::EndPeriod: {
-          const SessionRefMsg msg = SessionRefMsg::decode(*frame);
+          const EndPeriodMsg msg = EndPeriodMsg::decode(*frame);
           std::vector<Event> events = std::move(pending[msg.session]);
           pending[msg.session].clear();
-          const SubmitStatus status = manager_.submit(
-              SessionId{msg.session}, std::move(events), /*block=*/true);
+          const SubmitStatus status =
+              manager_.submit(SessionId{msg.session}, std::move(events),
+                              /*block=*/true, msg.seq);
           if (status != SubmitStatus::Accepted) {
             ErrorReplyMsg err;
             err.code = status == SubmitStatus::Overflow
@@ -140,6 +141,20 @@ void Server::serve_connection(int fd) {
           reply.verdict = static_cast<std::uint8_t>(q.verdict);
           reply.num_violations =
               static_cast<std::uint32_t>(q.violations.size());
+          net::write_frame(fd, reply.to_frame());
+          break;
+        }
+        case FrameType::Resume: {
+          const SessionRefMsg msg = SessionRefMsg::decode(*frame);
+          std::uint64_t high_water = 0;
+          try {
+            high_water = manager_.resume_high_water(SessionId{msg.session});
+          } catch (const std::exception& e) {
+            ErrorReplyMsg err{WireErrorCode::UnknownSession, e.what()};
+            net::write_frame(fd, err.to_frame());
+            break;
+          }
+          ResumeAckMsg reply{msg.session, high_water};
           net::write_frame(fd, reply.to_frame());
           break;
         }

@@ -16,6 +16,53 @@ LearningSession::LearningSession(SessionId id,
   snapshot_ = std::make_shared<const RobustSnapshot>(learner_.full_snapshot());
 }
 
+LearningSession::LearningSession(SessionId id,
+                                 std::vector<std::string> task_names,
+                                 SessionConfig config,
+                                 RestoredSessionState restored)
+    : id_(id),
+      task_names_(std::move(task_names)),
+      config_(config),
+      learner_(std::move(restored.learner)) {
+  if (config_.snapshot_interval == 0) config_.snapshot_interval = 1;
+  // Seed the accounting so accepted == processed == the recovered seq:
+  // drain() is immediately satisfied and the next applied period lands at
+  // seq + 1, exactly where the pre-crash session would have put it.
+  accepted_.add(restored.seq);
+  processed_ = static_cast<std::size_t>(restored.seq);
+  last_enqueued_seq_.store(restored.seq, std::memory_order_relaxed);
+  stream_stats_.restore(restored.stats);
+  snapshot_ = std::make_shared<const RobustSnapshot>(learner_.full_snapshot());
+}
+
+bool LearningSession::claim_seq(std::uint64_t seq) {
+  std::uint64_t cur = last_enqueued_seq_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (seq <= cur) return false;  // duplicate of an already-claimed period
+    if (last_enqueued_seq_.compare_exchange_weak(cur, seq,
+                                                 std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+}
+
+void LearningSession::release_seq(std::uint64_t seq) {
+  std::uint64_t expected = seq;
+  (void)last_enqueued_seq_.compare_exchange_strong(expected, seq - 1,
+                                                   std::memory_order_relaxed);
+}
+
+std::uint64_t LearningSession::flush_durable() {
+  if (store_) return store_->flush();
+  return static_cast<std::uint64_t>(processed());
+}
+
+void LearningSession::checkpoint() {
+  if (!store_) return;
+  store_->write_snapshot(static_cast<std::uint64_t>(processed()), learner_,
+                         stream_stats_.summary());
+}
+
 void LearningSession::drain() {
   std::unique_lock<std::mutex> lock(state_mu_);
   drained_.wait(lock, [&] { return processed_ >= accepted_.value(); });
@@ -23,6 +70,12 @@ void LearningSession::drain() {
 
 void LearningSession::process(const std::vector<Event>& period_events,
                               std::uint64_t enqueue_ns) {
+  // WAL-before-apply: the period is on disk (modulo group-commit fsync)
+  // before the learner's state reflects it, so replay can always rebuild
+  // the applied prefix.  processed_ is only written by this worker, so
+  // the unlocked read is race-free.
+  const std::uint64_t seq = static_cast<std::uint64_t>(processed_) + 1;
+  if (store_) store_->append_period(seq, period_events);
   stream_stats_.observe_events(period_events);
   (void)learner_.observe_raw_period(period_events);
   ServeMetrics& metrics = ServeMetrics::get();
@@ -51,6 +104,13 @@ void LearningSession::process(const std::vector<Event>& period_events,
     processed_ = next;
   }
   drained_.notify_all();
+  // Periodic compaction after the period is fully visible: snapshot the
+  // learner (still exclusively ours — same affine worker) and rotate the
+  // WAL.  Crash windows are covered: before the snapshot rename the old
+  // snapshot+WAL recover, after it the new snapshot does.
+  if (store_ && store_->should_compact(seq)) {
+    store_->write_snapshot(seq, learner_, stream_stats_.summary());
+  }
 }
 
 std::shared_ptr<const RobustSnapshot> LearningSession::snapshot() const {

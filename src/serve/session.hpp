@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "durable/store.hpp"
 #include "obs/metrics.hpp"
 #include "robust/robust_online_learner.hpp"
 #include "trace/event.hpp"
@@ -42,10 +43,25 @@ struct SessionConfig {
   std::size_t snapshot_interval{1};
 };
 
+/// Learner state carried from a durable::RecoveredSession into a restored
+/// LearningSession: the replayed learner, stream-stats totals, and the
+/// applied-period high-water mark.
+struct RestoredSessionState {
+  RobustOnlineLearner learner;
+  StreamingTraceStats::Summary stats;
+  std::uint64_t seq{0};
+};
+
 class LearningSession {
  public:
   LearningSession(SessionId id, std::vector<std::string> task_names,
                   SessionConfig config);
+
+  /// Restore from a recovered snapshot+WAL state: the session continues
+  /// exactly where the pre-crash one stopped (processed == seq, counters
+  /// seeded, first published snapshot is the recovered model).
+  LearningSession(SessionId id, std::vector<std::string> task_names,
+                  SessionConfig config, RestoredSessionState restored);
 
   [[nodiscard]] SessionId id() const { return id_; }
   [[nodiscard]] const std::vector<std::string>& task_names() const {
@@ -105,6 +121,33 @@ class LearningSession {
     return closed_.load(std::memory_order_relaxed);
   }
 
+  // -- durability (src/durable) --
+
+  /// Attach the session's durable store.  Must happen before the first
+  /// process() call (the manager attaches at open/recovery).
+  void attach_store(std::shared_ptr<durable::SessionStore> store) {
+    store_ = std::move(store);
+  }
+  [[nodiscard]] bool durable() const { return store_ != nullptr; }
+
+  /// Claim a client-assigned sequence number (monotone CAS).  Returns
+  /// false when seq is at or below the current mark — an already-ingested
+  /// duplicate from a client resend; the caller drops it idempotently.
+  bool claim_seq(std::uint64_t seq);
+  /// Undo the claim of `seq` after a failed enqueue (single producer per
+  /// session, so the mark is still exactly `seq`).
+  void release_seq(std::uint64_t seq);
+
+  /// fsync the WAL tail and return the durable high-water mark (the
+  /// processed count when the session runs without a store).  Callers
+  /// drain() first so the mark covers everything already submitted.
+  std::uint64_t flush_durable();
+
+  /// Write a final snapshot at the current processed count (graceful
+  /// shutdown).  Only call when no worker can touch the learner any more
+  /// (i.e. after the manager's pool has been joined).
+  void checkpoint();
+
  private:
   void publish();
 
@@ -121,6 +164,14 @@ class LearningSession {
   obs::AtomicCounter rejected_;
   StreamingTraceStats stream_stats_;
   std::atomic<bool> closed_{false};
+
+  /// Durable store (null = in-memory session).  The worker appends to the
+  /// WAL inside process() right before the learner applies, so WAL order
+  /// is exactly learner-apply order — the replay-determinism invariant.
+  std::shared_ptr<durable::SessionStore> store_;
+  /// Highest client-assigned sequence number accepted for enqueue
+  /// (duplicate-resend guard; 0 = nothing sequenced yet).
+  std::atomic<std::uint64_t> last_enqueued_seq_{0};
 
   mutable std::mutex state_mu_;  // guards processed_ and snapshot_
   std::condition_variable drained_;

@@ -1,6 +1,7 @@
 #include "serve/session_manager.hpp"
 
 #include "common/error.hpp"
+#include "durable/recovery.hpp"
 #include "obs/span.hpp"
 #include "robust/sanitizer.hpp"
 #include "serve/serve_metrics.hpp"
@@ -21,7 +22,8 @@ std::string_view submit_status_name(SubmitStatus s) {
   return "?";
 }
 
-SessionManager::SessionManager(ManagerConfig config) : config_(config) {
+SessionManager::SessionManager(ManagerConfig config)
+    : config_(std::move(config)) {
   if (config_.workers == 0) config_.workers = 1;
   queues_.reserve(config_.workers);
   queue_depth_.reserve(config_.workers);
@@ -30,9 +32,40 @@ SessionManager::SessionManager(ManagerConfig config) : config_(config) {
         std::make_unique<BoundedMpscQueue<WorkItem>>(config_.queue_capacity));
     queue_depth_.push_back(&ServeMetrics::queue_depth(i));
   }
+  // Recover before the workers start so no submission can race the
+  // rebuild of sessions_.
+  if (config_.durable.enabled()) recover_sessions();
   workers_.reserve(config_.workers);
   for (std::size_t i = 0; i < config_.workers; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+void SessionManager::recover_sessions() {
+  durable::RecoveryReport report = durable::recover_all(config_.durable);
+  recovery_.replayed_periods = report.replayed_periods;
+  recovery_.torn_tails = report.torn_tails;
+  recovery_.quarantined_files = report.quarantined_files.size();
+  recovery_.diagnostics = std::move(report.diagnostics);
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  for (durable::RecoveredSession& rec : report.sessions) {
+    const SessionId id{rec.meta.session};
+    if (id.index() >= sessions_.size()) sessions_.resize(id.index() + 1);
+    if (sessions_[id.index()] != nullptr) {
+      recovery_.diagnostics.push_back(
+          "session " + std::to_string(rec.meta.session) +
+          ": duplicate recovered id ignored");
+      continue;
+    }
+    SessionConfig cfg;
+    cfg.robust = rec.meta.config;
+    cfg.snapshot_interval = rec.meta.snapshot_interval;
+    auto session = std::make_shared<LearningSession>(
+        id, rec.meta.task_names, cfg,
+        RestoredSessionState{std::move(rec.learner), rec.stats, rec.seq});
+    session->attach_store(std::move(rec.store));
+    sessions_[id.index()] = std::move(session);
+    ++recovery_.sessions;
   }
 }
 
@@ -62,8 +95,24 @@ SessionId SessionManager::open_session(std::vector<std::string> task_names,
   BBMG_REQUIRE(!stopping_.load(), "manager is shutting down");
   std::lock_guard<std::mutex> lock(sessions_mu_);
   const SessionId id{sessions_.size()};
-  sessions_.push_back(std::make_shared<LearningSession>(
-      id, std::move(task_names), config));
+  auto session =
+      std::make_shared<LearningSession>(id, std::move(task_names), config);
+  if (config_.durable.enabled()) {
+    durable::SessionMeta meta;
+    meta.session = static_cast<std::uint32_t>(id.index());
+    meta.task_names = session->task_names();
+    meta.config = session->config().robust;
+    meta.snapshot_interval =
+        static_cast<std::uint32_t>(session->config().snapshot_interval);
+    // The seq-0 snapshot encodes a fresh learner; one constructed from
+    // the same (names, config) is state-identical to the session's.
+    const RobustOnlineLearner initial(session->task_names(),
+                                      session->config().robust);
+    session->attach_store(durable::SessionStore::create(
+        config_.durable, std::move(meta), initial,
+        StreamingTraceStats::Summary{}));
+  }
+  sessions_.push_back(std::move(session));
   ServeMetrics::get().sessions_opened.inc();
   return id;
 }
@@ -83,7 +132,7 @@ bool SessionManager::close_session(SessionId id) {
 
 SubmitStatus SessionManager::submit(SessionId id,
                                     std::vector<Event> period_events,
-                                    bool block) {
+                                    bool block, std::uint64_t seq) {
   if (stopping_.load(std::memory_order_relaxed)) {
     return SubmitStatus::ShuttingDown;
   }
@@ -91,6 +140,13 @@ SubmitStatus SessionManager::submit(SessionId id,
   metrics.submits.inc();
   auto session = find(id);
   if (!session || session->closed()) return SubmitStatus::UnknownSession;
+  if (seq != 0 && !session->claim_seq(seq)) {
+    // Duplicate resend after a reconnect: the period (or a later one) is
+    // already ingested.  Dropping it IS the correct ingestion, so report
+    // Accepted — the client needs no special case.
+    metrics.duplicate_periods.inc();
+    return SubmitStatus::Accepted;
+  }
   const std::size_t shard = id.index() % queues_.size();
   BoundedMpscQueue<WorkItem>& queue = *queues_[shard];
   // Reserve the slot before the push so a drain() that starts after this
@@ -106,6 +162,7 @@ SubmitStatus SessionManager::submit(SessionId id,
   if (!pushed) {
     session->note_rejected();
     queue_depth_[shard]->sub(1);
+    if (seq != 0) session->release_seq(seq);
     if (!stopping_.load(std::memory_order_relaxed)) {
       metrics.overflows.inc();
       return SubmitStatus::Overflow;
@@ -113,6 +170,22 @@ SubmitStatus SessionManager::submit(SessionId id,
     return SubmitStatus::ShuttingDown;
   }
   return SubmitStatus::Accepted;
+}
+
+std::uint64_t SessionManager::resume_high_water(SessionId id) {
+  auto session = find(id);
+  BBMG_REQUIRE(session != nullptr, "resume: unknown session");
+  // Drain first so the mark covers every period already submitted on any
+  // connection, then fsync: the reported high-water is honestly durable.
+  session->drain();
+  return session->flush_durable();
+}
+
+void SessionManager::checkpoint_all() {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  for (const auto& session : sessions_) {
+    if (session) session->checkpoint();
+  }
 }
 
 void SessionManager::drain(SessionId id) {
@@ -161,7 +234,11 @@ SessionStats SessionManager::stats(SessionId id) const {
 
 std::size_t SessionManager::num_sessions() const {
   std::lock_guard<std::mutex> lock(sessions_mu_);
-  return sessions_.size();
+  std::size_t n = 0;
+  for (const auto& s : sessions_) {
+    if (s) ++n;
+  }
+  return n;
 }
 
 }  // namespace bbmg

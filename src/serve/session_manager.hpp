@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "analysis/conformance.hpp"
+#include "durable/store.hpp"
 #include "obs/metrics.hpp"
 #include "serve/queue.hpp"
 #include "serve/session.hpp"
@@ -32,6 +33,20 @@ struct ManagerConfig {
   std::size_t workers{2};
   /// Per-worker queue capacity, in periods.
   std::size_t queue_capacity{256};
+  /// Durability (src/durable).  When durable.enabled(), the manager
+  /// recovers every session found in the data directory at construction,
+  /// WALs each applied period, and compacts with periodic snapshots.
+  durable::DurableConfig durable;
+};
+
+/// What startup recovery found (counts + operator-facing diagnostics);
+/// empty when durability is off or the data directory was fresh.
+struct RecoverySummary {
+  std::size_t sessions{0};
+  std::uint64_t replayed_periods{0};
+  std::uint64_t torn_tails{0};
+  std::size_t quarantined_files{0};
+  std::vector<std::string> diagnostics;
 };
 
 enum class SubmitStatus : std::uint8_t {
@@ -85,9 +100,12 @@ class SessionManager {
 
   /// Hand one raw period to the session's shard.  block=true waits for
   /// queue space (lossless replay); block=false returns Overflow when the
-  /// shard is saturated (backpressure).
+  /// shard is saturated (backpressure).  seq, when non-zero, is the
+  /// client's idempotence sequence number: a seq at or below the
+  /// session's high-water mark is dropped as an already-ingested
+  /// duplicate (still Accepted — resends after a reconnect are expected).
   SubmitStatus submit(SessionId id, std::vector<Event> period_events,
-                      bool block = true);
+                      bool block = true, std::uint64_t seq = 0);
 
   /// Wait until every period accepted so far has been processed.
   void drain(SessionId id);
@@ -104,9 +122,21 @@ class SessionManager {
   [[nodiscard]] std::size_t num_workers() const { return queues_.size(); }
   [[nodiscard]] const ManagerConfig& config() const { return config_; }
 
+  /// Drain the session, fsync its WAL, and return the durable high-water
+  /// mark (the Resume handler's backing).  Throws for unknown ids.
+  [[nodiscard]] std::uint64_t resume_high_water(SessionId id);
+
+  /// What startup recovery restored (empty if durability is off).
+  [[nodiscard]] const RecoverySummary& recovery() const { return recovery_; }
+
   /// Close all queues, finish queued work, join the pool.  Idempotent;
   /// also run by the destructor.
   void stop();
+
+  /// Write a final snapshot for every durable session.  Call after stop()
+  /// — the graceful-drain shutdown path (SIGTERM): stop accepting, finish
+  /// the queues, then checkpoint so restart needs no WAL replay.
+  void checkpoint_all();
 
  private:
   struct WorkItem {
@@ -118,6 +148,9 @@ class SessionManager {
 
   [[nodiscard]] std::shared_ptr<LearningSession> find(SessionId id) const;
   void worker_loop(std::size_t worker_index);
+  /// Run startup recovery and rebuild sessions_ (ids keep their pre-crash
+  /// values; unrecovered ids stay as null gaps).
+  void recover_sessions();
 
   ManagerConfig config_;
   std::vector<std::unique_ptr<BoundedMpscQueue<WorkItem>>> queues_;
@@ -127,7 +160,11 @@ class SessionManager {
   std::atomic<bool> stopping_{false};
 
   mutable std::mutex sessions_mu_;
-  std::vector<std::shared_ptr<LearningSession>> sessions_;  // index == id
+  /// index == id; entries can be null after recovery (ids whose state was
+  /// quarantined) — callers treat a null as UnknownSession.
+  std::vector<std::shared_ptr<LearningSession>> sessions_;
+
+  RecoverySummary recovery_;
 };
 
 }  // namespace bbmg

@@ -108,6 +108,14 @@ void StreamingTraceStats::observe_events(const std::vector<Event>& events) {
   max_makespan_.update(static_cast<std::uint64_t>(last - first));
 }
 
+void StreamingTraceStats::restore(const Summary& s) {
+  periods_.add(s.periods);
+  events_.add(s.events);
+  task_events_.add(s.task_events);
+  message_events_.add(s.message_events);
+  max_makespan_.update(s.max_makespan);
+}
+
 StreamingTraceStats::Summary StreamingTraceStats::summary() const {
   Summary s;
   s.periods = periods_.value();

@@ -69,6 +69,11 @@ class StreamingTraceStats {
 
   [[nodiscard]] Summary summary() const;
 
+  /// Seed a freshly constructed accumulator with a previously captured
+  /// summary (durable-snapshot restore).  Adds onto current values, so it
+  /// must be called once, before any observe_events.
+  void restore(const Summary& s);
+
  private:
   obs::AtomicCounter periods_;
   obs::AtomicCounter events_;

@@ -1,0 +1,180 @@
+// Snapshot codec: roundtrip fidelity (the restored learner is
+// byte-identical), strict rejection of every corruption class, filename
+// conventions, and the atomic file helpers.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "durable/snapshot.hpp"
+#include "gen/gm_case_study.hpp"
+#include "sim/simulator.hpp"
+
+namespace bbmg::durable {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/bbmg_snap_" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// A learner with real state: the GM case study simulated for `periods`.
+struct Fixture {
+  Trace trace;
+  SessionMeta meta;
+  RobustOnlineLearner learner;
+  StreamingTraceStats::Summary stats;
+
+  explicit Fixture(std::size_t periods, std::uint64_t seed = 11)
+      : trace([&] {
+          SimConfig cfg;
+          cfg.seed = seed;
+          return simulate_trace(gm_case_study_model(), periods, cfg);
+        }()),
+        meta(),
+        learner([&] {
+          meta.session = 5;
+          meta.task_names = trace.task_names();
+          meta.config.online.bound = 12;
+          meta.snapshot_interval = 4;
+          return RobustOnlineLearner(meta.task_names, meta.config);
+        }()) {
+    StreamingTraceStats acc;
+    for (const Period& p : trace.periods()) {
+      const std::vector<Event> events = p.to_events();
+      acc.observe_events(events);
+      learner.observe_raw_period(events);
+    }
+    stats = acc.summary();
+  }
+};
+
+std::vector<std::uint8_t> learner_bytes(const RobustOnlineLearner& l) {
+  std::vector<std::uint8_t> out;
+  l.encode_state(out);
+  return out;
+}
+
+TEST(SnapshotCodec, RoundtripRestoresEverything) {
+  Fixture fx(9);
+  const std::vector<std::uint8_t> bytes =
+      encode_snapshot(fx.meta, 9, fx.stats, fx.learner);
+  const LoadedSnapshot loaded = decode_snapshot(bytes);
+
+  EXPECT_EQ(loaded.meta.session, 5u);
+  EXPECT_EQ(loaded.meta.task_names, fx.trace.task_names());
+  EXPECT_EQ(loaded.meta.config.online.bound, 12u);
+  EXPECT_EQ(loaded.meta.snapshot_interval, 4u);
+  EXPECT_EQ(loaded.seq, 9u);
+  EXPECT_EQ(loaded.stats.periods, fx.stats.periods);
+  EXPECT_EQ(loaded.stats.events, fx.stats.events);
+  EXPECT_EQ(loaded.stats.max_makespan, fx.stats.max_makespan);
+  EXPECT_EQ(learner_bytes(loaded.learner), learner_bytes(fx.learner));
+}
+
+TEST(SnapshotCodec, RestoredLearnerContinuesIdentically) {
+  Fixture fx(6);
+  const std::vector<std::uint8_t> bytes =
+      encode_snapshot(fx.meta, 6, fx.stats, fx.learner);
+  LoadedSnapshot loaded = decode_snapshot(bytes);
+
+  SimConfig cfg;
+  cfg.seed = 99;
+  const Trace more = simulate_trace(gm_case_study_model(), 5, cfg);
+  for (const Period& p : more.periods()) {
+    const std::vector<Event> events = p.to_events();
+    fx.learner.observe_raw_period(events);
+    loaded.learner.observe_raw_period(events);
+  }
+  EXPECT_EQ(learner_bytes(loaded.learner), learner_bytes(fx.learner));
+}
+
+TEST(SnapshotCodec, EveryCorruptionClassIsRejected) {
+  Fixture fx(3);
+  const std::vector<std::uint8_t> good =
+      encode_snapshot(fx.meta, 3, fx.stats, fx.learner);
+
+  auto mutated = [&](std::size_t offset) {
+    std::vector<std::uint8_t> bad = good;
+    bad[offset] ^= 0xff;
+    return bad;
+  };
+  EXPECT_THROW((void)decode_snapshot(mutated(0)), Error);  // magic
+  EXPECT_THROW((void)decode_snapshot(mutated(4)), Error);  // version
+  // Payload byte: caught by the CRC before the payload decoder runs.
+  EXPECT_THROW((void)decode_snapshot(mutated(good.size() / 2)), Error);
+  // Trailing CRC itself.
+  EXPECT_THROW((void)decode_snapshot(mutated(good.size() - 1)), Error);
+
+  // Truncations at every region boundary.
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{5}, std::size_t{10}, good.size() - 2}) {
+    const std::vector<std::uint8_t> cut(good.begin(), good.begin() + keep);
+    EXPECT_THROW((void)decode_snapshot(cut), Error) << "keep=" << keep;
+  }
+
+  // Trailing garbage after the CRC.
+  std::vector<std::uint8_t> padded = good;
+  padded.push_back(0xaa);
+  EXPECT_THROW((void)decode_snapshot(padded), Error);
+
+  EXPECT_NO_THROW((void)decode_snapshot(good));
+}
+
+TEST(SnapshotCodec, DeclaredLengthBeyondCapIsRejected) {
+  Fixture fx(2);
+  std::vector<std::uint8_t> bad =
+      encode_snapshot(fx.meta, 2, fx.stats, fx.learner);
+  // Overwrite payload_len (bytes 6..9) with a huge value.
+  const std::uint64_t huge = kMaxSnapshotPayload + 1;
+  for (int i = 0; i < 4; ++i) {
+    bad[6 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((huge >> (8 * i)) & 0xff);
+  }
+  EXPECT_THROW((void)decode_snapshot(bad), Error);
+}
+
+TEST(SnapshotFiles, FilenameRoundtrip) {
+  EXPECT_EQ(snapshot_filename(0), "snap-0.bbsn");
+  EXPECT_EQ(snapshot_filename(1234), "snap-1234.bbsn");
+  EXPECT_EQ(parse_snapshot_filename("snap-1234.bbsn"), 1234u);
+  EXPECT_EQ(parse_snapshot_filename("snap-0.bbsn"), 0u);
+  EXPECT_EQ(parse_snapshot_filename("snap-.bbsn"), std::nullopt);
+  EXPECT_EQ(parse_snapshot_filename("snap-12.tmp"), std::nullopt);
+  EXPECT_EQ(parse_snapshot_filename("wal.bbwl"), std::nullopt);
+  EXPECT_EQ(parse_snapshot_filename("snap-12x.bbsn"), std::nullopt);
+}
+
+TEST(SnapshotFiles, AtomicWriteAndLoadRoundtrip) {
+  const std::string dir = fresh_dir("atomic");
+  Fixture fx(4);
+  const std::string path = dir + "/" + snapshot_filename(4);
+  write_file_atomic(path, encode_snapshot(fx.meta, 4, fx.stats, fx.learner));
+  const LoadedSnapshot loaded = load_snapshot_file(path);
+  EXPECT_EQ(loaded.seq, 4u);
+  EXPECT_EQ(learner_bytes(loaded.learner), learner_bytes(fx.learner));
+
+  // Overwrite in place (a later snapshot reusing a name must not append).
+  write_file_atomic(path, encode_snapshot(fx.meta, 4, fx.stats, fx.learner));
+  EXPECT_NO_THROW((void)load_snapshot_file(path));
+  // No .tmp litter left behind.
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    EXPECT_EQ(entry.path().extension(), ".bbsn") << entry.path();
+  }
+}
+
+TEST(SnapshotFiles, ReadFileBytesEnforcesCap) {
+  const std::string dir = fresh_dir("cap");
+  const std::string path = dir + "/blob";
+  write_file_atomic(path, std::vector<std::uint8_t>(1024, 0x5a));
+  EXPECT_EQ(read_file_bytes(path).size(), 1024u);
+  EXPECT_THROW((void)read_file_bytes(path, 1023), Error);
+  EXPECT_THROW((void)read_file_bytes(dir + "/missing"), Error);
+}
+
+}  // namespace
+}  // namespace bbmg::durable

@@ -120,7 +120,7 @@ TEST(SessionManager, SingleSessionMatchesOfflineOnCleanTrace) {
   cfg.seed = 7;
   const Trace gm = simulate_trace(gm_case_study_model(), 9, cfg);
 
-  SessionManager manager(ManagerConfig{2, 16});
+  SessionManager manager(ManagerConfig{2, 16, {}});
   const SessionId id = manager.open_session(gm.task_names());
   for (const Period& p : gm.periods()) {
     ASSERT_EQ(manager.submit(id, p.to_events()), SubmitStatus::Accepted);
@@ -174,7 +174,7 @@ TEST(SessionManager, QueriesNeverBlockOnIngestionAndSeeAPrefixModel) {
   SimConfig cfg;
   cfg.seed = 11;
   const Trace t = simulate_trace(gm_case_study_model(), 6, cfg);
-  SessionManager manager(ManagerConfig{1, 64});
+  SessionManager manager(ManagerConfig{1, 64, {}});
   const SessionId id = manager.open_session(t.task_names());
 
   // Query before any data: the published empty-model snapshot.
@@ -197,7 +197,7 @@ TEST(SessionManager, ProbeVerdicts) {
   SimConfig cfg;
   cfg.seed = 5;
   const Trace t = simulate_trace(gm_case_study_model(), 9, cfg);
-  SessionManager manager(ManagerConfig{2, 32});
+  SessionManager manager(ManagerConfig{2, 32, {}});
   const SessionId id = manager.open_session(t.task_names());
   for (const Period& p : t.periods()) {
     ASSERT_EQ(manager.submit(id, p.to_events()), SubmitStatus::Accepted);
@@ -222,7 +222,7 @@ TEST(SessionManager, ProbeVerdicts) {
 }
 
 TEST(SessionManager, ClosedSessionsRefuseSubmissions) {
-  SessionManager manager(ManagerConfig{1, 8});
+  SessionManager manager(ManagerConfig{1, 8, {}});
   const SessionId id = manager.open_session({"a", "b"});
   EXPECT_TRUE(manager.close_session(id));
   EXPECT_EQ(manager.submit(id, {}), SubmitStatus::UnknownSession);
@@ -234,7 +234,7 @@ TEST(SessionManager, StopFinishesQueuedWork) {
   SimConfig cfg;
   cfg.seed = 2;
   const Trace t = simulate_trace(gm_case_study_model(), 5, cfg);
-  auto manager = std::make_unique<SessionManager>(ManagerConfig{2, 64});
+  auto manager = std::make_unique<SessionManager>(ManagerConfig{2, 64, {}});
   const SessionId id = manager->open_session(t.task_names());
   for (const Period& p : t.periods()) {
     ASSERT_EQ(manager->submit(id, p.to_events()), SubmitStatus::Accepted);
