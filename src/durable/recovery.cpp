@@ -30,11 +30,15 @@ std::optional<std::uint32_t> parse_session_dirname(const std::string& name) {
 }
 
 void quarantine_and_note(const DurableConfig& config, const std::string& path,
-                         const std::string& why, RecoveryReport& report) {
+                         const std::string& why, RecoveryReport& report,
+                         bool reset_on_move_failure = false) {
   const std::string dest = quarantine_file(config.dir, path);
   report.diagnostics.push_back(
       "quarantined " + path + " (" + why + ")" +
-      (dest.empty() ? " [move failed; left in place]" : " -> " + dest));
+      (dest.empty() ? (reset_on_move_failure
+                           ? " [move failed; file will be reset]"
+                           : " [move failed; left in place]")
+                    : " -> " + dest));
   if (!dest.empty()) {
     report.quarantined_files.push_back(dest);
     DurableMetrics::get().quarantined_files.inc(1);
@@ -105,22 +109,34 @@ void recover_session(const DurableConfig& config, const fs::path& dir,
 
   if (fs::exists(wal_path)) {
     try {
-      const std::vector<std::uint8_t> bytes = read_file_bytes(
-          wal_path.string(), kMaxSnapshotPayload * 8);
-      const WalScan scan = scan_wal(bytes);
-      if (scan.session != session_id) {
+      // Validate the header before replaying anything: a mismatched log
+      // is condemned without a single record touching the learner.
+      const WalHeader header = read_wal_header(wal_path.string());
+      if (header.session != session_id) {
         quarantine_and_note(config, wal_path.string(),
-                            "WAL session id mismatch", report);
-      } else if (scan.base_seq > snap->seq) {
+                            "WAL session id mismatch", report,
+                            /*reset_on_move_failure=*/true);
+      } else if (header.base_seq > snap->seq) {
         // The snapshot this WAL extended is gone (quarantined above):
         // replaying would skip periods.  Keep the snapshot's truth.
         quarantine_and_note(
             config, wal_path.string(),
-            "WAL base " + std::to_string(scan.base_seq) +
+            "WAL base " + std::to_string(header.base_seq) +
                 " is past the best snapshot at " + std::to_string(snap->seq) +
                 " (unreplayable gap)",
-            report);
+            report, /*reset_on_move_failure=*/true);
       } else {
+        // Stream the records straight into the learner: a legitimate WAL
+        // runs up to snapshot_every x kMaxWalRecordPayload bytes, far
+        // past any sane whole-file read cap, so it is never materialized.
+        const WalFileScan scan = scan_wal_file(
+            wal_path.string(), [&](WalRecord&& rec) {
+              if (rec.seq <= snap->seq) return;  // already in the snapshot
+              stats_acc.observe_events(rec.events);
+              learner.observe_raw_period(rec.events);
+              last = rec.seq;
+              ++replayed;
+            });
         if (scan.torn_tail) {
           truncate_file(wal_path.string(), scan.valid_bytes);
           DurableMetrics::get().torn_wal_tails.inc(1);
@@ -130,15 +146,8 @@ void recover_session(const DurableConfig& config, const fs::path& dir,
               ": torn WAL tail truncated at byte " +
               std::to_string(scan.valid_bytes));
         }
-        for (const WalRecord& rec : scan.records) {
-          if (rec.seq <= snap->seq) continue;  // already in the snapshot
-          stats_acc.observe_events(rec.events);
-          learner.observe_raw_period(rec.events);
-          last = rec.seq;
-          ++replayed;
-        }
         const std::uint64_t last_record =
-            scan.records.empty() ? scan.base_seq : scan.records.back().seq;
+            scan.records == 0 ? scan.base_seq : scan.last_seq;
         if (last_record >= snap->seq) {
           // The file's physical tail lines up with `last`; appends stay
           // contiguous, so the log can be reused as-is.
@@ -146,8 +155,9 @@ void recover_session(const DurableConfig& config, const fs::path& dir,
           reuse_wal = true;
         } else {
           // Valid but stale (everything it holds is inside the snapshot);
-          // appending here would leave a sequence hole.  Start fresh.
-          fs::remove(wal_path, ec);
+          // appending here would leave a sequence hole.  attach() below
+          // recreates the file with O_TRUNC (no remove needed — and a
+          // failed remove could not be appended over either way).
           report.diagnostics.push_back(
               "session " + std::to_string(session_id) +
               ": stale WAL (ends at " + std::to_string(last_record) +
@@ -155,13 +165,29 @@ void recover_session(const DurableConfig& config, const fs::path& dir,
         }
       }
     } catch (const Error& e) {
-      quarantine_and_note(config, wal_path.string(), e.what(), report);
+      quarantine_and_note(config, wal_path.string(), e.what(), report,
+                          /*reset_on_move_failure=*/true);
     }
   }
   if (!reuse_wal) wal_base = last;
 
   std::unique_ptr<SessionStore> store = SessionStore::attach(
-      config, snap->meta, snap->seq, wal_base, last);
+      config, snap->meta, snap->seq, wal_base, last, reuse_wal);
+
+  if (!reuse_wal && last > snap->seq) {
+    // Periods were replayed but the log backing them could not be kept
+    // (condemned after replay, or a torn-tail truncate failure).  The
+    // fresh empty WAL starts at `last`, so without a snapshot there the
+    // next recovery would see an unreplayable snapshot->WAL gap and lose
+    // the replayed periods.  Close the gap now.
+    try {
+      store->write_snapshot(last, learner, stats_acc.summary());
+    } catch (const Error& e) {
+      report.diagnostics.push_back(
+          "session " + std::to_string(session_id) +
+          ": post-replay snapshot failed (" + std::string(e.what()) + ")");
+    }
+  }
 
   auto& m = DurableMetrics::get();
   m.recovered_sessions.inc(1);

@@ -40,7 +40,7 @@ std::unique_ptr<SessionStore> SessionStore::create(
 
 std::unique_ptr<SessionStore> SessionStore::attach(
     const DurableConfig& config, SessionMeta meta, std::uint64_t snapshot_seq,
-    std::uint64_t wal_base_seq, std::uint64_t last_seq) {
+    std::uint64_t wal_base_seq, std::uint64_t last_seq, bool reuse_wal) {
   BBMG_REQUIRE(config.enabled(), "durable: attach() with durability off");
   const std::string dir =
       (fs::path(config.dir) / session_dirname(meta.session)).string();
@@ -48,10 +48,12 @@ std::unique_ptr<SessionStore> SessionStore::attach(
   auto store = std::unique_ptr<SessionStore>(
       new SessionStore(config, std::move(meta), dir));
   const std::string wal_path = (fs::path(dir) / kWalFilename).string();
-  if (fs::exists(wal_path)) {
+  if (reuse_wal && fs::exists(wal_path)) {
     store->wal_.open(wal_path, session, wal_base_seq, last_seq,
                      config.fsync_every);
   } else {
+    // O_TRUNC create: whatever recovery condemned (and possibly failed to
+    // move aside) is destroyed here rather than appended after.
     store->wal_.create(wal_path, session, last_seq, config.fsync_every);
   }
   // The newest snapshot recovery accepted is the compaction base.

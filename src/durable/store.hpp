@@ -52,14 +52,20 @@ class SessionStore {
       const RobustOnlineLearner& learner,
       const StreamingTraceStats::Summary& stats);
 
-  /// Re-attach to a recovered session directory: reopen the (already
-  /// scanned and tail-truncated) WAL for appending.  `snapshot_seq` is
-  /// the seq of the snapshot recovery restored from; `wal_base_seq` /
-  /// `last_seq` come from the recovery scan.
+  /// Re-attach to a recovered session directory.  `snapshot_seq` is the
+  /// seq of the snapshot recovery restored from; `wal_base_seq` /
+  /// `last_seq` come from the recovery scan.  `reuse_wal` must be true
+  /// only when recovery validated the on-disk log end-to-end (scanned,
+  /// tail-truncated, tail contiguous with `last_seq`) — it is then
+  /// reopened for appending.  Otherwise the log is recreated with
+  /// O_TRUNC, so a condemned or stale file that could not be quarantined
+  /// or removed is overwritten, never appended over (appending would
+  /// leave a sequence discontinuity the next recovery truncates as a
+  /// torn tail, silently losing the new records).
   [[nodiscard]] static std::unique_ptr<SessionStore> attach(
       const DurableConfig& config, SessionMeta meta,
       std::uint64_t snapshot_seq, std::uint64_t wal_base_seq,
-      std::uint64_t last_seq);
+      std::uint64_t last_seq, bool reuse_wal);
 
   /// Append one accepted period at `seq` (must be the previous seq + 1).
   /// Called on the session's worker thread before the learner applies.

@@ -31,6 +31,72 @@ void write_fd_all(int fd, const std::uint8_t* data, std::size_t size,
   }
 }
 
+/// Read up to `size` bytes; short only at EOF.  Throws on I/O errors.
+std::size_t read_fd_upto(int fd, std::uint8_t* data, std::size_t size,
+                         const std::string& path) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::read(fd, data + off, size - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      raise("durable: WAL read failed for " + path + ": " +
+            std::strerror(errno));
+    }
+    if (n == 0) break;
+    off += static_cast<std::size_t>(n);
+  }
+  return off;
+}
+
+struct FdCloser {
+  int fd{-1};
+  ~FdCloser() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+int open_wal_readonly(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    raise("durable: cannot open WAL " + path + ": " + std::strerror(errno));
+  }
+  return fd;
+}
+
+WalHeader parse_wal_header(const std::uint8_t* data, std::size_t size,
+                           const std::string& path) {
+  BBMG_REQUIRE(size >= kWalHeaderSize,
+               "durable: WAL " + path + " shorter than its header");
+  ByteReader header(data, size);
+  BBMG_REQUIRE(header.read_u32() == kWalMagic,
+               "durable: not a WAL file (bad magic)");
+  const std::uint16_t version = header.read_u16();
+  BBMG_REQUIRE(version == kWalVersion,
+               "durable: unsupported WAL version " + std::to_string(version));
+  WalHeader h;
+  h.session = header.read_u32();
+  h.base_seq = header.read_u64();
+  return h;
+}
+
+/// Decode one record payload (nevents + events).  Returns false on any
+/// malformation — the caller treats it as a torn tail.
+bool decode_wal_payload(const std::uint8_t* payload, std::size_t len,
+                        WalRecord& record) {
+  try {
+    ByteReader pr(payload, len);
+    const std::uint32_t nevents = pr.read_u32();
+    if (nevents > kMaxEventsPerPeriod) return false;
+    record.events.reserve(nevents);
+    for (std::uint32_t i = 0; i < nevents; ++i) {
+      record.events.push_back(pr.read_event());
+    }
+    return pr.done();
+  } catch (const Error&) {
+    return false;  // undecodable payload despite a good CRC: treat as torn
+  }
+}
+
 }  // namespace
 
 // -- WalWriter -------------------------------------------------------------
@@ -182,17 +248,11 @@ void WalWriter::rotate(std::uint64_t base_seq) {
 // -- scanning --------------------------------------------------------------
 
 WalScan scan_wal(const std::uint8_t* data, std::size_t size) {
-  ByteReader header(data, size);
   // Header corruption condemns the whole file (throws -> quarantine).
-  BBMG_REQUIRE(size >= kWalHeaderSize, "durable: WAL shorter than its header");
-  BBMG_REQUIRE(header.read_u32() == kWalMagic,
-               "durable: not a WAL file (bad magic)");
-  const std::uint16_t version = header.read_u16();
-  BBMG_REQUIRE(version == kWalVersion,
-               "durable: unsupported WAL version " + std::to_string(version));
+  const WalHeader header = parse_wal_header(data, size, "<memory>");
   WalScan scan;
-  scan.session = header.read_u32();
-  scan.base_seq = header.read_u64();
+  scan.session = header.session;
+  scan.base_seq = header.base_seq;
   scan.valid_bytes = kWalHeaderSize;
 
   std::uint64_t expect_seq = scan.base_seq + 1;
@@ -213,18 +273,7 @@ WalScan scan_wal(const std::uint8_t* data, std::size_t size) {
 
     WalRecord record;
     record.seq = seq;
-    try {
-      ByteReader pr(payload, len);
-      const std::uint32_t nevents = pr.read_u32();
-      if (nevents > kMaxEventsPerPeriod) break;
-      record.events.reserve(nevents);
-      for (std::uint32_t i = 0; i < nevents; ++i) {
-        record.events.push_back(pr.read_event());
-      }
-      if (!pr.done()) break;
-    } catch (const Error&) {
-      break;  // undecodable payload despite a good CRC: treat as torn
-    }
+    if (!decode_wal_payload(payload, len, record)) break;
     scan.records.push_back(std::move(record));
     pos += 16 + len;
     scan.valid_bytes = pos;
@@ -236,6 +285,71 @@ WalScan scan_wal(const std::uint8_t* data, std::size_t size) {
 
 WalScan scan_wal(const std::vector<std::uint8_t>& bytes) {
   return scan_wal(bytes.data(), bytes.size());
+}
+
+WalHeader read_wal_header(const std::string& path) {
+  FdCloser fd{open_wal_readonly(path)};
+  std::uint8_t buf[kWalHeaderSize];
+  const std::size_t got = read_fd_upto(fd.fd, buf, kWalHeaderSize, path);
+  return parse_wal_header(buf, got, path);
+}
+
+WalFileScan scan_wal_file(
+    const std::string& path,
+    const std::function<void(WalRecord&&)>& on_record) {
+  FdCloser fd{open_wal_readonly(path)};
+
+  std::uint8_t header_buf[kWalHeaderSize];
+  const std::size_t header_got =
+      read_fd_upto(fd.fd, header_buf, kWalHeaderSize, path);
+  const WalHeader header = parse_wal_header(header_buf, header_got, path);
+
+  WalFileScan scan;
+  scan.session = header.session;
+  scan.base_seq = header.base_seq;
+  scan.last_seq = header.base_seq;
+  scan.valid_bytes = kWalHeaderSize;
+
+  std::uint64_t expect_seq = scan.base_seq + 1;
+  std::vector<std::uint8_t> payload;
+  for (;;) {
+    std::uint8_t rec_header[16];
+    const std::size_t got = read_fd_upto(fd.fd, rec_header, 16, path);
+    if (got == 0) break;  // clean end of log
+    if (got < 16) {
+      scan.torn_tail = true;
+      break;
+    }
+    ByteReader r(rec_header, 16);
+    const std::uint64_t seq = r.read_u64();
+    const std::uint32_t len = r.read_u32();
+    const std::uint32_t stored_crc = r.read_u32();
+    if (seq != expect_seq || len > kMaxWalRecordPayload) {
+      scan.torn_tail = true;
+      break;
+    }
+    payload.resize(len);
+    if (read_fd_upto(fd.fd, payload.data(), len, path) < len) {
+      scan.torn_tail = true;
+      break;
+    }
+    if (crc32(payload.data(), len) != stored_crc) {
+      scan.torn_tail = true;
+      break;
+    }
+    WalRecord record;
+    record.seq = seq;
+    if (!decode_wal_payload(payload.data(), len, record)) {
+      scan.torn_tail = true;
+      break;
+    }
+    on_record(std::move(record));
+    scan.valid_bytes += 16 + len;
+    scan.last_seq = seq;
+    ++scan.records;
+    ++expect_seq;
+  }
+  return scan;
 }
 
 void truncate_file(const std::string& path, std::uint64_t size) {

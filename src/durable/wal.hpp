@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -122,6 +123,42 @@ struct WalScan {
 /// torn_tail set — everything before it is still good.
 [[nodiscard]] WalScan scan_wal(const std::uint8_t* data, std::size_t size);
 [[nodiscard]] WalScan scan_wal(const std::vector<std::uint8_t>& bytes);
+
+/// The validated fixed-size header of a WAL file.
+struct WalHeader {
+  std::uint32_t session{0};
+  std::uint64_t base_seq{0};
+};
+
+/// Read and validate just the header of the WAL at `path`.  Throws
+/// bbmg::Error on I/O failure or an invalid header (magic/version/size) —
+/// the same condemnations as scan_wal, available without touching the
+/// records, so recovery can reject a mismatched log before replaying it.
+[[nodiscard]] WalHeader read_wal_header(const std::string& path);
+
+/// Result of a streaming on-disk scan: scan_wal's verdicts without the
+/// materialized records.
+struct WalFileScan {
+  std::uint32_t session{0};
+  std::uint64_t base_seq{0};
+  /// Sequence of the last good record (== base_seq when there is none).
+  std::uint64_t last_seq{0};
+  /// Number of good records handed to the callback.
+  std::uint64_t records{0};
+  bool torn_tail{false};
+  std::uint64_t valid_bytes{0};
+};
+
+/// Stream-scan the WAL at `path`: records are read one at a time through
+/// a reused buffer and handed to `on_record` in order, so an arbitrarily
+/// long (but valid) log replays without ever being held in memory whole —
+/// a WAL is legitimately up to snapshot_every x kMaxWalRecordPayload
+/// bytes, far past any sane single-read cap.  Header failures throw like
+/// scan_wal; a bad record ends the scan with torn_tail set after every
+/// earlier record was already delivered.
+WalFileScan scan_wal_file(
+    const std::string& path,
+    const std::function<void(WalRecord&&)>& on_record);
 
 /// ftruncate `path` to `size` bytes (torn-tail repair).  Throws on error.
 void truncate_file(const std::string& path, std::uint64_t size);

@@ -121,13 +121,24 @@ void ResilientClient::send_period(std::uint32_t session,
   BBMG_REQUIRE(it != sessions_.end(),
                "resilient client: unknown session (open or attach first)");
   SessionState& state = it->second;
-  PendingPeriod pending{state.next_seq++, std::move(events)};
-  state.unacked.push_back(std::move(pending));
-  const PendingPeriod& p = state.unacked.back();
-  // A reconnect inside with_retry resends the whole unacked tail — p
-  // included — and the explicit send below then lands as a duplicate the
-  // server drops; either way the period is delivered exactly once.
-  with_retry([&] { client_.send_period(session, p.events, p.seq); });
+  const std::uint64_t seq = state.next_seq++;
+  state.unacked.push_back(PendingPeriod{seq, std::move(events)});
+  // A reconnect inside with_retry resends the whole unacked tail and can
+  // learn (via resume) that the server already holds this period durably,
+  // in which case trim_acked pops it from `unacked` — so no reference into
+  // the deque may be held across with_retry.  Re-look the period up by seq
+  // on every attempt; if it is gone it is durable and there is nothing
+  // left to send, otherwise the explicit send lands (at worst as a
+  // duplicate the server drops) — either way delivered exactly once.
+  with_retry([&] {
+    for (const PendingPeriod& p : state.unacked) {
+      if (p.seq > seq) break;  // unacked is seq-ordered
+      if (p.seq == seq) {
+        client_.send_period(session, p.events, seq);
+        return;
+      }
+    }
+  });
   if (++state.since_ack >= config_.ack_interval) {
     state.since_ack = 0;
     const std::uint64_t high_water =

@@ -30,6 +30,9 @@ struct ServeMetrics {
   /// Sequenced periods dropped as already-ingested duplicates (client
   /// resends after a reconnect; dropping them is the idempotence contract).
   obs::Counter& duplicate_periods;
+  /// Sessions poisoned by an apply/WAL failure (the worker survives; the
+  /// session refuses further periods).
+  obs::Counter& session_failures;
   /// ResilientClient request attempts that failed and were retried.
   obs::Counter& client_retries;
   /// ResilientClient reconnect cycles (connect + hello + resume).
@@ -66,6 +69,7 @@ struct ServeMetrics {
         r.counter("bbmg_serve_periods_applied_total"),
         r.counter("bbmg_serve_queries_total"),
         r.counter("bbmg_serve_duplicate_periods_total"),
+        r.counter("bbmg_serve_session_failures_total"),
         r.counter("bbmg_serve_client_retries_total"),
         r.counter("bbmg_serve_client_reconnects_total"),
         r.counter("bbmg_serve_resent_periods_total"),

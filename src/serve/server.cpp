@@ -1,12 +1,26 @@
 #include "serve/server.hpp"
 
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/error.hpp"
+#include "durable/wal.hpp"
 #include "serve/net.hpp"
 #include "serve/serve_metrics.hpp"
 
 namespace bbmg {
+
+namespace {
+
+/// A period must fit in one WAL record or the durable path cannot log it
+/// (WalWriter::append throws, which would poison the session).  Events
+/// frames are individually under the frame cap but accumulate across
+/// frames, so the accumulated period is capped here and rejected with an
+/// ErrorReply at EndPeriod instead of ever reaching a worker.
+constexpr std::size_t kMaxPeriodEvents =
+    (durable::kMaxWalRecordPayload - 4) / kEncodedEventSize;
+
+}  // namespace
 
 Server::Server(ServerConfig config)
     : config_(config), manager_(config.manager) {}
@@ -74,6 +88,9 @@ void Server::serve_connection(int fd) {
   FrameDecoder decoder;
   // Period under construction per session addressed by this connection.
   std::unordered_map<std::uint32_t, std::vector<Event>> pending;
+  // Sessions whose current period overflowed kMaxPeriodEvents; buffering
+  // stops (bounding memory) and the next EndPeriod is refused.
+  std::unordered_set<std::uint32_t> oversized;
   bool greeted = false;
   try {
     while (auto frame = net::read_frame(fd, decoder)) {
@@ -95,12 +112,30 @@ void Server::serve_connection(int fd) {
         }
         case FrameType::Events: {
           EventsMsg msg = EventsMsg::decode(*frame);
+          if (oversized.count(msg.session) != 0) break;
           auto& buffer = pending[msg.session];
+          if (buffer.size() + msg.events.size() > kMaxPeriodEvents) {
+            oversized.insert(msg.session);
+            buffer.clear();
+            buffer.shrink_to_fit();
+            break;
+          }
           buffer.insert(buffer.end(), msg.events.begin(), msg.events.end());
           break;
         }
         case FrameType::EndPeriod: {
           const EndPeriodMsg msg = EndPeriodMsg::decode(*frame);
+          if (oversized.erase(msg.session) > 0) {
+            // The period never reaches a worker (its WAL record could not
+            // be written); the seq stays unclaimed so the client's resume
+            // accounting sees it as unacked and its flush fails loudly.
+            ErrorReplyMsg err{
+                WireErrorCode::Overflow,
+                "end-period: period exceeds " +
+                    std::to_string(kMaxPeriodEvents) + " events"};
+            net::write_frame(fd, err.to_frame());
+            break;
+          }
           std::vector<Event> events = std::move(pending[msg.session]);
           pending[msg.session].clear();
           const SubmitStatus status =
@@ -110,6 +145,8 @@ void Server::serve_connection(int fd) {
             ErrorReplyMsg err;
             err.code = status == SubmitStatus::Overflow
                            ? WireErrorCode::Overflow
+                       : status == SubmitStatus::Failed
+                           ? WireErrorCode::Internal
                            : WireErrorCode::UnknownSession;
             err.message = std::string("end-period: ") +
                           std::string(submit_status_name(status));

@@ -58,14 +58,34 @@ std::uint64_t LearningSession::flush_durable() {
 }
 
 void LearningSession::checkpoint() {
-  if (!store_) return;
+  // A failed session's learner may be mid-mutation; snapshotting it would
+  // persist (and later replay from) state no uninterrupted run produces.
+  if (!store_ || failed()) return;
   store_->write_snapshot(static_cast<std::uint64_t>(processed()), learner_,
                          stream_stats_.summary());
 }
 
+void LearningSession::mark_failed(const std::string& why) {
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (failure_.empty()) failure_ = why;
+    failed_.store(true, std::memory_order_release);
+  }
+  // Wake drain()ers: the period that failed will never be processed.
+  drained_.notify_all();
+}
+
+std::string LearningSession::failure() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return failure_;
+}
+
 void LearningSession::drain() {
   std::unique_lock<std::mutex> lock(state_mu_);
-  drained_.wait(lock, [&] { return processed_ >= accepted_.value(); });
+  drained_.wait(lock, [&] {
+    return failed_.load(std::memory_order_relaxed) ||
+           processed_ >= accepted_.value();
+  });
 }
 
 void LearningSession::process(const std::vector<Event>& period_events,

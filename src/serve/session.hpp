@@ -121,6 +121,19 @@ class LearningSession {
     return closed_.load(std::memory_order_relaxed);
   }
 
+  /// Poison the session after a process() failure (WAL I/O error,
+  /// oversized record, disk full): further submissions are refused with
+  /// SubmitStatus::Failed, drain() stops waiting on the period that never
+  /// completed, and queries keep serving the last published snapshot.
+  /// Called by the worker that owns the session; the learner may be in a
+  /// partial state, which is why the session can never apply again.
+  void mark_failed(const std::string& why);
+  [[nodiscard]] bool failed() const {
+    return failed_.load(std::memory_order_acquire);
+  }
+  /// First failure's diagnostic ("" while healthy).
+  [[nodiscard]] std::string failure() const;
+
   // -- durability (src/durable) --
 
   /// Attach the session's durable store.  Must happen before the first
@@ -164,6 +177,8 @@ class LearningSession {
   obs::AtomicCounter rejected_;
   StreamingTraceStats stream_stats_;
   std::atomic<bool> closed_{false};
+  std::atomic<bool> failed_{false};
+  std::string failure_;  // guarded by state_mu_; set once by mark_failed
 
   /// Durable store (null = in-memory session).  The worker appends to the
   /// WAL inside process() right before the learner applies, so WAL order

@@ -1,5 +1,7 @@
 #include "serve/session_manager.hpp"
 
+#include <cstdio>
+
 #include "common/error.hpp"
 #include "durable/recovery.hpp"
 #include "obs/span.hpp"
@@ -18,6 +20,8 @@ std::string_view submit_status_name(SubmitStatus s) {
       return "unknown-session";
     case SubmitStatus::ShuttingDown:
       return "shutting-down";
+    case SubmitStatus::Failed:
+      return "failed";
   }
   return "?";
 }
@@ -47,8 +51,19 @@ void SessionManager::recover_sessions() {
   recovery_.torn_tails = report.torn_tails;
   recovery_.quarantined_files = report.quarantined_files.size();
   recovery_.diagnostics = std::move(report.diagnostics);
+  // open_session() allocates ids densely from zero, so any huge recovered
+  // id can only come from a forged/mangled data-dir entry; honoring it
+  // would drive a multi-GB sessions_ resize (or a bad_alloc abort) below.
+  constexpr std::uint32_t kMaxRecoverableSessionId = 1u << 20;
   std::lock_guard<std::mutex> lock(sessions_mu_);
   for (durable::RecoveredSession& rec : report.sessions) {
+    if (rec.meta.session > kMaxRecoverableSessionId) {
+      recovery_.diagnostics.push_back(
+          "session " + std::to_string(rec.meta.session) +
+          ": id beyond the recoverable cap (" +
+          std::to_string(kMaxRecoverableSessionId) + "); ignored");
+      continue;
+    }
     const SessionId id{rec.meta.session};
     if (id.index() >= sessions_.size()) sessions_.resize(id.index() + 1);
     if (sessions_[id.index()] != nullptr) {
@@ -86,7 +101,20 @@ void SessionManager::worker_loop(std::size_t worker_index) {
   BoundedMpscQueue<WorkItem>& queue = *queues_[worker_index];
   while (auto item = queue.pop()) {
     depth.sub(1);
-    item->session->process(item->events, item->enqueue_ns);
+    if (item->session->failed()) continue;  // poisoned; drop queued periods
+    try {
+      item->session->process(item->events, item->enqueue_ns);
+    } catch (const std::exception& e) {
+      // process() does throwing WAL I/O (fsync failure, disk full,
+      // oversized record); an escape here would std::terminate the whole
+      // daemon.  Poison just this session — submits are refused, drains
+      // wake — and keep the worker serving its other sessions.
+      item->session->mark_failed(e.what());
+      ServeMetrics::get().session_failures.inc();
+      std::fprintf(stderr, "bbmg_served: session %llu failed: %s\n",
+                   static_cast<unsigned long long>(item->session->id().index()),
+                   e.what());
+    }
   }
 }
 
@@ -140,6 +168,7 @@ SubmitStatus SessionManager::submit(SessionId id,
   metrics.submits.inc();
   auto session = find(id);
   if (!session || session->closed()) return SubmitStatus::UnknownSession;
+  if (session->failed()) return SubmitStatus::Failed;
   if (seq != 0 && !session->claim_seq(seq)) {
     // Duplicate resend after a reconnect: the period (or a later one) is
     // already ingested.  Dropping it IS the correct ingestion, so report
@@ -184,7 +213,16 @@ std::uint64_t SessionManager::resume_high_water(SessionId id) {
 void SessionManager::checkpoint_all() {
   std::lock_guard<std::mutex> lock(sessions_mu_);
   for (const auto& session : sessions_) {
-    if (session) session->checkpoint();
+    if (!session) continue;
+    try {
+      session->checkpoint();
+    } catch (const std::exception& e) {
+      // Shutdown best-effort: one session's disk error must not abort the
+      // drain — its WAL already covers everything a snapshot would.
+      std::fprintf(stderr, "bbmg_served: checkpoint of session %llu failed: %s\n",
+                   static_cast<unsigned long long>(session->id().index()),
+                   e.what());
+    }
   }
 }
 

@@ -57,6 +57,10 @@ enum class SubmitStatus : std::uint8_t {
   UnknownSession,
   /// The manager is stopping; nothing is ingested any more.
   ShuttingDown,
+  /// The session was poisoned by an apply/WAL failure (disk full, fsync
+  /// error, oversized record); it refuses further periods but still
+  /// answers queries from its last published snapshot.
+  Failed,
 };
 
 [[nodiscard]] std::string_view submit_status_name(SubmitStatus s);

@@ -229,6 +229,73 @@ TEST(Wal, RotateRestartsAtNewBase) {
   EXPECT_EQ(scan.records[0].seq, 5u);
 }
 
+TEST(Wal, StreamingFileScanMatchesInMemoryScan) {
+  const std::string path = fresh_dir("stream") + "/" + kWalFilename;
+  {
+    WalWriter w;
+    w.create(path, 7, 2, 1);
+    for (std::uint64_t seq = 3; seq <= 7; ++seq) {
+      w.append(seq,
+               period_of(seq * 10, static_cast<std::uint32_t>(seq % 3)));
+    }
+  }
+  const WalScan mem = scan_wal(slurp(path));
+  std::vector<WalRecord> streamed;
+  const WalFileScan file = scan_wal_file(
+      path, [&](WalRecord&& rec) { streamed.push_back(std::move(rec)); });
+  EXPECT_EQ(file.session, mem.session);
+  EXPECT_EQ(file.base_seq, mem.base_seq);
+  EXPECT_EQ(file.torn_tail, mem.torn_tail);
+  EXPECT_FALSE(file.torn_tail);
+  EXPECT_EQ(file.valid_bytes, mem.valid_bytes);
+  EXPECT_EQ(file.records, mem.records.size());
+  EXPECT_EQ(file.last_seq, 7u);
+  ASSERT_EQ(streamed.size(), mem.records.size());
+  for (std::size_t i = 0; i < streamed.size(); ++i) {
+    EXPECT_EQ(streamed[i].seq, mem.records[i].seq);
+    EXPECT_TRUE(same_events(streamed[i].events, mem.records[i].events));
+  }
+}
+
+TEST(Wal, StreamingFileScanDetectsTornTail) {
+  const std::string path = fresh_dir("stream_torn") + "/" + kWalFilename;
+  {
+    WalWriter w;
+    w.create(path, 9, 0, 1);
+    for (std::uint64_t seq = 1; seq <= 3; ++seq) {
+      w.append(seq, period_of(seq, 0));
+    }
+  }
+  truncate_file(path, fs::file_size(path) - 3);
+  const WalScan mem = scan_wal(slurp(path));
+  std::uint64_t delivered = 0;
+  const WalFileScan file =
+      scan_wal_file(path, [&](WalRecord&&) { ++delivered; });
+  EXPECT_TRUE(file.torn_tail);
+  EXPECT_EQ(file.records, 2u);
+  EXPECT_EQ(delivered, 2u);
+  EXPECT_EQ(file.last_seq, 2u);
+  EXPECT_EQ(file.valid_bytes, mem.valid_bytes);
+}
+
+TEST(Wal, ReadWalHeaderValidatesAndThrows) {
+  const std::string path = fresh_dir("header_read") + "/" + kWalFilename;
+  {
+    WalWriter w;
+    w.create(path, 11, 7, 1);
+  }
+  const WalHeader header = read_wal_header(path);
+  EXPECT_EQ(header.session, 11u);
+  EXPECT_EQ(header.base_seq, 7u);
+
+  std::vector<std::uint8_t> corrupt = slurp(path);
+  corrupt[0] ^= 0xff;  // magic
+  write_file_atomic(path, corrupt);
+  EXPECT_THROW((void)read_wal_header(path), Error);
+  EXPECT_THROW((void)scan_wal_file(path, [](WalRecord&&) {}), Error);
+  EXPECT_THROW((void)read_wal_header(path + ".missing"), Error);
+}
+
 TEST(Wal, FlushReportsDurableHighWater) {
   const std::string path = fresh_dir("flush") + "/" + kWalFilename;
   WalWriter w;

@@ -6,15 +6,18 @@
 // conformance verdicts.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <thread>
 #include <vector>
 
+#include "durable/wal.hpp"
 #include "gen/gm_case_study.hpp"
 #include "gen/random_model.hpp"
 #include "lattice/matrix_io.hpp"
 #include "robust/fault_injector.hpp"
 #include "serve/session_manager.hpp"
 #include "sim/simulator.hpp"
+#include "trace/binary_codec.hpp"
 
 namespace bbmg {
 namespace {
@@ -228,6 +231,65 @@ TEST(SessionManager, ClosedSessionsRefuseSubmissions) {
   EXPECT_EQ(manager.submit(id, {}), SubmitStatus::UnknownSession);
   EXPECT_EQ(manager.submit(SessionId{99u}, {}), SubmitStatus::UnknownSession);
   EXPECT_FALSE(manager.close_session(SessionId{99u}));
+}
+
+TEST(SessionManagerDurable, WalFailurePoisonsOnlyItsSession) {
+  namespace fs = std::filesystem;
+  const std::string dir = ::testing::TempDir() + "/bbmg_mgr_wal_failure";
+  fs::remove_all(dir);
+  ManagerConfig config{1, 8, durable::DurableConfig{dir, 1, 0}};
+  SessionManager manager(config);
+  const SessionId id = manager.open_session({"a", "b"});
+
+  // A period whose WAL record would exceed the payload cap: append raises
+  // inside process(); the worker must contain it — poisoning the session,
+  // not std::terminate-ing the daemon.
+  const std::size_t too_many =
+      (durable::kMaxWalRecordPayload - 4) / kEncodedEventSize + 1;
+  std::vector<Event> huge(too_many, Event::task_start(1, TaskId{0u}));
+  ASSERT_EQ(manager.submit(id, std::move(huge)), SubmitStatus::Accepted);
+  manager.drain(id);  // wakes via the failure instead of hanging forever
+  EXPECT_EQ(manager.submit(id, {Event::task_start(1, TaskId{0u})}),
+            SubmitStatus::Failed);
+
+  // The worker survives: a fresh session on the same shard keeps learning.
+  SimConfig cfg;
+  cfg.seed = 4;
+  const Trace t = simulate_trace(gm_case_study_model(), 3, cfg);
+  const SessionId healthy = manager.open_session(t.task_names());
+  for (const Period& p : t.periods()) {
+    ASSERT_EQ(manager.submit(healthy, p.to_events()), SubmitStatus::Accepted);
+  }
+  manager.drain(healthy);
+  EXPECT_EQ(manager.stats(healthy).processed, t.num_periods());
+}
+
+TEST(SessionManagerDurable, HugeRecoveredSessionIdIsIgnored) {
+  namespace fs = std::filesystem;
+  const std::string dir = ::testing::TempDir() + "/bbmg_mgr_huge_id";
+  fs::remove_all(dir);
+  const durable::DurableConfig dconfig{dir, 1, 0};
+
+  // Forge valid durable state under an absurd session id (a mangled data
+  // directory): honoring it would drive a multi-GB sessions_ resize.
+  durable::SessionMeta meta;
+  meta.session = (1u << 20) + 1;
+  meta.task_names = {"a", "b"};
+  meta.snapshot_interval = 1;
+  {
+    const RobustOnlineLearner learner(meta.task_names, meta.config);
+    (void)durable::SessionStore::create(dconfig, meta, learner, {});
+  }
+
+  SessionManager manager(ManagerConfig{1, 8, dconfig});
+  EXPECT_EQ(manager.num_sessions(), 0u);
+  bool noted = false;
+  for (const std::string& d : manager.recovery().diagnostics) {
+    if (d.find("beyond the recoverable cap") != std::string::npos) {
+      noted = true;
+    }
+  }
+  EXPECT_TRUE(noted);
 }
 
 TEST(SessionManager, StopFinishesQueuedWork) {
