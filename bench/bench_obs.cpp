@@ -7,6 +7,10 @@
 //       to the metric operations the run actually performed (registry
 //       value delta).  The instrumentation share of the ingest wall time
 //       must stay below the 2% overhead budget (DESIGN.md, Observability).
+//   (c) causal tracing on: the same ingest with every period carrying a
+//       trace context (span ring enabled, server stages recording child
+//       spans, as under `bbmg_served --trace`).  The attributed span cost
+//       must stay below a 1% share of the traced ingest wall time.
 // In a -DBBMG_OBS=OFF build the primitives compile to no-ops; the bench
 // still runs, reports ~zero costs and "enabled": false, and the budget
 // check passes trivially.  Output goes to stdout and BENCH_obs.json.
@@ -22,6 +26,7 @@
 #include "obs/exposition.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "obs/trace_context.hpp"
 #include "serve/session_manager.hpp"
 
 using namespace bbmg;
@@ -29,6 +34,9 @@ using namespace bbmg;
 namespace {
 
 constexpr double kBudgetPct = 2.0;
+/// Tighter budget for the causal-tracing path: spans are per-stage, not
+/// per-metric-op, so the ceiling is 1% of the traced ingest wall time.
+constexpr double kTraceBudgetPct = 1.0;
 
 /// ns per iteration of `body`, amortized over `iters` calls.
 template <typename Body>
@@ -170,6 +178,49 @@ int main() {
 
   const bool within_budget = overhead_pct < kBudgetPct;
 
+  // ---- (c) ingest with causal tracing on ---------------------------------
+  // Every period carries a freshly minted trace context, so the worker
+  // records queue-wait and apply child spans per period — the PR 5 traced
+  // request path minus the socket.
+  obs::SpanRing& ring = obs::SpanRing::instance();
+  ring.set_enabled(true);
+  ring.clear();
+  const std::uint64_t spans_before = ring.total_recorded();
+  SessionManager traced_manager(config);
+  const SessionId traced_id = traced_manager.open_session(trace.task_names());
+  Stopwatch traced;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (const auto& evs : periods) {
+      const obs::TraceContext ctx{obs::mint_id(), obs::mint_id()};
+      (void)traced_manager.submit(traced_id, evs, /*block=*/true, /*seq=*/0,
+                                  ctx);
+    }
+  }
+  traced_manager.drain(traced_id);
+  const double traced_ms = traced.elapsed_ms();
+  traced_manager.stop();
+  const std::uint64_t trace_spans = ring.total_recorded() - spans_before;
+  ring.set_enabled(false);
+  ring.clear();
+
+  // Attribute at the measured ring-on span price (mint + record dominate),
+  // the same methodology as (b) — wall-clock deltas between two ingest
+  // runs drown in scheduler noise at this scale.
+  const double trace_overhead_ns =
+      static_cast<double>(trace_spans) * span_ring_ns;
+  const double trace_pct =
+      obs::kEnabled && traced_ms > 0.0
+          ? trace_overhead_ns / (traced_ms * 1e6) * 100.0
+          : 0.0;
+  const bool trace_within_budget = trace_pct < kTraceBudgetPct;
+
+  std::printf("\ntraced ingest: %zu periods in %.1f ms — %llu spans "
+              "recorded\n",
+              rounds * periods.size(), traced_ms,
+              static_cast<unsigned long long>(trace_spans));
+  std::printf("tracing share of ingest: %.3f%% (budget %.1f%%)\n", trace_pct,
+              kTraceBudgetPct);
+
   std::ostringstream doc;
   doc << "{\n"
       << "  \"bench\": \"obs\",\n"
@@ -188,7 +239,13 @@ int main() {
       << ", \"histogram\": " << ops.histogram_ops << "},\n"
       << "  \"overhead_pct\": " << overhead_pct << ",\n"
       << "  \"budget_pct\": " << kBudgetPct << ",\n"
-      << "  \"within_budget\": " << (within_budget ? "true" : "false") << "\n"
+      << "  \"within_budget\": " << (within_budget ? "true" : "false") << ",\n"
+      << "  \"tracing\": {\"spans\": " << trace_spans
+      << ", \"wall_ms\": " << traced_ms
+      << ", \"overhead_pct\": " << trace_pct
+      << ", \"budget_pct\": " << kTraceBudgetPct
+      << ", \"within_budget\": " << (trace_within_budget ? "true" : "false")
+      << "}\n"
       << "}\n";
 
   std::printf("\n%s", doc.str().c_str());
@@ -196,5 +253,5 @@ int main() {
     std::fputs(doc.str().c_str(), f);
     std::fclose(f);
   }
-  return within_budget ? 0 : 1;
+  return within_budget && trace_within_budget ? 0 : 1;
 }

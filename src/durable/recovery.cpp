@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "durable/durable_metrics.hpp"
+#include "obs/log.hpp"
 #include "obs/span.hpp"
 
 namespace bbmg::durable {
@@ -39,6 +40,9 @@ void quarantine_and_note(const DurableConfig& config, const std::string& path,
                            ? " [move failed; file will be reset]"
                            : " [move failed; left in place]")
                     : " -> " + dest));
+  BBMG_LOG_WARN("durable.quarantine", why,
+                {{"path", path},
+                 {"dest", dest.empty() ? std::string("<move failed>") : dest}});
   if (!dest.empty()) {
     report.quarantined_files.push_back(dest);
     DurableMetrics::get().quarantined_files.inc(1);
@@ -145,6 +149,9 @@ void recover_session(const DurableConfig& config, const fs::path& dir,
               "session " + std::to_string(session_id) +
               ": torn WAL tail truncated at byte " +
               std::to_string(scan.valid_bytes));
+          BBMG_LOG_WARN("durable.torn_tail", "torn WAL tail truncated",
+                        {{"session", session_id},
+                         {"valid_bytes", scan.valid_bytes}});
         }
         const std::uint64_t last_record =
             scan.records == 0 ? scan.base_seq : scan.last_seq;
@@ -250,6 +257,11 @@ RecoveryReport recover_all(const DurableConfig& config) {
   }
 
   DurableMetrics::get().recovery_us.observe((obs::now_ns() - t0) / 1000);
+  BBMG_LOG_INFO("durable.recovery", report.summary_line(),
+                {{"sessions", report.sessions.size()},
+                 {"replayed", report.replayed_periods},
+                 {"torn_tails", report.torn_tails},
+                 {"quarantined", report.quarantined_files.size()}});
   return report;
 }
 

@@ -11,6 +11,7 @@
 #include "durable/checksum.hpp"
 #include "durable/durable_metrics.hpp"
 #include "obs/span.hpp"
+#include "obs/trace_context.hpp"
 #include "trace/binary_codec.hpp"
 
 namespace bbmg::durable {
@@ -204,11 +205,16 @@ void WalWriter::append(std::uint64_t seq, const std::vector<Event>& events) {
   auto& m = DurableMetrics::get();
   m.wal_appends.inc(1);
   m.wal_bytes.inc(record.size());
+  // Stage spans attach to whatever trace the calling worker scoped; the
+  // fsync span only exists on the periods that pay the group commit.
+  obs::record_current_stage("server.wal_append", t0, obs::now_ns());
   if (++unsynced_ >= fsync_every_) {
+    const std::uint64_t fsync_start = obs::now_ns();
     if (::fsync(fd_) != 0) {
       raise("durable: fsync failed for " + path_ + ": " +
             std::strerror(errno));
     }
+    obs::record_current_stage("server.fsync", fsync_start, obs::now_ns());
     m.wal_fsyncs.inc(1);
     unsynced_ = 0;
   }

@@ -1,5 +1,6 @@
 #include "obs/exposition.hpp"
 
+#include <cstdio>
 #include <sstream>
 
 namespace bbmg::obs {
@@ -24,6 +25,10 @@ void append_json_string(std::ostringstream& os, const std::string& s) {
   for (const char c : s) {
     if (c == '"' || c == '\\') {
       os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+      os << buf;
     } else {
       os << c;
     }
@@ -31,19 +36,66 @@ void append_json_string(std::ostringstream& os, const std::string& s) {
   os << '"';
 }
 
+/// The name as it goes on the wire: sanitized base, labels passed through
+/// (label *values* are escaped at labeled_name() time, and escapes must
+/// not be re-mangled here).
+std::string wire_name(const std::string& name) {
+  std::string base, labels;
+  split_labels(name, base, labels);
+  std::string out = sanitize_metric_name(base);
+  if (!labels.empty()) out += "{" + labels + "}";
+  return out;
+}
+
 }  // namespace
+
+std::string sanitize_metric_name(const std::string& base) {
+  std::string out;
+  out.reserve(base.size() + 1);
+  for (const char c : base) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (!out.empty() && out.front() >= '0' && out.front() <= '9') {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
 
 std::string to_prometheus(const MetricsSnapshot& snapshot) {
   std::ostringstream os;
   for (const auto& c : snapshot.counters) {
-    os << c.name << ' ' << c.value << '\n';
+    os << wire_name(c.name) << ' ' << c.value << '\n';
   }
   for (const auto& g : snapshot.gauges) {
-    os << g.name << ' ' << g.value << '\n';
+    os << wire_name(g.name) << ' ' << g.value << '\n';
   }
   for (const auto& h : snapshot.histograms) {
     std::string base, labels;
     split_labels(h.name, base, labels);
+    base = sanitize_metric_name(base);
     const std::string prefix =
         base + "_bucket{" + (labels.empty() ? "" : labels + ",");
     std::uint64_t cumulative = 0;

@@ -20,4 +20,13 @@ namespace bbmg::obs {
 [[nodiscard]] std::string to_prometheus(const MetricsSnapshot& snapshot);
 [[nodiscard]] std::string to_json(const MetricsSnapshot& snapshot);
 
+/// Map an arbitrary runtime-registered base name onto the Prometheus
+/// metric-name alphabet [a-zA-Z0-9_:]: every other byte becomes '_', and a
+/// leading digit gains a '_' prefix.  Idempotent for already-valid names.
+[[nodiscard]] std::string sanitize_metric_name(const std::string& base);
+
+/// Escape a label value per the exposition format: backslash, double
+/// quote, and newline become \\, \" and \n.
+[[nodiscard]] std::string escape_label_value(const std::string& value);
+
 }  // namespace bbmg::obs

@@ -1,0 +1,184 @@
+#include "obs/flight_recorder.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "obs/exposition.hpp"
+#include "obs/metrics.hpp"
+
+namespace bbmg::obs {
+
+namespace {
+
+// Signal-handler state: everything the handler touches must be plain
+// static storage fixed before the signal can arrive.
+char g_dump_dir[512] = {0};
+std::atomic<bool> g_armed{false};
+std::atomic<int> g_in_handler{0};
+
+/// Async-signal-safe unsigned-to-decimal; returns chars written.
+std::size_t format_u64(char* buf, std::uint64_t v) {
+  char tmp[20];
+  std::size_t n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  for (std::size_t i = 0; i < n; ++i) buf[i] = tmp[n - 1 - i];
+  return n;
+}
+
+void write_all_fd(int fd, const char* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(fd, data + off, len - off);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void write_str(int fd, const char* s) { write_all_fd(fd, s, std::strlen(s)); }
+
+extern "C" void fatal_signal_handler(int signo) {
+  // A crash inside the handler (or a second signal) must not recurse.
+  if (g_in_handler.fetch_add(1, std::memory_order_relaxed) == 0 &&
+      g_dump_dir[0] != '\0') {
+    char path[600];
+    std::size_t len = std::strlen(g_dump_dir);
+    std::memcpy(path, g_dump_dir, len);
+    std::memcpy(path + len, "/crash-", 7);
+    len += 7;
+    len += format_u64(path + len, static_cast<std::uint64_t>(signo));
+    std::memcpy(path + len, ".log", 5);  // includes NUL
+    const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      FlightRecorder::instance().dump_to_fd(fd, signo);
+      ::close(fd);
+    }
+  }
+  // Restore the default disposition and re-raise so the process still dies
+  // with the right status (and dumps core where configured).
+  ::signal(signo, SIG_DFL);
+  ::raise(signo);
+}
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+void FlightRecorder::note(std::string_view line) {
+  const std::uint64_t idx = cursor_.fetch_add(1, std::memory_order_relaxed);
+  Entry& e = ring_[idx % kEntries];
+  // seq odd = slot being written; seq == idx*2+2 = entry for `idx` complete.
+  e.seq.store(idx * 2 + 1, std::memory_order_release);
+  const std::size_t n =
+      line.size() < kEntryBytes ? line.size() : kEntryBytes;
+  std::memcpy(e.text, line.data(), n);
+  e.len = static_cast<std::uint16_t>(n);
+  e.seq.store(idx * 2 + 2, std::memory_order_release);
+}
+
+void FlightRecorder::cache_metrics() {
+  const std::string text = to_prometheus(MetricsRegistry::instance().snapshot());
+  metrics_gen_.fetch_add(1, std::memory_order_acq_rel);  // -> odd: writing
+  const std::size_t n =
+      text.size() < kMetricsBytes ? text.size() : kMetricsBytes;
+  std::memcpy(metrics_, text.data(), n);
+  metrics_len_.store(static_cast<std::uint32_t>(n), std::memory_order_relaxed);
+  metrics_gen_.fetch_add(1, std::memory_order_acq_rel);  // -> even: stable
+}
+
+void FlightRecorder::arm_signal_handler(const std::string& dir) {
+  // Arming runs in normal (pre-crash) code, so the whole path can be
+  // created here; the handler itself only open()s inside it.
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best effort
+  const std::size_t n =
+      dir.size() < sizeof(g_dump_dir) - 1 ? dir.size() : sizeof(g_dump_dir) - 1;
+  std::memcpy(g_dump_dir, dir.data(), n);
+  g_dump_dir[n] = '\0';
+  if (!g_armed.exchange(true)) {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = fatal_signal_handler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESETHAND;
+    for (const int signo : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL}) {
+      ::sigaction(signo, &sa, nullptr);
+    }
+  }
+}
+
+void FlightRecorder::dump_to_fd(int fd, int signo) const {
+  char num[24];
+  write_str(fd, "=== bbmg flight recorder dump ===\nsignal: ");
+  write_all_fd(fd, num, format_u64(num, static_cast<std::uint64_t>(signo)));
+  write_str(fd, "\nevents_total: ");
+  const std::uint64_t cur = cursor_.load(std::memory_order_acquire);
+  write_all_fd(fd, num, format_u64(num, cur));
+  write_str(fd, "\n--- recent events (oldest first) ---\n");
+  const std::uint64_t begin = cur > kEntries ? cur - kEntries : 0;
+  for (std::uint64_t i = begin; i < cur; ++i) {
+    const Entry& e = ring_[i % kEntries];
+    if (e.seq.load(std::memory_order_acquire) != i * 2 + 2) continue;
+    write_all_fd(fd, e.text, e.len);
+    write_str(fd, "\n");
+  }
+  write_str(fd, "--- metrics snapshot (cached) ---\n");
+  const std::uint64_t gen = metrics_gen_.load(std::memory_order_acquire);
+  if (gen != 0 && gen % 2 == 0) {
+    write_all_fd(fd, metrics_,
+                 metrics_len_.load(std::memory_order_relaxed));
+  } else {
+    write_str(fd, "(no stable snapshot)\n");
+  }
+  write_str(fd, "=== end dump ===\n");
+}
+
+bool FlightRecorder::dump_to(const std::string& path) const {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  dump_to_fd(fd, 0);
+  ::close(fd);
+  return true;
+}
+
+std::string FlightRecorder::render() const {
+  // Pipe-free rendering via a temp template would cost a file; instead walk
+  // the ring the same way dump_to_fd does, into a string.
+  std::string out;
+  out += "=== bbmg flight recorder dump ===\nsignal: 0\nevents_total: ";
+  const std::uint64_t cur = cursor_.load(std::memory_order_acquire);
+  out += std::to_string(cur);
+  out += "\n--- recent events (oldest first) ---\n";
+  const std::uint64_t begin = cur > kEntries ? cur - kEntries : 0;
+  for (std::uint64_t i = begin; i < cur; ++i) {
+    const Entry& e = ring_[i % kEntries];
+    if (e.seq.load(std::memory_order_acquire) != i * 2 + 2) continue;
+    out.append(e.text, e.len);
+    out += '\n';
+  }
+  out += "--- metrics snapshot (cached) ---\n";
+  const std::uint64_t gen = metrics_gen_.load(std::memory_order_acquire);
+  if (gen != 0 && gen % 2 == 0) {
+    out.append(metrics_, metrics_len_.load(std::memory_order_relaxed));
+  } else {
+    out += "(no stable snapshot)\n";
+  }
+  out += "=== end dump ===\n";
+  return out;
+}
+
+}  // namespace bbmg::obs

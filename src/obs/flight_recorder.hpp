@@ -1,0 +1,91 @@
+// Crash flight recorder: the last N structured events plus a metrics
+// snapshot, recoverable after a fatal signal.
+//
+// The recorder is a fixed-size ring of fixed-size pre-formatted text
+// entries.  Writers claim a slot with one fetch_add and memcpy their line
+// into it — no locks, no allocation — so note() is safe from any thread
+// at any time.  Because entries are rendered *at log time*, the
+// fatal-signal handler has no formatting to do: it only walks the ring
+// and write(2)s bytes, which keeps the dump path async-signal-safe
+// (open/write/close and integer-to-ascii only; no malloc, no stdio, no
+// locks).
+//
+// The metrics snapshot works the same way: cache_metrics() serializes the
+// registry to Prometheus text into a fixed buffer under a seqlock-style
+// generation counter.  The server calls it on its stats tick, so a crash
+// dump carries counters at most one tick stale.  (Serialization itself is
+// NOT signal-safe — it runs in normal code; the handler only copies the
+// cached bytes.)
+//
+// arm_signal_handler(dir) installs handlers for SIGSEGV/SIGABRT/SIGBUS/
+// SIGFPE/SIGILL that write <dir>/crash-<signo>.log and then re-raise with
+// the default disposition, so exit codes and core dumps are preserved.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <atomic>
+#include <string>
+#include <string_view>
+
+namespace bbmg::obs {
+
+class FlightRecorder {
+ public:
+  /// Entry payload capacity; longer lines are truncated, not split.
+  static constexpr std::size_t kEntryBytes = 384;
+  /// Ring depth (entries).  1024 * 384B = 384 KiB resident.
+  static constexpr std::size_t kEntries = 1024;
+  /// Cached metrics text capacity.
+  static constexpr std::size_t kMetricsBytes = 64 * 1024;
+
+  static FlightRecorder& instance();
+
+  /// Append one pre-formatted line (no trailing newline needed).
+  /// Lock-free, allocation-free, safe from any thread.
+  void note(std::string_view line);
+
+  /// Serialize the global metrics registry into the cached snapshot.
+  /// NOT async-signal-safe — call from normal code (e.g. the stats tick).
+  void cache_metrics();
+
+  /// Install fatal-signal handlers that dump into `dir` (created if
+  /// missing).  Call once at startup; subsequent calls re-point the
+  /// directory.
+  void arm_signal_handler(const std::string& dir);
+
+  /// On-demand dump (same content as a crash dump) to an explicit path.
+  /// Returns false on I/O failure.  Unlike the signal path this is normal
+  /// code, but it shares the signal-safe writer for coverage.
+  bool dump_to(const std::string& path) const;
+
+  /// Render the dump into a string (for the TraceDump wire path / tests).
+  [[nodiscard]] std::string render() const;
+
+  /// Entries ever noted (monotone; ring keeps the last kEntries).
+  [[nodiscard]] std::uint64_t total_noted() const {
+    return cursor_.load(std::memory_order_relaxed);
+  }
+
+  /// Async-signal-safe dump to an open fd; exposed for the handler and
+  /// tests.  `signo` == 0 marks an on-demand dump.
+  void dump_to_fd(int fd, int signo) const;
+
+ private:
+  FlightRecorder() = default;
+
+  struct Entry {
+    std::atomic<std::uint64_t> seq{0};  // odd while being written
+    std::uint16_t len{0};
+    char text[kEntryBytes];
+  };
+
+  Entry ring_[kEntries];
+  std::atomic<std::uint64_t> cursor_{0};
+
+  char metrics_[kMetricsBytes];
+  std::atomic<std::uint32_t> metrics_len_{0};
+  std::atomic<std::uint64_t> metrics_gen_{0};
+};
+
+}  // namespace bbmg::obs

@@ -1,0 +1,160 @@
+#include "obs/log.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+#include "obs/flight_recorder.hpp"
+
+namespace bbmg::obs {
+
+std::string_view log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug:
+      return "debug";
+    case LogLevel::Info:
+      return "info";
+    case LogLevel::Warn:
+      return "warn";
+    case LogLevel::Error:
+      return "error";
+  }
+  return "info";
+}
+
+namespace {
+
+std::uint64_t wall_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t mono_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+void append_hex(std::string& out, std::uint64_t id) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(id));
+  out += buf;
+}
+
+}  // namespace
+
+bool LogSite::admit(std::uint64_t now_ns, std::uint32_t max_per_sec,
+                    std::uint64_t& suppressed) {
+  suppressed = 0;
+  if (max_per_sec == 0) return true;
+  constexpr std::uint64_t kWindowNs = 1'000'000'000ull;
+  std::uint64_t start = window_start_ns_.load(std::memory_order_relaxed);
+  if (now_ns - start >= kWindowNs) {
+    // New window: the first thread to move the stamp resets the counter and
+    // claims the accumulated suppression count for its line.
+    if (window_start_ns_.compare_exchange_strong(start, now_ns,
+                                                std::memory_order_relaxed)) {
+      in_window_.store(1, std::memory_order_relaxed);
+      suppressed = suppressed_.exchange(0, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  if (in_window_.fetch_add(1, std::memory_order_relaxed) + 1 <= max_per_sec) {
+    return true;
+  }
+  suppressed_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+std::string render_log_line(LogLevel level, std::string_view event,
+                            const TraceContext& ctx, std::string_view msg,
+                            std::initializer_list<LogKV> fields,
+                            std::uint64_t suppressed) {
+  std::string line;
+  line.reserve(128 + msg.size());
+  line += "{\"ts_ms\":";
+  line += std::to_string(wall_ms());
+  line += ",\"level\":\"";
+  line += log_level_name(level);
+  line += "\",\"event\":\"";
+  append_escaped(line, event);
+  line += "\",\"msg\":\"";
+  append_escaped(line, msg);
+  line += '"';
+  if (ctx.active()) {
+    line += ",\"trace\":\"";
+    append_hex(line, ctx.trace_id);
+    line += "\",\"span\":\"";
+    append_hex(line, ctx.span_id);
+    line += '"';
+  }
+  if (suppressed != 0) {
+    line += ",\"suppressed\":";
+    line += std::to_string(suppressed);
+  }
+  for (const LogKV& kv : fields) {
+    line += ",\"";
+    append_escaped(line, kv.key);
+    line += "\":";
+    if (kv.raw) {
+      line += kv.value;
+    } else {
+      line += '"';
+      append_escaped(line, kv.value);
+      line += '"';
+    }
+  }
+  line += "}\n";
+  return line;
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::log(LogSite& site, const TraceContext& ctx, std::string_view msg,
+                 std::initializer_list<LogKV> fields) {
+  if (static_cast<std::uint8_t>(site.level()) <
+      min_level_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  std::uint64_t suppressed = 0;
+  if (!site.admit(mono_ns(), rate_limit_.load(std::memory_order_relaxed),
+                  suppressed)) {
+    total_suppressed_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const std::string line =
+      render_log_line(site.level(), site.event(), ctx, msg, fields, suppressed);
+  emitted_.fetch_add(1, std::memory_order_relaxed);
+  // The flight recorder keeps the tail of the log for postmortems even when
+  // the sink is silenced or lost in a crash.
+  FlightRecorder::instance().note(
+      std::string_view(line.data(),
+                       line.size() - 1 /* recorder adds its own newline */));
+  if (std::FILE* sink = sink_.load()) {
+    std::fwrite(line.data(), 1, line.size(), sink);
+    std::fflush(sink);
+  }
+}
+
+}  // namespace bbmg::obs

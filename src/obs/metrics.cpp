@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/exposition.hpp"
+
 namespace bbmg::obs {
 
 Histogram::Histogram(std::vector<std::uint64_t> upper_bounds)
@@ -31,7 +33,9 @@ std::vector<std::uint64_t> default_latency_buckets_us() {
 
 std::string labeled_name(const std::string& base, const std::string& label,
                          const std::string& value) {
-  return base + "{" + label + "=\"" + value + "\"}";
+  // Label values are escaped here (the only place labels are minted), so
+  // exposition can pass the label block through untouched.
+  return base + "{" + label + "=\"" + escape_label_value(value) + "\"}";
 }
 
 const CounterSample* MetricsSnapshot::find_counter(

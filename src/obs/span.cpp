@@ -31,12 +31,39 @@ SpanRing& SpanRing::instance() {
   return ring;
 }
 
+namespace {
+
+/// Process-wide eviction counter shared by every ring; resolved lazily so
+/// ring construction never races registry initialization.
+Counter& span_drops_counter() {
+  static Counter& c =
+      MetricsRegistry::instance().counter("bbmg_obs_span_drops_total");
+  return c;
+}
+
+}  // namespace
+
+void SpanRing::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  ring_.clear();
+  ring_.shrink_to_fit();
+  next_ = 0;
+}
+
+std::size_t SpanRing::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
 void SpanRing::record(const SpanRecord& record) {
   std::lock_guard<std::mutex> lock(mu_);
   if (ring_.size() < capacity_) {
     ring_.push_back(record);
   } else {
     ring_[next_ % capacity_] = record;
+    ++dropped_;
+    span_drops_counter().inc();
   }
   ++next_;
   ++total_;
@@ -79,6 +106,11 @@ void SpanRing::clear() {
 std::uint64_t SpanRing::total_recorded() const {
   std::lock_guard<std::mutex> lock(mu_);
   return total_;
+}
+
+std::uint64_t SpanRing::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
 }
 
 }  // namespace bbmg::obs

@@ -34,14 +34,31 @@ struct SpanRecord {
   std::uint64_t duration_ns{0};
   /// Small dense per-thread id (not the OS tid), stable within the process.
   std::uint32_t thread{0};
+  /// Causal-tracing fields (obs/trace_context.hpp); all zero for plain
+  /// stage timers.  parent_id links child stages; flow marks the span as
+  /// one end of a cross-process arrow (FlowDir) keyed by trace_id.
+  std::uint64_t trace_id{0};
+  std::uint64_t span_id{0};
+  std::uint64_t parent_id{0};
+  std::uint8_t flow{0};
 };
 
-/// Bounded ring of completed spans; when full, the oldest are overwritten.
+/// Default capacity of a SpanRing (overridable per ring, and for the
+/// process-wide ring via `bbmg_served --span-ring N`).
+inline constexpr std::size_t kDefaultSpanRingCapacity = 4096;
+
+/// Bounded ring of completed spans; when full, the oldest are overwritten
+/// and the eviction is counted in `bbmg_obs_span_drops_total`.
 class SpanRing {
  public:
-  explicit SpanRing(std::size_t capacity = 4096);
+  explicit SpanRing(std::size_t capacity = kDefaultSpanRingCapacity);
 
   static SpanRing& instance();
+
+  /// Re-bound the ring (discards buffered spans).  Meant for startup
+  /// configuration; safe at any time, but racing recorders may land in
+  /// either generation of the buffer.
+  void set_capacity(std::size_t capacity);
 
   /// Recording is disabled by default; Span::finish checks this flag with
   /// one relaxed load before paying the lock.
@@ -58,19 +75,23 @@ class SpanRing {
   [[nodiscard]] std::vector<SpanRecord> drain();
   void clear();
 
-  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t capacity() const;
   /// Total spans ever recorded (>= buffered size; the excess was evicted).
   [[nodiscard]] std::uint64_t total_recorded() const;
+  /// Spans evicted unread because the ring wrapped (== the ring's share of
+  /// bbmg_obs_span_drops_total).
+  [[nodiscard]] std::uint64_t dropped() const;
 
  private:
   [[nodiscard]] std::vector<SpanRecord> copy_locked() const;
 
-  std::size_t capacity_;
   std::atomic<bool> enabled_{false};
   mutable std::mutex mu_;
+  std::size_t capacity_;
   std::vector<SpanRecord> ring_;
   std::size_t next_{0};
   std::uint64_t total_{0};
+  std::uint64_t dropped_{0};
 };
 
 /// Dense per-thread index used in span records (0, 1, 2, ... in first-use

@@ -16,18 +16,34 @@
 //   bbmg_client resume <host> <port> <session-id>
 //       report the session's durable high-water mark (the sequence number
 //       below which every period survives a server crash).
+//   bbmg_client trace <host> <port> [--chrome [out.json]]
+//                     [--merge <spans.bin>] [--flight]
+//       pull the server's causal span ring.  --chrome writes a Chrome
+//       about://tracing JSON (default bbmg_trace.json); --merge folds in
+//       client-side spans saved by `replay --trace`, producing one
+//       timeline with flow arrows linking the two processes; --flight
+//       also prints the server's flight-recorder dump.
 //
 // replay streams through the ResilientClient: periods carry sequence
 // numbers, and connection failures retry with exponential backoff, resume
 // the session, and resend whatever the server had not yet made durable.
+// With `replay ... --trace <spans.bin>` every period send mints a trace
+// id, carries it to the server as a v3 envelope, and the client's own
+// spans are saved to <spans.bin> — already shifted onto the server's
+// clock, so `trace --merge` needs no cross-file time math.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "common/error.hpp"
 #include "lattice/matrix_io.hpp"
 #include "obs/exposition.hpp"
+#include "obs/span.hpp"
+#include "obs/trace_export.hpp"
 #include "serve/resilient_client.hpp"
 #include "trace/binary_codec.hpp"
 #include "trace/serialize.hpp"
@@ -40,12 +56,65 @@ int usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  bbmg_client replay <host> <port> <in.trace> [out.model] "
-               "[bound]\n"
+               "[bound] [--trace <spans.bin>]\n"
                "  bbmg_client query <host> <port> <session-id>\n"
                "  bbmg_client check <host> <port> <session-id> <in.trace>\n"
                "  bbmg_client metrics <host> <port> [--json]\n"
-               "  bbmg_client resume <host> <port> <session-id>\n");
+               "  bbmg_client resume <host> <port> <session-id>\n"
+               "  bbmg_client trace <host> <port> [--chrome [out.json]] "
+               "[--merge <spans.bin>] [--flight]\n");
   return 2;
+}
+
+/// Export pids of the merged timeline: client spans under 1, server under 2.
+constexpr std::uint32_t kClientPid = 1;
+constexpr std::uint32_t kServerPid = 2;
+
+std::vector<obs::ExportSpan> wire_to_export(const std::vector<WireSpan>& spans,
+                                            std::uint32_t pid) {
+  std::vector<obs::ExportSpan> out;
+  out.reserve(spans.size());
+  for (const WireSpan& s : spans) {
+    obs::ExportSpan e;
+    e.name = s.name;
+    e.pid = pid;
+    e.tid = s.tid;
+    e.start_ns = s.start_ns;
+    e.duration_ns = s.duration_ns;
+    e.trace_id = s.trace_id;
+    e.span_id = s.span_id;
+    e.parent_id = s.parent_id;
+    e.flow = s.flow;
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+/// Client-side spans travel between processes (replay -> trace) as one
+/// TraceDumpResponse frame in a file — same codec, same bounds checks.
+void save_spans_file(const std::string& path, const TraceDumpResponseMsg& msg) {
+  std::vector<std::uint8_t> bytes;
+  append_frame(bytes, msg.to_frame());
+  std::ofstream ofs(path, std::ios::binary);
+  BBMG_REQUIRE(ofs.good(), "cannot open span file for writing: " + path);
+  ofs.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  BBMG_REQUIRE(ofs.good(), "failed writing span file: " + path);
+}
+
+TraceDumpResponseMsg load_spans_file(const std::string& path) {
+  std::ifstream ifs(path, std::ios::binary);
+  BBMG_REQUIRE(ifs.good(), "cannot open span file: " + path);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(ifs)),
+                          std::istreambuf_iterator<char>());
+  FrameDecoder decoder;
+  decoder.feed(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+               bytes.size());
+  std::optional<Frame> frame = decoder.next();
+  BBMG_REQUIRE(frame.has_value() &&
+                   frame->type == FrameType::TraceDumpResponse,
+               "span file does not hold a trace dump: " + path);
+  return TraceDumpResponseMsg::decode(*frame);
 }
 
 /// Load a trace in either format: binary if the BBTC magic matches, text
@@ -75,15 +144,28 @@ void print_snapshot(const WireSnapshot& snap,
 }
 
 int cmd_replay(int argc, char** argv) {
-  if (argc < 5) return usage();
-  const std::string host = argv[2];
-  const auto port = static_cast<std::uint16_t>(std::strtoul(argv[3], nullptr, 10));
-  const Trace trace = load_any_trace(argv[4]);
+  std::string span_file;
+  std::vector<const char*> positional;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      if (i + 1 >= argc) return usage();
+      span_file = argv[++i];
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.size() < 3) return usage();
+  const std::string host = positional[0];
+  const auto port =
+      static_cast<std::uint16_t>(std::strtoul(positional[1], nullptr, 10));
+  const Trace trace = load_any_trace(positional[2]);
   const std::uint32_t bound =
-      argc > 6 ? static_cast<std::uint32_t>(std::strtoul(argv[6], nullptr, 10))
-               : 16;
+      positional.size() > 4
+          ? static_cast<std::uint32_t>(std::strtoul(positional[4], nullptr, 10))
+          : 16;
 
   ResilientClient client;
+  if (!span_file.empty()) client.set_tracing(true);
   client.connect(host, port);
   const std::uint32_t session = client.open_session(trace.task_names(), bound);
   std::size_t sent = 0;
@@ -98,9 +180,43 @@ int cmd_replay(int argc, char** argv) {
               static_cast<unsigned long long>(durable));
   const WireSnapshot snap = client.query(session, /*drain=*/true);
   print_snapshot(snap, trace.task_names());
-  if (argc > 5) {
-    save_matrix_file(argv[5], snap.lub, trace.task_names());
-    std::printf("saved dLUB model -> %s\n", argv[5]);
+  if (positional.size() > 3) {
+    save_matrix_file(positional[3], snap.lub, trace.task_names());
+    std::printf("saved dLUB model -> %s\n", positional[3]);
+  }
+  if (!span_file.empty()) {
+    // Save this process's spans pre-shifted onto the server's clock so a
+    // later `trace --merge` never has to reconcile two steady_clock
+    // epochs.  The drain=false probe costs one round trip and tells us
+    // the server's "now"; offset = server_now - local_now aligns the two
+    // timelines to within that round trip's latency.
+    const TraceDumpResponseMsg probe =
+        client.fetch_trace_dump(/*drain=*/false);
+    const std::int64_t offset =
+        static_cast<std::int64_t>(probe.server_now_ns) -
+        static_cast<std::int64_t>(obs::now_ns());
+    TraceDumpResponseMsg out;
+    out.server_now_ns = probe.server_now_ns;
+    out.drops = obs::SpanRing::instance().dropped();
+    const std::vector<obs::SpanRecord> local =
+        obs::SpanRing::instance().drain();
+    out.spans.reserve(local.size());
+    for (const obs::SpanRecord& r : local) {
+      WireSpan w;
+      w.name = r.name != nullptr ? r.name : "";
+      w.tid = r.thread;
+      const std::int64_t shifted = static_cast<std::int64_t>(r.start_ns) + offset;
+      w.start_ns = shifted > 0 ? static_cast<std::uint64_t>(shifted) : 0;
+      w.duration_ns = r.duration_ns;
+      w.trace_id = r.trace_id;
+      w.span_id = r.span_id;
+      w.parent_id = r.parent_id;
+      w.flow = r.flow;
+      out.spans.push_back(std::move(w));
+    }
+    save_spans_file(span_file, out);
+    std::printf("saved %zu client spans -> %s (server-clock aligned)\n",
+                out.spans.size(), span_file.c_str());
   }
   return 0;
 }
@@ -173,6 +289,74 @@ int cmd_resume(int argc, char** argv) {
   return 0;
 }
 
+int cmd_trace(int argc, char** argv) {
+  if (argc < 4) return usage();
+  bool chrome = false;
+  bool flight = false;
+  std::string out_json = "bbmg_trace.json";
+  std::string merge_file;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--chrome") == 0) {
+      chrome = true;
+      // --chrome takes an optional output path; a following token that is
+      // not a flag is the path.
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        out_json = argv[++i];
+      }
+    } else if (std::strcmp(argv[i], "--merge") == 0) {
+      if (i + 1 >= argc) return usage();
+      merge_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--flight") == 0) {
+      flight = true;
+    } else {
+      return usage();
+    }
+  }
+
+  ServeClient client;
+  client.connect(argv[2],
+                 static_cast<std::uint16_t>(std::strtoul(argv[3], nullptr, 10)));
+  const TraceDumpResponseMsg dump =
+      client.fetch_trace_dump(/*drain=*/true, flight);
+  std::printf("server: %zu spans (%llu evicted before fetch)\n",
+              dump.spans.size(),
+              static_cast<unsigned long long>(dump.drops));
+
+  std::vector<obs::ExportSpan> merged = wire_to_export(dump.spans, kServerPid);
+  if (!merge_file.empty()) {
+    const TraceDumpResponseMsg local = load_spans_file(merge_file);
+    std::printf("merged: %zu client spans from %s\n", local.spans.size(),
+                merge_file.c_str());
+    std::vector<obs::ExportSpan> client_spans =
+        wire_to_export(local.spans, kClientPid);
+    merged.insert(merged.end(), client_spans.begin(), client_spans.end());
+  }
+
+  if (chrome) {
+    obs::write_chrome_trace(merged, out_json);
+    std::printf("wrote Chrome trace (%zu spans) -> %s\n", merged.size(),
+                out_json.c_str());
+  } else {
+    for (const obs::ExportSpan& s : merged) {
+      std::printf("  [%s pid=%u tid=%u] %-22s start=%llu dur=%lluus "
+                  "trace=%016llx span=%016llx parent=%016llx%s\n",
+                  s.pid == kServerPid ? "server" : "client", s.pid, s.tid,
+                  s.name.c_str(),
+                  static_cast<unsigned long long>(s.start_ns),
+                  static_cast<unsigned long long>(s.duration_ns / 1000),
+                  static_cast<unsigned long long>(s.trace_id),
+                  static_cast<unsigned long long>(s.span_id),
+                  static_cast<unsigned long long>(s.parent_id),
+                  s.flow == 1 ? " flow-out" : s.flow == 2 ? " flow-in" : "");
+    }
+  }
+  if (flight && !dump.flight.empty()) {
+    std::printf("--- server flight recorder ---\n%s", dump.flight.c_str());
+    if (dump.flight.back() != '\n') std::fputc('\n', stdout);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -183,6 +367,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[1], "check") == 0) return cmd_check(argc, argv);
     if (std::strcmp(argv[1], "metrics") == 0) return cmd_metrics(argc, argv);
     if (std::strcmp(argv[1], "resume") == 0) return cmd_resume(argc, argv);
+    if (std::strcmp(argv[1], "trace") == 0) return cmd_trace(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bbmg_client: error: %s\n", e.what());
     return 2;

@@ -2,6 +2,7 @@
 //
 //   bbmg_served [port] [workers] [queue-capacity] [--stats-interval <sec>]
 //               [--data-dir <dir>] [--fsync-every <n>] [--snapshot-every <n>]
+//               [--trace] [--span-ring <n>] [--log-level <level>]
 //
 // Listens on 127.0.0.1:<port> (default 7227; 0 picks an ephemeral port and
 // prints it), shards incoming learning sessions over <workers> threads
@@ -15,13 +16,26 @@
 // directory (quarantining corrupt files, never aborting).  SIGTERM/SIGINT
 // trigger a graceful drain: stop accepting, finish queued periods, flush
 // and snapshot every session, exit 0 — restart needs no WAL replay.
+//
+// Observability (PR 5): --trace enables the causal span ring, so traced
+// requests (v3 clients sending TraceContext envelopes) record their
+// server-side stage spans, fetchable live via `bbmg_client trace`;
+// --span-ring N sets the ring's capacity (default 4096 spans; evictions
+// count in bbmg_obs_span_drops_total).  The crash flight recorder is
+// armed whenever --data-dir is given: a fatal signal dumps the recent
+// structured-log tail plus a cached metrics snapshot to
+// <data-dir>/postmortem/crash-<signo>.log before the process dies.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "serve/net.hpp"
 #include "serve/server.hpp"
 
@@ -37,7 +51,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: bbmg_served [port] [workers] [queue-capacity] "
                "[--stats-interval <seconds>] [--data-dir <dir>] "
-               "[--fsync-every <n>] [--snapshot-every <n>]\n");
+               "[--fsync-every <n>] [--snapshot-every <n>] [--trace] "
+               "[--span-ring <n>] [--log-level debug|info|warn|error]\n");
   return 2;
 }
 
@@ -74,6 +89,8 @@ void print_stats_line(const SessionManager& manager) {
 int main(int argc, char** argv) {
   ServerConfig config;
   unsigned long stats_interval = 0;  // seconds; 0 = no periodic stats line
+  bool trace = false;
+  unsigned long span_ring = 0;  // 0 = keep the default capacity
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--stats-interval") == 0) {
@@ -91,6 +108,26 @@ int main(int argc, char** argv) {
       config.manager.durable.snapshot_every =
           std::strtoul(argv[++i], nullptr, 10);
       if (config.manager.durable.snapshot_every == 0) return usage();
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      trace = true;
+    } else if (std::strcmp(argv[i], "--span-ring") == 0) {
+      if (i + 1 >= argc) return usage();
+      span_ring = std::strtoul(argv[++i], nullptr, 10);
+      if (span_ring == 0) return usage();
+    } else if (std::strcmp(argv[i], "--log-level") == 0) {
+      if (i + 1 >= argc) return usage();
+      const char* level = argv[++i];
+      if (std::strcmp(level, "debug") == 0) {
+        obs::Logger::instance().set_min_level(obs::LogLevel::Debug);
+      } else if (std::strcmp(level, "info") == 0) {
+        obs::Logger::instance().set_min_level(obs::LogLevel::Info);
+      } else if (std::strcmp(level, "warn") == 0) {
+        obs::Logger::instance().set_min_level(obs::LogLevel::Warn);
+      } else if (std::strcmp(level, "error") == 0) {
+        obs::Logger::instance().set_min_level(obs::LogLevel::Error);
+      } else {
+        return usage();
+      }
     } else {
       positional.push_back(argv[i]);
     }
@@ -103,6 +140,17 @@ int main(int argc, char** argv) {
       positional.size() > 1 ? std::strtoul(positional[1], nullptr, 10) : 2;
   config.manager.queue_capacity =
       positional.size() > 2 ? std::strtoul(positional[2], nullptr, 10) : 256;
+
+  if (span_ring != 0) obs::SpanRing::instance().set_capacity(span_ring);
+  if (trace) obs::SpanRing::instance().set_enabled(true);
+  // Arm the crash flight recorder next to the durable state: a fatal
+  // signal leaves a postmortem where the operator already looks for this
+  // daemon's data.  (Armed before recovery so recovery events are in the
+  // ring if recovery itself crashes.)
+  if (config.manager.durable.enabled()) {
+    obs::FlightRecorder::instance().arm_signal_handler(
+        config.manager.durable.dir + "/postmortem");
+  }
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
@@ -129,18 +177,31 @@ int main(int argc, char** argv) {
                 "queue capacity %zu periods)\n",
                 unsigned{server.port()}, server.manager().num_workers(),
                 config.manager.queue_capacity);
+    if (trace) {
+      std::printf("bbmg_served: tracing on (span ring capacity %zu)\n",
+                  obs::SpanRing::instance().capacity());
+    }
     std::fflush(stdout);
+    BBMG_LOG_INFO("served.start", "daemon listening",
+                  {{"port", std::uint32_t{server.port()}},
+                   {"workers", server.manager().num_workers()},
+                   {"tracing", trace}});
     std::size_t ticks = 0;
     while (!g_stop) {
       struct timespec ts {0, 100 * 1000 * 1000};
       nanosleep(&ts, nullptr);
-      if (stats_interval != 0 && ++ticks >= stats_interval * 10) {
-        ticks = 0;
+      ++ticks;
+      if (stats_interval != 0 && ticks % (stats_interval * 10) == 0) {
         print_stats_line(server.manager());
       }
+      // Refresh the flight recorder's cached metrics about once a second,
+      // so a crash dump's snapshot is at most that stale.
+      if (ticks % 10 == 0) obs::FlightRecorder::instance().cache_metrics();
     }
     std::printf("bbmg_served: shutting down (%zu sessions served)\n",
                 server.manager().num_sessions());
+    BBMG_LOG_INFO("served.stop", "graceful drain",
+                  {{"sessions", server.manager().num_sessions()}});
     // Graceful drain: stop() refuses new work and finishes every queued
     // period; checkpoint_all() then snapshots each durable session so the
     // next start recovers instantly, with no WAL tail to replay.
@@ -150,6 +211,7 @@ int main(int argc, char** argv) {
       std::printf("bbmg_served: all sessions checkpointed\n");
     }
   } catch (const std::exception& e) {
+    BBMG_LOG_ERROR("served.fatal", e.what());
     std::fprintf(stderr, "bbmg_served: error: %s\n", e.what());
     return 1;
   }

@@ -16,7 +16,12 @@ void ServeClient::connect(const std::string& host, std::uint16_t port) {
   }
   try {
     net::write_frame(fd_, HelloMsg{}.to_frame(FrameType::Hello));
-    (void)HelloMsg::decode(expect_reply(FrameType::HelloAck));
+    const HelloMsg ack = HelloMsg::decode(expect_reply(FrameType::HelloAck));
+    // The server echoes the negotiated version; min() guards against a
+    // peer that echoes its own maximum instead.
+    peer_version_ = ack.version < kServeProtocolVersion
+                        ? ack.version
+                        : kServeProtocolVersion;
   } catch (...) {
     disconnect();
     throw;
@@ -60,15 +65,24 @@ std::uint32_t ServeClient::open_session(
   return SessionRefMsg::decode(expect_reply(FrameType::SessionOpened)).session;
 }
 
+void ServeClient::append_ctx_frame(std::vector<std::uint8_t>& bytes,
+                                   const obs::TraceContext& ctx) const {
+  if (!ctx.active() || peer_version_ < 3) return;
+  append_frame(bytes, TraceContextMsg{ctx.trace_id, ctx.span_id}.to_frame());
+}
+
 void ServeClient::send_period(std::uint32_t session,
                               const std::vector<Event>& events,
-                              std::uint64_t seq) {
+                              std::uint64_t seq,
+                              const obs::TraceContext& ctx) {
   BBMG_REQUIRE(fd_ >= 0, "client not connected");
   EventsMsg msg;
   msg.session = session;
   msg.events = events;
-  // One write for both frames: the period payload and its delimiter.
+  // One write for all frames: the envelope, the period payload, and its
+  // delimiter.
   std::vector<std::uint8_t> bytes;
+  append_ctx_frame(bytes, ctx);
   append_frame(bytes, msg.to_frame());
   append_frame(bytes, EndPeriodMsg{session, seq}.to_frame());
   net::write_all(fd_, bytes.data(), bytes.size());
@@ -91,13 +105,17 @@ std::size_t ServeClient::send_trace(std::uint32_t session, const Trace& trace) {
 }
 
 WireSnapshot ServeClient::query(std::uint32_t session, bool drain,
-                                const std::vector<Event>* probe) {
+                                const std::vector<Event>* probe,
+                                const obs::TraceContext& ctx) {
   BBMG_REQUIRE(fd_ >= 0, "client not connected");
   QueryMsg msg;
   msg.session = session;
   msg.drain = drain;
   if (probe != nullptr) msg.probe = *probe;
-  net::write_frame(fd_, msg.to_frame());
+  std::vector<std::uint8_t> bytes;
+  append_ctx_frame(bytes, ctx);
+  append_frame(bytes, msg.to_frame());
+  net::write_all(fd_, bytes.data(), bytes.size());
   const ModelReplyMsg reply =
       ModelReplyMsg::decode(expect_reply(FrameType::ModelReply));
   WireSnapshot snap;
@@ -121,6 +139,19 @@ obs::MetricsSnapshot ServeClient::fetch_metrics() {
   net::write_frame(fd_, MetricsRequestMsg{}.to_frame());
   return MetricsResponseMsg::decode(expect_reply(FrameType::MetricsResponse))
       .snapshot;
+}
+
+TraceDumpResponseMsg ServeClient::fetch_trace_dump(bool drain, bool flight) {
+  BBMG_REQUIRE(fd_ >= 0, "client not connected");
+  BBMG_REQUIRE(peer_version_ >= 3,
+               "trace dump requires a v3 peer (server is v" +
+                   std::to_string(peer_version_) + ")");
+  TraceDumpRequestMsg req;
+  req.drain = drain;
+  req.flight = flight;
+  net::write_frame(fd_, req.to_frame());
+  return TraceDumpResponseMsg::decode(
+      expect_reply(FrameType::TraceDumpResponse));
 }
 
 void ServeClient::close_session(std::uint32_t session) {

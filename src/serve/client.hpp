@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "lattice/dependency_matrix.hpp"
+#include "obs/trace_context.hpp"
 #include "robust/robust_online_learner.hpp"
 #include "serve/protocol.hpp"
 #include "trace/trace.hpp"
@@ -61,8 +62,11 @@ class ServeClient {
   /// when non-zero, is the idempotence sequence number for the period
   /// (must be 1, 2, 3, ... per session); the server drops duplicates at or
   /// below its high-water mark, making resends after a reconnect safe.
+  /// An active `ctx` rides ahead of the period as a TraceContext envelope
+  /// (v3 peers only), so the server continues the trace as child spans.
   void send_period(std::uint32_t session, const std::vector<Event>& events,
-                   std::uint64_t seq = 0);
+                   std::uint64_t seq = 0,
+                   const obs::TraceContext& ctx = {});
 
   /// Ask the server for the session's durable high-water mark: the highest
   /// sequence number whose period is applied AND fsynced.  Everything above
@@ -76,7 +80,8 @@ class ServeClient {
   /// client submitted has been learned from; probe, if given, is
   /// conformance-checked server-side against the served model.
   [[nodiscard]] WireSnapshot query(std::uint32_t session, bool drain = true,
-                                   const std::vector<Event>* probe = nullptr);
+                                   const std::vector<Event>* probe = nullptr,
+                                   const obs::TraceContext& ctx = {});
 
   void close_session(std::uint32_t session);
 
@@ -85,12 +90,27 @@ class ServeClient {
   /// was built with BBMG_OBS=OFF).
   [[nodiscard]] obs::MetricsSnapshot fetch_metrics();
 
+  /// Pull the server's span ring over the wire (v3 peers only; throws on
+  /// a v2 peer).  drain=false copies non-destructively; flight=true also
+  /// carries the server's flight-recorder dump text.
+  [[nodiscard]] TraceDumpResponseMsg fetch_trace_dump(bool drain = true,
+                                                      bool flight = false);
+
+  /// The protocol version negotiated at connect time (min of both sides);
+  /// 0 before the first connect.
+  [[nodiscard]] std::uint16_t peer_version() const { return peer_version_; }
+
  private:
   [[nodiscard]] Frame expect_reply(FrameType expected);
+  /// Append a TraceContext envelope frame when `ctx` is active and the
+  /// peer negotiated v3+.
+  void append_ctx_frame(std::vector<std::uint8_t>& bytes,
+                        const obs::TraceContext& ctx) const;
 
   int fd_{-1};
   FrameDecoder decoder_;
   std::uint32_t request_timeout_ms_{0};
+  std::uint16_t peer_version_{0};
 };
 
 }  // namespace bbmg

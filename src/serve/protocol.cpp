@@ -90,10 +90,11 @@ HelloMsg HelloMsg::decode(const Frame& frame) {
   if (m.magic != kServeMagic) {
     raise("protocol: bad magic in hello (peer is not a bbmg client)");
   }
-  if (m.version != kServeProtocolVersion) {
+  if (m.version < kServeMinProtocolVersion ||
+      m.version > kServeProtocolVersion) {
     std::ostringstream os;
-    os << "protocol: unsupported version " << m.version << " (expected "
-       << kServeProtocolVersion << ")";
+    os << "protocol: unsupported version " << m.version << " (speaking "
+       << kServeMinProtocolVersion << ".." << kServeProtocolVersion << ")";
     raise(os.str());
   }
   return m;
@@ -250,6 +251,111 @@ QueryMsg QueryMsg::decode(const Frame& frame) {
     m.probe = std::move(probe);
   }
   finish(frame, r, "query");
+  return m;
+}
+
+// -- causal tracing (v3) ---------------------------------------------------
+
+Frame TraceContextMsg::to_frame() const {
+  Frame f;
+  f.type = FrameType::TraceContext;
+  append_u64(f.payload, trace_id);
+  append_u64(f.payload, span_id);
+  return f;
+}
+
+TraceContextMsg TraceContextMsg::decode(const Frame& frame) {
+  ByteReader r = payload_reader(frame);
+  TraceContextMsg m;
+  m.trace_id = r.read_u64();
+  m.span_id = r.read_u64();
+  finish(frame, r, "trace-context");
+  return m;
+}
+
+Frame TraceDumpRequestMsg::to_frame() const {
+  Frame f;
+  f.type = FrameType::TraceDumpRequest;
+  std::uint8_t flags = 0;
+  if (drain) flags |= 1;
+  if (flight) flags |= 2;
+  append_u8(f.payload, flags);
+  return f;
+}
+
+TraceDumpRequestMsg TraceDumpRequestMsg::decode(const Frame& frame) {
+  ByteReader r = payload_reader(frame);
+  TraceDumpRequestMsg m;
+  const std::uint8_t flags = r.read_u8();
+  if ((flags & ~0x3u) != 0) raise("protocol: unknown trace-dump flags");
+  m.drain = (flags & 1) != 0;
+  m.flight = (flags & 2) != 0;
+  finish(frame, r, "trace-dump-request");
+  return m;
+}
+
+Frame TraceDumpResponseMsg::to_frame() const {
+  BBMG_REQUIRE(spans.size() <= kMaxWireSpans,
+               "trace dump exceeds wire span cap");
+  Frame f;
+  f.type = FrameType::TraceDumpResponse;
+  append_u64(f.payload, server_now_ns);
+  append_u64(f.payload, drops);
+  append_u32(f.payload, static_cast<std::uint32_t>(spans.size()));
+  for (const WireSpan& s : spans) {
+    append_string(f.payload, s.name.size() <= kMaxNameLength
+                                 ? s.name
+                                 : s.name.substr(0, kMaxNameLength));
+    append_u32(f.payload, s.tid);
+    append_u64(f.payload, s.start_ns);
+    append_u64(f.payload, s.duration_ns);
+    append_u64(f.payload, s.trace_id);
+    append_u64(f.payload, s.span_id);
+    append_u64(f.payload, s.parent_id);
+    append_u8(f.payload, s.flow);
+  }
+  // Flight text rides as a chunk list so it reuses the length-capped
+  // string codec (the dump can far exceed one string's 4 KiB cap).
+  const std::size_t nchunks =
+      (flight.size() + kMaxNameLength - 1) / kMaxNameLength;
+  BBMG_REQUIRE(nchunks <= kMaxWireFlightChunks,
+               "flight dump exceeds wire cap");
+  append_u32(f.payload, static_cast<std::uint32_t>(nchunks));
+  for (std::size_t i = 0; i < nchunks; ++i) {
+    append_string(f.payload, flight.substr(i * kMaxNameLength, kMaxNameLength));
+  }
+  return f;
+}
+
+TraceDumpResponseMsg TraceDumpResponseMsg::decode(const Frame& frame) {
+  ByteReader r = payload_reader(frame);
+  TraceDumpResponseMsg m;
+  m.server_now_ns = r.read_u64();
+  m.drops = r.read_u64();
+  const std::uint32_t nspans = r.read_u32();
+  if (nspans > kMaxWireSpans) {
+    raise("protocol: span count exceeds sanity cap");
+  }
+  m.spans.reserve(nspans);
+  for (std::uint32_t i = 0; i < nspans; ++i) {
+    WireSpan s;
+    s.name = r.read_string();
+    s.tid = r.read_u32();
+    s.start_ns = r.read_u64();
+    s.duration_ns = r.read_u64();
+    s.trace_id = r.read_u64();
+    s.span_id = r.read_u64();
+    s.parent_id = r.read_u64();
+    s.flow = r.read_u8();
+    if (s.flow > 2) raise("protocol: invalid flow direction in trace dump");
+    m.spans.push_back(std::move(s));
+  }
+  const std::uint32_t nchunks = r.read_u32();
+  if (nchunks > kMaxWireFlightChunks) {
+    raise("protocol: flight chunk count exceeds sanity cap");
+  }
+  for (std::uint32_t i = 0; i < nchunks; ++i) m.flight += r.read_string();
+  finish(frame, r, "trace-dump-response");
   return m;
 }
 

@@ -33,6 +33,17 @@
 // sequence number (0 = unsequenced, v1 behaviour) so the server can drop
 // duplicates after a reconnect, and Resume/ResumeAck expose the durable
 // high-water mark.
+//
+// Version 3 additions (causal tracing): Hello/HelloAck negotiate the
+// version (the server accepts any version in [kServeMinProtocolVersion,
+// kServeProtocolVersion] and echoes the minimum of the two sides, so v2
+// clients keep working unchanged); TraceContext is an optional envelope
+// frame that attaches a {trace id, parent span id} pair to the *next*
+// request frame on the connection, letting the server continue the
+// client's trace as child spans without changing any existing payload
+// schema; TraceDumpRequest/TraceDumpResponse pull the server's span ring
+// (and optionally its flight-recorder dump) over the wire for merged
+// client+server Chrome traces.
 #pragma once
 
 #include <cstdint>
@@ -49,7 +60,11 @@
 namespace bbmg {
 
 inline constexpr std::uint32_t kServeMagic = 0x474d4242u;  // "BBMG"
-inline constexpr std::uint16_t kServeProtocolVersion = 2;
+inline constexpr std::uint16_t kServeProtocolVersion = 3;
+/// Oldest peer version still spoken; Hello/HelloAck outside
+/// [kServeMinProtocolVersion, kServeProtocolVersion] are rejected, inside
+/// the range both sides run at min(client, server).
+inline constexpr std::uint16_t kServeMinProtocolVersion = 2;
 /// Frames larger than this are rejected before allocation (garbage guard).
 /// This is the hard upper bound; FrameDecoder::set_max_payload can lower
 /// it per decoder (e.g. a memory-constrained ingest front-end).
@@ -90,11 +105,14 @@ enum class FrameType : std::uint8_t {
   MetricsResponse = 13,
   Resume = 14,
   ResumeAck = 15,
+  TraceContext = 16,       // v3: envelope for the next request frame
+  TraceDumpRequest = 17,   // v3
+  TraceDumpResponse = 18,  // v3
 };
 
 /// Highest FrameType value; the decoder rejects types beyond this.
 inline constexpr std::uint8_t kMaxFrameType =
-    static_cast<std::uint8_t>(FrameType::ResumeAck);
+    static_cast<std::uint8_t>(FrameType::TraceDumpResponse);
 
 struct Frame {
   FrameType type{FrameType::Hello};
@@ -236,6 +254,60 @@ struct MetricsResponseMsg {
   obs::MetricsSnapshot snapshot;
   [[nodiscard]] Frame to_frame() const;
   [[nodiscard]] static MetricsResponseMsg decode(const Frame& frame);
+};
+
+// -- causal tracing (v3) ---------------------------------------------------
+
+/// Sanity cap on spans in one TraceDumpResponse (a span ring is bounded;
+/// a frame claiming more is garbage).
+inline constexpr std::size_t kMaxWireSpans = 1u << 20;
+/// Flight-recorder text is carried as <= kMaxNameLength chunks; cap their
+/// number (bounds the dump at ~64 MiB, far above the recorder's ring).
+inline constexpr std::size_t kMaxWireFlightChunks = 1u << 14;
+
+/// Envelope: attaches the client's trace id and calling span id to the
+/// next request frame on this connection.  Sent only on negotiated v3
+/// connections; an envelope with no following request is simply dropped.
+struct TraceContextMsg {
+  std::uint64_t trace_id{0};
+  std::uint64_t span_id{0};
+  [[nodiscard]] Frame to_frame() const;
+  [[nodiscard]] static TraceContextMsg decode(const Frame& frame);
+};
+
+struct TraceDumpRequestMsg {
+  /// Drain the server's span ring (true) or copy it non-destructively.
+  bool drain{true};
+  /// Also include the flight-recorder dump text.
+  bool flight{false};
+  [[nodiscard]] Frame to_frame() const;
+  [[nodiscard]] static TraceDumpRequestMsg decode(const Frame& frame);
+};
+
+/// One span on the wire: SpanRecord with an owned name.
+struct WireSpan {
+  std::string name;
+  std::uint32_t tid{0};
+  std::uint64_t start_ns{0};
+  std::uint64_t duration_ns{0};
+  std::uint64_t trace_id{0};
+  std::uint64_t span_id{0};
+  std::uint64_t parent_id{0};
+  std::uint8_t flow{0};
+};
+
+struct TraceDumpResponseMsg {
+  /// The server's monotonic clock (obs::now_ns) at encode time; the
+  /// client aligns timelines with offset = client_now - server_now.
+  std::uint64_t server_now_ns{0};
+  /// Spans evicted from the ring before they could be read
+  /// (bbmg_obs_span_drops_total's ring share).
+  std::uint64_t drops{0};
+  std::vector<WireSpan> spans;
+  /// Flight-recorder dump text (empty unless requested).
+  std::string flight;
+  [[nodiscard]] Frame to_frame() const;
+  [[nodiscard]] static TraceDumpResponseMsg decode(const Frame& frame);
 };
 
 // -- matrix payload helpers (shared by ModelReply and tests) ---------------

@@ -92,9 +92,38 @@ void ResilientClient::resend_unacked(std::uint32_t session,
                                      SessionState& state) {
   ServeMetrics& metrics = ServeMetrics::get();
   for (const PendingPeriod& p : state.unacked) {
-    client_.send_period(session, p.events, p.seq);
+    client_.send_period(session, p.events, p.seq, p.ctx);
     metrics.resent_periods.inc();
   }
+}
+
+void ResilientClient::set_tracing(bool on) {
+  tracing_ = on;
+  if (on) obs::SpanRing::instance().set_enabled(true);
+}
+
+obs::TraceContext ResilientClient::begin_trace() const {
+  if (!tracing_) return {};
+  // The root span id is minted up front so the envelope can name it as the
+  // parent before the span itself is recorded (at end_trace).
+  return {obs::mint_id(), obs::mint_id()};
+}
+
+void ResilientClient::end_trace(const char* name,
+                                const obs::TraceContext& ctx,
+                                std::uint64_t start_ns) const {
+  if (!ctx.active()) return;
+  obs::SpanRing& ring = obs::SpanRing::instance();
+  if (!ring.enabled()) return;
+  obs::SpanRecord rec;
+  rec.name = name;
+  rec.start_ns = start_ns;
+  rec.duration_ns = obs::now_ns() - start_ns;
+  rec.thread = obs::current_thread_index();
+  rec.trace_id = ctx.trace_id;
+  rec.span_id = ctx.span_id;  // pre-minted root: parent stays 0
+  rec.flow = static_cast<std::uint8_t>(obs::FlowDir::Out);
+  ring.record(rec);
 }
 
 std::uint32_t ResilientClient::open_session(
@@ -122,7 +151,9 @@ void ResilientClient::send_period(std::uint32_t session,
                "resilient client: unknown session (open or attach first)");
   SessionState& state = it->second;
   const std::uint64_t seq = state.next_seq++;
-  state.unacked.push_back(PendingPeriod{seq, std::move(events)});
+  const obs::TraceContext ctx = begin_trace();
+  const std::uint64_t start_ns = ctx.active() ? obs::now_ns() : 0;
+  state.unacked.push_back(PendingPeriod{seq, std::move(events), ctx});
   // A reconnect inside with_retry resends the whole unacked tail and can
   // learn (via resume) that the server already holds this period durably,
   // in which case trim_acked pops it from `unacked` — so no reference into
@@ -134,11 +165,12 @@ void ResilientClient::send_period(std::uint32_t session,
     for (const PendingPeriod& p : state.unacked) {
       if (p.seq > seq) break;  // unacked is seq-ordered
       if (p.seq == seq) {
-        client_.send_period(session, p.events, seq);
+        client_.send_period(session, p.events, seq, p.ctx);
         return;
       }
     }
   });
+  end_trace("client.send_period", ctx, start_ns);
   if (++state.since_ack >= config_.ack_interval) {
     state.since_ack = 0;
     const std::uint64_t high_water =
@@ -167,7 +199,17 @@ std::uint64_t ResilientClient::flush(std::uint32_t session) {
 
 WireSnapshot ResilientClient::query(std::uint32_t session, bool drain,
                                     const std::vector<Event>* probe) {
-  return with_retry([&] { return client_.query(session, drain, probe); });
+  const obs::TraceContext ctx = begin_trace();
+  const std::uint64_t start_ns = ctx.active() ? obs::now_ns() : 0;
+  WireSnapshot snap =
+      with_retry([&] { return client_.query(session, drain, probe, ctx); });
+  end_trace("client.query", ctx, start_ns);
+  return snap;
+}
+
+TraceDumpResponseMsg ResilientClient::fetch_trace_dump(bool drain,
+                                                       bool flight) {
+  return with_retry([&] { return client_.fetch_trace_dump(drain, flight); });
 }
 
 std::size_t ResilientClient::unacked(std::uint32_t session) const {

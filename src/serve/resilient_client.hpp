@@ -87,14 +87,30 @@ class ResilientClient {
   [[nodiscard]] WireSnapshot query(std::uint32_t session, bool drain = true,
                                    const std::vector<Event>* probe = nullptr);
 
+  /// Pull the server's span ring (retried; see ServeClient).  A retried
+  /// drain can lose the spans of the failed attempt — trace dumps are
+  /// diagnostics, not durable data.
+  [[nodiscard]] TraceDumpResponseMsg fetch_trace_dump(bool drain = true,
+                                                      bool flight = false);
+
   /// Periods buffered but not yet acknowledged durable.
   [[nodiscard]] std::size_t unacked(std::uint32_t session) const;
   [[nodiscard]] const RetryConfig& config() const { return config_; }
+
+  /// Causal tracing: when on, every send_period/query mints a trace id,
+  /// records a client root span (flow Out) into the process span ring, and
+  /// carries the context to the server as a v3 envelope so server stages
+  /// join the same trace.  Enables the span ring as a side effect.
+  void set_tracing(bool on);
+  [[nodiscard]] bool tracing() const { return tracing_; }
 
  private:
   struct PendingPeriod {
     std::uint64_t seq{0};
     std::vector<Event> events;
+    /// Trace context minted at first send; resends reuse it, so every
+    /// delivery attempt of one period lands in one causal chain.
+    obs::TraceContext ctx{};
   };
   struct SessionState {
     std::uint64_t next_seq{1};
@@ -109,12 +125,19 @@ class ResilientClient {
   void resend_unacked(std::uint32_t session, SessionState& state);
   static void trim_acked(SessionState& state, std::uint64_t high_water);
 
+  /// Mint a context + start time for one traced request ({} when tracing
+  /// is off), and record its root span once the request lands.
+  [[nodiscard]] obs::TraceContext begin_trace() const;
+  void end_trace(const char* name, const obs::TraceContext& ctx,
+                 std::uint64_t start_ns) const;
+
   RetryConfig config_;
   ServeClient client_;
   Rng rng_;
   std::string host_;
   std::uint16_t port_{0};
   std::unordered_map<std::uint32_t, SessionState> sessions_;
+  bool tracing_{false};
 };
 
 }  // namespace bbmg

@@ -5,6 +5,9 @@
 
 #include "common/error.hpp"
 #include "durable/wal.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/log.hpp"
+#include "obs/trace_context.hpp"
 #include "serve/net.hpp"
 #include "serve/serve_metrics.hpp"
 
@@ -92,13 +95,86 @@ void Server::serve_connection(int fd) {
   // stops (bounding memory) and the next EndPeriod is refused.
   std::unordered_set<std::uint32_t> oversized;
   bool greeted = false;
+  std::uint16_t version = kServeMinProtocolVersion;
+  // Causal tracing (v3).  env_ctx is the client's envelope for the request
+  // in flight; server_root is the id of this request's first server-side
+  // span (server.decode), the parent of every later stage; flow_pending
+  // marks that the cross-process flow arrow has not bound yet.
+  obs::TraceContext env_ctx{};
+  std::uint64_t server_root = 0;
+  bool flow_pending = false;
+  // The context worker stages should chain from: the decode root once one
+  // exists, otherwise the raw envelope.
+  const auto request_ctx = [&]() -> obs::TraceContext {
+    if (!env_ctx.active()) return {};
+    return {env_ctx.trace_id, server_root != 0 ? server_root : env_ctx.span_id};
+  };
+  const auto clear_ctx = [&] {
+    env_ctx = {};
+    server_root = 0;
+    flow_pending = false;
+  };
+  // Record the decode/handling span of one request frame as a child of the
+  // client's span, binding the flow arrow on the first one.
+  const auto note_decode = [&](std::uint64_t start_ns) {
+    if (!env_ctx.active()) return;
+    const std::uint64_t id = obs::record_stage(
+        obs::SpanRing::instance(), "server.decode", start_ns, obs::now_ns(),
+        env_ctx, flow_pending ? obs::FlowDir::In : obs::FlowDir::None);
+    flow_pending = false;
+    if (server_root == 0 && id != 0) server_root = id;
+  };
   try {
     while (auto frame = net::read_frame(fd, decoder)) {
       switch (frame->type) {
         case FrameType::Hello: {
-          (void)HelloMsg::decode(*frame);
+          const HelloMsg hello = HelloMsg::decode(*frame);
           greeted = true;
-          net::write_frame(fd, HelloMsg{}.to_frame(FrameType::HelloAck));
+          // Speak the lower of the two versions; decode() already rejected
+          // anything outside [kServeMinProtocolVersion, current].
+          version = hello.version < kServeProtocolVersion
+                        ? hello.version
+                        : kServeProtocolVersion;
+          HelloMsg ack;
+          ack.version = version;
+          net::write_frame(fd, ack.to_frame(FrameType::HelloAck));
+          break;
+        }
+        case FrameType::TraceContext: {
+          const TraceContextMsg msg = TraceContextMsg::decode(*frame);
+          env_ctx = {msg.trace_id, msg.span_id};
+          server_root = 0;
+          flow_pending = true;
+          break;
+        }
+        case FrameType::TraceDumpRequest: {
+          const TraceDumpRequestMsg msg = TraceDumpRequestMsg::decode(*frame);
+          obs::SpanRing& ring = obs::SpanRing::instance();
+          TraceDumpResponseMsg reply;
+          reply.drops = ring.dropped();
+          const std::vector<obs::SpanRecord> spans =
+              msg.drain ? ring.drain() : ring.records();
+          reply.spans.reserve(spans.size());
+          for (const obs::SpanRecord& s : spans) {
+            WireSpan w;
+            w.name = s.name;
+            w.tid = s.thread;
+            w.start_ns = s.start_ns;
+            w.duration_ns = s.duration_ns;
+            w.trace_id = s.trace_id;
+            w.span_id = s.span_id;
+            w.parent_id = s.parent_id;
+            w.flow = s.flow;
+            reply.spans.push_back(std::move(w));
+          }
+          if (msg.flight) {
+            obs::FlightRecorder::instance().cache_metrics();
+            reply.flight = obs::FlightRecorder::instance().render();
+          }
+          // Stamp the clock last so the client's offset math sees the
+          // freshest server time.
+          reply.server_now_ns = obs::now_ns();
+          net::write_frame(fd, reply.to_frame());
           break;
         }
         case FrameType::OpenSession: {
@@ -111,7 +187,9 @@ void Server::serve_connection(int fd) {
           break;
         }
         case FrameType::Events: {
+          const std::uint64_t decode_start = obs::now_ns();
           EventsMsg msg = EventsMsg::decode(*frame);
+          note_decode(decode_start);
           if (oversized.count(msg.session) != 0) break;
           auto& buffer = pending[msg.session];
           if (buffer.size() + msg.events.size() > kMaxPeriodEvents) {
@@ -124,11 +202,14 @@ void Server::serve_connection(int fd) {
           break;
         }
         case FrameType::EndPeriod: {
+          const std::uint64_t decode_start = obs::now_ns();
           const EndPeriodMsg msg = EndPeriodMsg::decode(*frame);
+          note_decode(decode_start);
           if (oversized.erase(msg.session) > 0) {
             // The period never reaches a worker (its WAL record could not
             // be written); the seq stays unclaimed so the client's resume
             // accounting sees it as unacked and its flush fails loudly.
+            clear_ctx();
             ErrorReplyMsg err{
                 WireErrorCode::Overflow,
                 "end-period: period exceeds " +
@@ -138,9 +219,17 @@ void Server::serve_connection(int fd) {
           }
           std::vector<Event> events = std::move(pending[msg.session]);
           pending[msg.session].clear();
+          // server.ack covers the blocking handoff to the shard queue —
+          // the point after which the client's period is the server's
+          // responsibility (backpressure shows up as a long ack span).
+          const std::uint64_t ack_start = obs::now_ns();
+          const obs::TraceContext ctx = request_ctx();
           const SubmitStatus status =
               manager_.submit(SessionId{msg.session}, std::move(events),
-                              /*block=*/true, msg.seq);
+                              /*block=*/true, msg.seq, ctx);
+          obs::record_stage(obs::SpanRing::instance(), "server.ack",
+                            ack_start, obs::now_ns(), ctx);
+          clear_ctx();
           if (status != SubmitStatus::Accepted) {
             ErrorReplyMsg err;
             err.code = status == SubmitStatus::Overflow
@@ -155,11 +244,17 @@ void Server::serve_connection(int fd) {
           break;
         }
         case FrameType::Query: {
+          const std::uint64_t decode_start = obs::now_ns();
           const QueryMsg msg = QueryMsg::decode(*frame);
+          note_decode(decode_start);
           const SessionId id{msg.session};
+          const std::uint64_t query_start = obs::now_ns();
           if (msg.drain) manager_.drain(id);
           const QueryResult q =
               manager_.query(id, msg.probe ? &*msg.probe : nullptr);
+          obs::record_stage(obs::SpanRing::instance(), "server.query",
+                            query_start, obs::now_ns(), request_ctx());
+          clear_ctx();
           const RobustSnapshot& snap = *q.snapshot;
           ModelReplyMsg reply;
           reply.session = msg.session;
@@ -222,6 +317,7 @@ void Server::serve_connection(int fd) {
   } catch (const std::exception& e) {
     // Best-effort error report; the connection dies either way, the
     // server and every other session keep running.
+    BBMG_LOG_WARN("serve.connection_error", e.what(), {{"greeted", greeted}});
     try {
       ErrorReplyMsg err{WireErrorCode::BadFrame, e.what()};
       net::write_frame(fd, err.to_frame());

@@ -1,6 +1,7 @@
 #include "serve/session.hpp"
 
 #include "obs/span.hpp"
+#include "obs/trace_context.hpp"
 #include "serve/serve_metrics.hpp"
 
 namespace bbmg {
@@ -96,8 +97,12 @@ void LearningSession::process(const std::vector<Event>& period_events,
   // the unlocked read is race-free.
   const std::uint64_t seq = static_cast<std::uint64_t>(processed_) + 1;
   if (store_) store_->append_period(seq, period_events);
+  // Attributed to the request's trace when the worker set a scope (the
+  // WAL spans above record themselves the same way, inside the writer).
+  const std::uint64_t apply_start = obs::now_ns();
   stream_stats_.observe_events(period_events);
   (void)learner_.observe_raw_period(period_events);
+  obs::record_current_stage("server.apply", apply_start, obs::now_ns());
   ServeMetrics& metrics = ServeMetrics::get();
   metrics.periods_applied.inc();
   if (enqueue_ns != 0) {

@@ -1,9 +1,8 @@
 #include "serve/session_manager.hpp"
 
-#include <cstdio>
-
 #include "common/error.hpp"
 #include "durable/recovery.hpp"
+#include "obs/log.hpp"
 #include "obs/span.hpp"
 #include "robust/sanitizer.hpp"
 #include "serve/serve_metrics.hpp"
@@ -102,6 +101,14 @@ void SessionManager::worker_loop(std::size_t worker_index) {
   while (auto item = queue.pop()) {
     depth.sub(1);
     if (item->session->failed()) continue;  // poisoned; drop queued periods
+    // Queue wait is the gap between submit and this pop; the remaining
+    // stage spans (WAL append, fsync, learner apply) record themselves via
+    // the thread-local scope set here.
+    if (item->ctx.active()) {
+      obs::record_stage(obs::SpanRing::instance(), "server.queue_wait",
+                        item->enqueue_ns, obs::now_ns(), item->ctx);
+    }
+    obs::TraceScope trace_scope(item->ctx);
     try {
       item->session->process(item->events, item->enqueue_ns);
     } catch (const std::exception& e) {
@@ -111,9 +118,8 @@ void SessionManager::worker_loop(std::size_t worker_index) {
       // wake — and keep the worker serving its other sessions.
       item->session->mark_failed(e.what());
       ServeMetrics::get().session_failures.inc();
-      std::fprintf(stderr, "bbmg_served: session %llu failed: %s\n",
-                   static_cast<unsigned long long>(item->session->id().index()),
-                   e.what());
+      BBMG_LOG_ERROR("serve.session_failed", e.what(),
+                     {{"session", item->session->id().index()}});
     }
   }
 }
@@ -160,7 +166,8 @@ bool SessionManager::close_session(SessionId id) {
 
 SubmitStatus SessionManager::submit(SessionId id,
                                     std::vector<Event> period_events,
-                                    bool block, std::uint64_t seq) {
+                                    bool block, std::uint64_t seq,
+                                    const obs::TraceContext& ctx) {
   if (stopping_.load(std::memory_order_relaxed)) {
     return SubmitStatus::ShuttingDown;
   }
@@ -185,7 +192,7 @@ SubmitStatus SessionManager::submit(SessionId id,
   // after its pop, so the gauge over-reports during the handoff instead of
   // ever going negative.
   queue_depth_[shard]->add(1);
-  WorkItem item{session, std::move(period_events), obs::now_ns()};
+  WorkItem item{session, std::move(period_events), obs::now_ns(), ctx};
   const bool pushed =
       block ? queue.push(std::move(item)) : queue.try_push(std::move(item));
   if (!pushed) {
@@ -219,9 +226,8 @@ void SessionManager::checkpoint_all() {
     } catch (const std::exception& e) {
       // Shutdown best-effort: one session's disk error must not abort the
       // drain — its WAL already covers everything a snapshot would.
-      std::fprintf(stderr, "bbmg_served: checkpoint of session %llu failed: %s\n",
-                   static_cast<unsigned long long>(session->id().index()),
-                   e.what());
+      BBMG_LOG_ERROR("serve.checkpoint_failed", e.what(),
+                     {{"session", session->id().index()}});
     }
   }
 }

@@ -23,6 +23,7 @@
 #include "analysis/conformance.hpp"
 #include "durable/store.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace_context.hpp"
 #include "serve/queue.hpp"
 #include "serve/session.hpp"
 
@@ -108,8 +109,12 @@ class SessionManager {
   /// client's idempotence sequence number: a seq at or below the
   /// session's high-water mark is dropped as an already-ingested
   /// duplicate (still Accepted — resends after a reconnect are expected).
+  /// ctx, when active, is the request's causal trace context (the server's
+  /// decode span): the worker records its stage spans — queue wait, WAL
+  /// append, fsync, learner apply — as children of it.
   SubmitStatus submit(SessionId id, std::vector<Event> period_events,
-                      bool block = true, std::uint64_t seq = 0);
+                      bool block = true, std::uint64_t seq = 0,
+                      const obs::TraceContext& ctx = {});
 
   /// Wait until every period accepted so far has been processed.
   void drain(SessionId id);
@@ -148,6 +153,9 @@ class SessionManager {
     std::vector<Event> events;
     /// obs::now_ns() at submit; 0 when instrumentation is compiled out.
     std::uint64_t enqueue_ns{0};
+    /// Causal context of the request that queued this period (inactive for
+    /// untraced submissions).
+    obs::TraceContext ctx{};
   };
 
   [[nodiscard]] std::shared_ptr<LearningSession> find(SessionId id) const;
