@@ -1,0 +1,415 @@
+// Experiment E12 — sharded-cluster economics (src/cluster):
+//   (a) WAL-shipping overhead: the synchronous cost replication adds to
+//       the primary's ingest path is exactly the note_applied call (a
+//       bounded-queue push; everything else ships on its own thread), so
+//       — like E11b prices the WAL — it is timed directly and priced as
+//       a fraction of the ingest wall time, with a <5% budget.  The
+//       naive A/B (client-observed stream+flush wall time, replicated vs
+//       single node) is reported alongside but NOT enforced: it includes
+//       the follower's duplicated learning, which on a small machine
+//       (this box has 1 core) serializes with the primary's and measures
+//       CPU duplication, not shipping,
+//   (b) replication lag: after every send, sample how many periods the
+//       follower's acked mark trails the primary's stream (the bound is
+//       ack_every + the in-flight window), plus the time for the marks
+//       to converge once the stream pauses,
+//   (c) failover latency: a real 1-shard + follower cluster (spawned via
+//       ShardSupervisor), SIGKILL the primary mid-stream, and time the
+//       client finishing the stream on the follower — re-checking that
+//       the failed-over model is byte-identical to an uninterrupted run.
+// Output is one JSON document, printed and also written to
+// BENCH_cluster.json so the distributions can be plotted directly.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cluster/cluster_client.hpp"
+#include "cluster/replicator.hpp"
+#include "cluster/supervisor.hpp"
+#include "common/stopwatch.hpp"
+#include "robust/robust_online_learner.hpp"
+#include "serve/client.hpp"
+#include "serve/resilient_client.hpp"
+#include "serve/server.hpp"
+
+#ifndef BBMG_SERVED_BIN
+#error "BBMG_SERVED_BIN must point at the bbmg_served executable"
+#endif
+
+using namespace bbmg;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir =
+      (fs::temp_directory_path() / ("bbmg_bench_cluster_" + name)).string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+ServerConfig durable_config(const std::string& dir) {
+  ServerConfig config;
+  config.manager.workers = 2;
+  config.manager.durable.dir = dir;
+  config.manager.durable.fsync_every = 32;
+  return config;
+}
+
+cluster::ClusterMap one_shard_map(std::uint16_t follower_port) {
+  cluster::ClusterMap map;
+  map.epoch = 1;
+  cluster::ClusterShard shard;
+  shard.primary = cluster::Endpoint{"127.0.0.1", 1};  // never dialed
+  shard.follower = cluster::Endpoint{"127.0.0.1", follower_port};
+  map.shards.push_back(shard);
+  return map;
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double rank = p * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + (xs[hi] - xs[lo]) * frac;
+}
+
+double median(std::vector<double> xs) { return percentile(std::move(xs), 0.5); }
+
+/// The model an uninterrupted learner (server defaults) produces.
+DependencyMatrix baseline_model(const Trace& trace) {
+  const SessionConfig cfg = OpenSessionMsg{}.to_session_config();
+  RobustOnlineLearner learner(trace.task_names(), cfg.robust);
+  for (const Period& p : trace.periods()) {
+    learner.observe_raw_period(p.to_events());
+  }
+  return learner.full_snapshot().result.lub();
+}
+
+// -- (a) WAL-shipping overhead ----------------------------------------------
+
+/// Stream the trace through a ResilientClient and flush; returns wall ms.
+double timed_stream(ResilientClient& client, const Trace& trace) {
+  Stopwatch w;
+  const std::uint32_t session = client.open_session(trace.task_names());
+  for (const Period& p : trace.periods()) {
+    client.send_period(session, p.to_events());
+  }
+  (void)client.flush(session);
+  return w.elapsed_ms();
+}
+
+double single_node_round(const Trace& trace, std::size_t round) {
+  Server server(durable_config(
+      fresh_dir("single_" + std::to_string(round))));
+  server.start();
+  ResilientClient client;
+  client.connect("127.0.0.1", server.port());
+  const double ms = timed_stream(client, trace);
+  server.stop();
+  return ms;
+}
+
+double replicated_round(const Trace& trace, std::size_t round) {
+  Server follower(durable_config(
+      fresh_dir("repl_f_" + std::to_string(round))));
+  follower.start();
+  Server primary(durable_config(
+      fresh_dir("repl_p_" + std::to_string(round))));
+  auto replicator = std::make_shared<cluster::Replicator>(
+      primary.manager(), one_shard_map(follower.port()), 0,
+      /*follower_role=*/false);
+  primary.set_cluster(replicator);
+  replicator->start();
+  primary.start();
+  ResilientClient client;
+  client.connect("127.0.0.1", primary.port());
+  const double ms = timed_stream(client, trace);
+  primary.stop();
+  replicator->stop();
+  follower.stop();
+  return ms;
+}
+
+struct ShipCost {
+  double ingest_ms = 0.0;  // stream + local-durable flush wall time
+  double ship_ms = 0.0;    // of which: inside note_applied (the ship cost)
+  double converge_ms = 0.0;  // follower acks caught up after the flush
+};
+
+/// Time the primary-side shipping path directly: the Replicator is driven
+/// by hand (not wired into the server), so every note_applied — the one
+/// call replication adds to the ingest path — sits under a stopwatch,
+/// while the server's flush semantics stay local (no replicated-mark
+/// clamp) and give the un-replicated ingest denominator.
+ShipCost instrumented_round(const Trace& trace, std::size_t round) {
+  Server follower(durable_config(
+      fresh_dir("ship_f_" + std::to_string(round))));
+  follower.start();
+  Server primary(durable_config(
+      fresh_dir("ship_p_" + std::to_string(round))));
+  auto replicator = std::make_shared<cluster::Replicator>(
+      primary.manager(), one_shard_map(follower.port()), 0,
+      /*follower_role=*/false);
+  replicator->start();
+  primary.start();
+
+  ResilientClient client;
+  client.connect("127.0.0.1", primary.port());
+  ShipCost cost;
+  Stopwatch w;
+  const std::uint32_t session = client.open_session(trace.task_names());
+  std::uint64_t seq = 0;
+  for (const Period& p : trace.periods()) {
+    const std::vector<Event> events = p.to_events();
+    client.send_period(session, events);
+    Stopwatch in_ship;
+    replicator->note_applied(session, ++seq, events);
+    cost.ship_ms += in_ship.elapsed_ms();
+  }
+  (void)client.flush(session);
+  cost.ingest_ms = w.elapsed_ms();
+
+  Stopwatch c;
+  while (replicator->bounded_high_water(session, seq) < seq) {
+  }
+  cost.converge_ms = c.elapsed_ms();
+
+  primary.stop();
+  replicator->stop();
+  follower.stop();
+  return cost;
+}
+
+// -- (b) replication lag -----------------------------------------------------
+
+struct LagResult {
+  std::vector<double> samples;  // periods the acked mark trails the stream
+  double converge_ms = 0.0;     // marks equal after the stream pauses
+};
+
+LagResult measure_lag(const Trace& trace, std::size_t rounds,
+                      std::size_t ack_every) {
+  Server follower(durable_config(fresh_dir("lag_f")));
+  follower.start();
+  Server primary(durable_config(fresh_dir("lag_p")));
+  cluster::ReplicatorConfig rcfg;
+  rcfg.ack_every = ack_every;
+  auto replicator = std::make_shared<cluster::Replicator>(
+      primary.manager(), one_shard_map(follower.port()), 0,
+      /*follower_role=*/false, rcfg);
+  primary.set_cluster(replicator);
+  replicator->start();
+  primary.start();
+
+  ResilientClient client;
+  client.connect("127.0.0.1", primary.port());
+  const std::uint32_t session = client.open_session(trace.task_names());
+  LagResult result;
+  std::uint64_t seq = 0;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (const Period& p : trace.periods()) {
+      client.send_period(session, p.to_events());
+      ++seq;
+      const std::uint64_t acked = replicator->replicated(session);
+      result.samples.push_back(
+          static_cast<double>(seq - std::min(seq, acked)));
+    }
+  }
+  // Idle-ack convergence: with the stream paused, the ship thread's idle
+  // ack round must bring the marks together without any client help.
+  Stopwatch w;
+  while (replicator->replicated(session) < seq) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  result.converge_ms = w.elapsed_ms();
+
+  primary.stop();
+  replicator->stop();
+  follower.stop();
+  return result;
+}
+
+// -- (c) failover latency ----------------------------------------------------
+
+struct FailoverCell {
+  double failover_ms = 0.0;  // first post-kill send through final flush
+  bool byte_identical = false;
+};
+
+FailoverCell measure_failover(const Trace& trace, std::size_t iteration) {
+  const std::size_t kill_after = trace.num_periods() / 2;
+
+  cluster::SupervisorConfig scfg;
+  scfg.served_bin = BBMG_SERVED_BIN;
+  scfg.root_dir = fresh_dir("failover_" + std::to_string(iteration));
+  scfg.shards = 1;
+  scfg.followers = true;
+  cluster::ShardSupervisor supervisor(scfg);
+  supervisor.start();
+
+  RetryConfig retry;
+  retry.max_retries = 3;
+  retry.base_backoff_ms = 5;
+  retry.max_backoff_ms = 50;
+  retry.request_timeout_ms = 5000;
+  retry.seed = iteration + 1;
+  cluster::ClusterClient client(supervisor.map(), retry);
+  const cluster::ClusterSessionRef ref =
+      client.open_session("bench-device", trace.task_names());
+  for (std::size_t p = 0; p < kill_after; ++p) {
+    client.send_period(ref, trace.periods()[p].to_events());
+  }
+  (void)client.flush(ref);
+
+  supervisor.kill_primary(0);
+
+  FailoverCell cell;
+  Stopwatch w;
+  for (std::size_t p = kill_after; p < trace.num_periods(); ++p) {
+    client.send_period(ref, trace.periods()[p].to_events());
+  }
+  const std::uint64_t high_water = client.flush(ref);
+  cell.failover_ms = w.elapsed_ms();
+  const WireSnapshot snap = client.query(ref, /*drain=*/true);
+  cell.byte_identical = high_water == trace.num_periods() &&
+                        snap.lub == baseline_model(trace) &&
+                        client.failovers() >= 1;
+  (void)supervisor.terminate_all();
+  fs::remove_all(scfg.root_dir);
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  const bool full = bench::full_scale();
+  const Trace trace = bench::gm_trace(7);  // 18 tasks, 27 periods
+
+  bool within_budget = true;
+  double overhead_pct = 0.0;
+  double ab_overhead_pct = 0.0;
+  std::ostringstream overhead_cells;
+  {
+    bench::heading("E12a — WAL-shipping overhead on the ingest path "
+                   "(<5% budget)");
+    const std::size_t rounds = full ? 7 : 3;
+    std::vector<double> fractions, single, replicated;
+    double converge_ms = 0.0;
+    for (std::size_t r = 0; r < rounds; ++r) {
+      const ShipCost c = instrumented_round(trace, r);
+      fractions.push_back(c.ship_ms / c.ingest_ms * 100.0);
+      converge_ms = c.converge_ms;
+      std::printf("round %zu: %.2f ms shipping of %.1f ms ingest -> "
+                  "%.3f%% (follower converged %.1f ms after the flush)\n",
+                  r, c.ship_ms, c.ingest_ms, fractions.back(),
+                  c.converge_ms);
+      overhead_cells << (r == 0 ? "" : ",\n")
+                     << "    {\"round\": " << r
+                     << ", \"ingest_ms\": " << c.ingest_ms
+                     << ", \"ship_ms\": " << c.ship_ms
+                     << ", \"ship_pct\": " << fractions.back()
+                     << ", \"converge_ms\": " << c.converge_ms << "}";
+    }
+    overhead_pct = median(fractions);
+    within_budget = overhead_pct < 5.0;
+    std::printf("median shipping overhead %.3f%%%s\n", overhead_pct,
+                within_budget ? "" : "  ** OVER BUDGET **");
+
+    // Informational A/B: client-observed wall time including the
+    // follower's own learning — dominated by CPU duplication when the
+    // machine has fewer cores than learners, so it is reported, not
+    // budgeted.
+    std::vector<double> ab_single, ab_replicated;
+    const std::size_t ab_rounds = full ? 5 : 2;
+    for (std::size_t r = 0; r < ab_rounds; ++r) {
+      // Interleave the configurations so drift (thermal, page cache)
+      // lands on both sides evenly.
+      ab_single.push_back(single_node_round(trace, r));
+      ab_replicated.push_back(replicated_round(trace, r));
+    }
+    ab_overhead_pct =
+        (median(ab_replicated) - median(ab_single)) / median(ab_single) *
+        100.0;
+    std::printf("A/B wall (informational): single median %.1f ms, "
+                "replicated median %.1f ms -> %+.1f%%\n",
+                median(ab_single), median(ab_replicated), ab_overhead_pct);
+    (void)converge_ms;
+  }
+
+  std::ostringstream lag_doc;
+  {
+    bench::heading("E12b — replication lag distribution (periods behind)");
+    const std::size_t rounds = full ? 8 : 3;
+    const std::size_t ack_every = 8;
+    const LagResult lag = measure_lag(trace, rounds, ack_every);
+    std::printf("%zu samples (ack_every=%zu): p50 %.0f, p90 %.0f, "
+                "max %.0f periods; idle convergence %.1f ms\n",
+                lag.samples.size(), ack_every, median(lag.samples),
+                percentile(lag.samples, 0.9),
+                percentile(lag.samples, 1.0), lag.converge_ms);
+    lag_doc << "  \"replication_lag\": {\"ack_every\": " << ack_every
+            << ", \"samples\": " << lag.samples.size()
+            << ", \"p50_periods\": " << median(lag.samples)
+            << ", \"p90_periods\": " << percentile(lag.samples, 0.9)
+            << ", \"max_periods\": " << percentile(lag.samples, 1.0)
+            << ", \"converge_ms\": " << lag.converge_ms << "}";
+  }
+
+  bool all_identical = true;
+  std::ostringstream failover_cells;
+  std::vector<double> failover_ms;
+  {
+    bench::heading("E12c — failover latency (SIGKILL primary mid-stream)");
+    const std::size_t iterations = full ? 8 : 4;
+    for (std::size_t i = 0; i < iterations; ++i) {
+      const FailoverCell c = measure_failover(trace, i);
+      all_identical = all_identical && c.byte_identical;
+      failover_ms.push_back(c.failover_ms);
+      std::printf("iteration %zu: kill -> stream finished on follower in "
+                  "%.1f ms, byte-identical=%s\n",
+                  i, c.failover_ms, c.byte_identical ? "yes" : "NO");
+      failover_cells << (i == 0 ? "" : ",\n")
+                     << "    {\"iteration\": " << i
+                     << ", \"failover_ms\": " << c.failover_ms
+                     << ", \"byte_identical\": "
+                     << (c.byte_identical ? "true" : "false") << "}";
+    }
+    std::printf("failover p50 %.1f ms, max %.1f ms\n", median(failover_ms),
+                percentile(failover_ms, 1.0));
+  }
+
+  std::ostringstream doc;
+  doc << "{\n"
+      << "  \"bench\": \"cluster\",\n"
+      << "  \"ship_overhead_budget_pct\": 5.0,\n"
+      << "  \"ship_overhead_pct\": " << overhead_pct << ",\n"
+      << "  \"ab_wall_overhead_pct\": " << ab_overhead_pct << ",\n"
+      << "  \"within_budget\": " << (within_budget ? "true" : "false")
+      << ",\n"
+      << "  \"failover_byte_identical\": "
+      << (all_identical ? "true" : "false") << ",\n"
+      << "  \"failover_p50_ms\": " << median(failover_ms) << ",\n"
+      << "  \"overhead_rounds\": [\n" << overhead_cells.str() << "\n  ],\n"
+      << lag_doc.str() << ",\n"
+      << "  \"failover\": [\n" << failover_cells.str() << "\n  ]\n"
+      << "}\n";
+
+  std::printf("\n%s", doc.str().c_str());
+  if (std::FILE* f = std::fopen("BENCH_cluster.json", "w")) {
+    std::fputs(doc.str().c_str(), f);
+    std::fclose(f);
+  }
+  return (within_budget && all_identical) ? 0 : 1;
+}

@@ -1,0 +1,136 @@
+#include "cluster/cluster_client.hpp"
+
+#include "cluster/cluster_metrics.hpp"
+#include "common/error.hpp"
+#include "obs/log.hpp"
+
+namespace bbmg::cluster {
+
+ClusterClient::ClusterClient(ClusterMap map, RetryConfig retry)
+    : map_(std::move(map)), retry_(retry) {
+  BBMG_REQUIRE(!map_.shards.empty(), "cluster client: empty map");
+  shards_.resize(map_.shards.size());
+}
+
+ClusterMap ClusterClient::fetch_map(const std::string& host,
+                                    std::uint16_t port, RetryConfig retry) {
+  ResilientClient client(retry);
+  client.connect(host, port);
+  return ClusterMap::from_wire(client.fetch_cluster_map());
+}
+
+ClusterClient::ShardClient& ClusterClient::ensure_shard(std::size_t shard) {
+  BBMG_REQUIRE(shard < shards_.size(), "cluster client: shard out of range");
+  ShardClient& sc = shards_[shard];
+  if (!sc.client) sc.client = std::make_unique<ResilientClient>(retry_);
+  if (!sc.connected) {
+    const Endpoint& ep = sc.failed_over ? map_.shards[shard].follower
+                                        : map_.shards[shard].primary;
+    sc.client->connect(ep.host, ep.port);
+    sc.connected = true;
+  }
+  return sc;
+}
+
+void ClusterClient::failover_to_follower(std::size_t shard,
+                                         const RetriesExhausted& e) {
+  ShardClient& sc = shards_[shard];
+  // Only one hop exists: a follower that is also dead (or a shard that
+  // never had one) is a real outage — rethrow the exhaustion.
+  if (sc.failed_over || !map_.shards[shard].has_follower()) throw;
+  const Endpoint& follower = map_.shards[shard].follower;
+  BBMG_LOG_WARN("cluster.failover",
+                "shard primary unreachable; switching to the follower",
+                {{"shard", static_cast<std::uint64_t>(shard)},
+                 {"follower", follower.str()},
+                 {"last_error", std::string(e.what())}});
+  sc.failed_over = true;
+  if (sc.client) {
+    // Keep the client (and with it every session's seq counters and
+    // unacked buffer): set_endpoint drops the dead connection, and the
+    // next request's reconnect resumes each session on the follower and
+    // resends everything above the follower's durable mark.
+    sc.client->set_endpoint(follower.host, follower.port);
+    sc.connected = true;
+  } else {
+    sc.connected = false;
+  }
+  ClusterMetrics::get().failovers.inc();
+}
+
+template <typename Fn>
+auto ClusterClient::with_failover(std::size_t shard, Fn&& fn)
+    -> decltype(fn()) {
+  try {
+    return fn();
+  } catch (const RetriesExhausted& e) {
+    failover_to_follower(shard, e);
+    return fn();
+  }
+}
+
+ClusterSessionRef ClusterClient::open_session(
+    const std::string& key, const std::vector<std::string>& task_names,
+    std::uint32_t bound, SanitizePolicy policy,
+    std::uint32_t snapshot_interval) {
+  std::size_t shard = map_.shard_for(key);
+  for (std::size_t hops = 0;; ++hops) {
+    try {
+      const std::uint32_t session = with_failover(shard, [&] {
+        return ensure_shard(shard).client->open_cluster_session(
+            key, task_names, bound, policy, snapshot_interval);
+      });
+      return ClusterSessionRef{shard, session};
+    } catch (const Redirected& r) {
+      // Stale map: the server named the owner.  Follow once; a second
+      // redirect means the cluster disagrees with itself — surface it.
+      BBMG_REQUIRE(hops == 0, "cluster client: redirect loop for key " + key);
+      BBMG_REQUIRE(r.redirect().shard < map_.shards.size(),
+                   "cluster client: redirect to an unknown shard");
+      shard = r.redirect().shard;
+    }
+  }
+}
+
+void ClusterClient::send_period(const ClusterSessionRef& ref,
+                                std::vector<Event> events) {
+  // NOT with_failover(fn-retry): re-invoking send_period would assign the
+  // period a *second* sequence number (it is already buffered unacked
+  // under its first), and both copies would be ingested.  After the
+  // failover the period is still in the unacked deque, so a flush —
+  // reconnect, resume on the follower, resend, confirm durable — is the
+  // correct (and idempotent) way to land it.
+  try {
+    ensure_shard(ref.shard).client->send_period(ref.session,
+                                                std::move(events));
+  } catch (const RetriesExhausted& e) {
+    failover_to_follower(ref.shard, e);
+    (void)ensure_shard(ref.shard).client->flush(ref.session);
+  }
+}
+
+std::uint64_t ClusterClient::flush(const ClusterSessionRef& ref) {
+  return with_failover(ref.shard, [&] {
+    return ensure_shard(ref.shard).client->flush(ref.session);
+  });
+}
+
+WireSnapshot ClusterClient::query(const ClusterSessionRef& ref, bool drain) {
+  return with_failover(ref.shard, [&] {
+    return ensure_shard(ref.shard).client->query(ref.session, drain);
+  });
+}
+
+std::size_t ClusterClient::failovers() const {
+  std::size_t n = 0;
+  for (const ShardClient& sc : shards_) {
+    if (sc.failed_over) ++n;
+  }
+  return n;
+}
+
+ResilientClient& ClusterClient::shard_client(std::size_t shard) {
+  return *ensure_shard(shard).client;
+}
+
+}  // namespace bbmg::cluster

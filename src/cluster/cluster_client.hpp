@@ -1,0 +1,90 @@
+// Client side of sharded serving: routes session keys to shards with the
+// shared rendezvous hash, follows Redirect answers (stale map), and fails
+// over from a dead primary to its follower.
+//
+// Each shard gets its own lazily-connected ResilientClient, so all the
+// exactly-once machinery (sequence numbers, unacked buffers, resume-and-
+// resend reconnects) carries over unchanged.  Failover is the one new
+// move: when a shard's primary burns through the whole retry budget
+// (typed RetriesExhausted), the shard client's endpoint is re-pointed at
+// the follower and the pending operation retried once — the reconnect
+// path then resumes each session on the follower and resends everything
+// above the follower's durable mark from the unacked buffer.  Because a
+// replicating primary only ever acked min(local, replicated), that buffer
+// is guaranteed to cover the replication gap: the failed-over stream is
+// byte-identical to the uninterrupted one.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_map.hpp"
+#include "serve/resilient_client.hpp"
+
+namespace bbmg::cluster {
+
+/// A cluster session handle: which shard owns it and its id there.
+struct ClusterSessionRef {
+  std::size_t shard{0};
+  std::uint32_t session{0};
+};
+
+class ClusterClient {
+ public:
+  explicit ClusterClient(ClusterMap map, RetryConfig retry = {});
+
+  ClusterClient(const ClusterClient&) = delete;
+  ClusterClient& operator=(const ClusterClient&) = delete;
+
+  /// Bootstrap a map from any live shard endpoint.
+  [[nodiscard]] static ClusterMap fetch_map(const std::string& host,
+                                            std::uint16_t port,
+                                            RetryConfig retry = {});
+
+  /// Open a session for `key` on its owning shard, following at most one
+  /// Redirect (stale local map — the redirect also counts in
+  /// bbmg_cluster_redirects_total).
+  [[nodiscard]] ClusterSessionRef open_session(
+      const std::string& key, const std::vector<std::string>& task_names,
+      std::uint32_t bound = 16, SanitizePolicy policy = SanitizePolicy::Repair,
+      std::uint32_t snapshot_interval = 1);
+
+  void send_period(const ClusterSessionRef& ref, std::vector<Event> events);
+  /// Durable (and, on a replicating primary, replicated) high-water mark.
+  std::uint64_t flush(const ClusterSessionRef& ref);
+  [[nodiscard]] WireSnapshot query(const ClusterSessionRef& ref,
+                                   bool drain = true);
+
+  [[nodiscard]] std::size_t shard_for(const std::string& key) const {
+    return map_.shard_for(key);
+  }
+  [[nodiscard]] const ClusterMap& map() const { return map_; }
+  /// Shards this client has failed over to the follower of.
+  [[nodiscard]] std::size_t failovers() const;
+  /// Direct access to one shard's underlying client (tests).
+  [[nodiscard]] ResilientClient& shard_client(std::size_t shard);
+
+ private:
+  struct ShardClient {
+    std::unique_ptr<ResilientClient> client;
+    bool connected{false};
+    bool failed_over{false};
+  };
+
+  /// Run `fn` against the shard, failing over to the follower on a typed
+  /// RetriesExhausted (once; a second exhaustion propagates).
+  template <typename Fn>
+  auto with_failover(std::size_t shard, Fn&& fn) -> decltype(fn());
+  /// Re-point the shard at its follower, or rethrow `e` when there is
+  /// nowhere left to go.  Only callable from a catch block.
+  void failover_to_follower(std::size_t shard, const RetriesExhausted& e);
+  ShardClient& ensure_shard(std::size_t shard);
+
+  ClusterMap map_;
+  RetryConfig retry_;
+  std::vector<ShardClient> shards_;
+};
+
+}  // namespace bbmg::cluster

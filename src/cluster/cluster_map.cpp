@@ -1,0 +1,182 @@
+#include "cluster/cluster_map.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace bbmg::cluster {
+
+namespace {
+
+/// Split a line into whitespace-separated tokens.
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > start) out.emplace_back(line.substr(start, i - start));
+  }
+  return out;
+}
+
+[[noreturn]] void bad_line(std::size_t line_no, const std::string& what) {
+  raise("cluster map: line " + std::to_string(line_no) + ": " + what);
+}
+
+}  // namespace
+
+Endpoint Endpoint::parse(std::string_view text) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 ||
+      colon + 1 == text.size()) {
+    raise("cluster map: endpoint must be host:port, got \"" +
+          std::string(text) + "\"");
+  }
+  const std::string port_text(text.substr(colon + 1));
+  char* end = nullptr;
+  const unsigned long port = std::strtoul(port_text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || port == 0 || port > 65535) {
+    raise("cluster map: invalid port in \"" + std::string(text) + "\"");
+  }
+  Endpoint ep;
+  ep.host = std::string(text.substr(0, colon));
+  ep.port = static_cast<std::uint16_t>(port);
+  return ep;
+}
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+ClusterMap ClusterMap::parse(std::string_view text) {
+  ClusterMap map;
+  bool saw_epoch = false;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, nl == std::string_view::npos ? std::string_view::npos : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+    if (const std::size_t hash = line.find('#');
+        hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    const std::vector<std::string> tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    if (tokens[0] == "epoch") {
+      if (saw_epoch) bad_line(line_no, "duplicate epoch");
+      if (tokens.size() != 2) bad_line(line_no, "expected: epoch <n>");
+      char* end = nullptr;
+      map.epoch = std::strtoull(tokens[1].c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') {
+        bad_line(line_no, "epoch is not a number: \"" + tokens[1] + "\"");
+      }
+      saw_epoch = true;
+    } else if (tokens[0] == "shard") {
+      if (tokens.size() < 2 || tokens.size() > 3) {
+        bad_line(line_no, "expected: shard <primary> [follower]");
+      }
+      ClusterShard shard;
+      try {
+        shard.primary = Endpoint::parse(tokens[1]);
+        if (tokens.size() == 3) shard.follower = Endpoint::parse(tokens[2]);
+      } catch (const Error& e) {
+        bad_line(line_no, e.what());
+      }
+      map.shards.push_back(std::move(shard));
+    } else {
+      bad_line(line_no, "unknown directive \"" + tokens[0] + "\"");
+    }
+  }
+  BBMG_REQUIRE(!map.shards.empty(), "cluster map: no shard lines");
+  BBMG_REQUIRE(map.shards.size() <= kMaxWireShards,
+               "cluster map: too many shards");
+  return map;
+}
+
+ClusterMap ClusterMap::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) raise("cluster map: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str());
+}
+
+std::string ClusterMap::serialize() const {
+  std::ostringstream out;
+  out << "epoch " << epoch << "\n";
+  for (const ClusterShard& shard : shards) {
+    out << "shard " << shard.primary.str();
+    if (shard.has_follower()) out << " " << shard.follower.str();
+    out << "\n";
+  }
+  return out.str();
+}
+
+void ClusterMap::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) raise("cluster map: cannot write " + path);
+  out << serialize();
+  out.flush();
+  if (!out) raise("cluster map: write failed for " + path);
+}
+
+std::size_t ClusterMap::shard_for(std::string_view key) const {
+  BBMG_REQUIRE(!shards.empty(), "cluster map: shard_for on an empty map");
+  const std::uint64_t key_hash = fnv1a64(key);
+  std::size_t best = 0;
+  std::uint64_t best_score = 0;
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    // Rendezvous score: mix the key hash with the shard index through
+    // splitmix64.  The shard's identity is its map position, so the score
+    // (and thus routing) is a pure function of (key, index, shard count).
+    std::uint64_t state = key_hash ^ ((i + 1) * 0x9e3779b97f4a7c15ull);
+    const std::uint64_t score = splitmix64(state);
+    if (i == 0 || score > best_score) {
+      best = i;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+ClusterMapResponseMsg ClusterMap::to_wire() const {
+  ClusterMapResponseMsg msg;
+  msg.epoch = epoch;
+  msg.shards.reserve(shards.size());
+  for (const ClusterShard& shard : shards) {
+    WireShard wire;
+    wire.primary = shard.primary.str();
+    if (shard.has_follower()) wire.follower = shard.follower.str();
+    msg.shards.push_back(std::move(wire));
+  }
+  return msg;
+}
+
+ClusterMap ClusterMap::from_wire(const ClusterMapResponseMsg& msg) {
+  ClusterMap map;
+  map.epoch = msg.epoch;
+  map.shards.reserve(msg.shards.size());
+  for (const WireShard& wire : msg.shards) {
+    ClusterShard shard;
+    shard.primary = Endpoint::parse(wire.primary);
+    if (!wire.follower.empty()) shard.follower = Endpoint::parse(wire.follower);
+    map.shards.push_back(std::move(shard));
+  }
+  BBMG_REQUIRE(!map.shards.empty(), "cluster map: empty wire map");
+  return map;
+}
+
+}  // namespace bbmg::cluster

@@ -1,0 +1,95 @@
+// Static cluster topology for sharded serving (DESIGN.md "Replication &
+// failover"): an epoch-stamped ordered list of shards, each a primary
+// endpoint plus an optional follower that receives the primary's WAL
+// stream (cluster/replicator.hpp).  The map is distributed as a flat text
+// file so operators can write it by hand and ship it to every shard and
+// client unchanged; servers also answer it over the wire (ClusterMapRequest
+// -> ClusterMapResponse) so a client can bootstrap from any live shard.
+//
+// Session keys route to shards by rendezvous (highest-random-weight)
+// hashing: every participant scores each shard against the key and picks
+// the argmax.  Unlike modulo hashing, removing one shard only moves the
+// keys that lived there, and there is no token ring to persist — the map
+// line order is the shard identity.  Client and server share this one
+// implementation, so a disagreement is impossible by construction; a
+// Redirect reply therefore always means "your map is stale", never "our
+// hash functions differ".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace bbmg::cluster {
+
+/// A "host:port" pair.  Only the IPv4-literal hosts that net::connect_tcp
+/// accepts are meaningful today; parse() validates shape, not resolvability.
+struct Endpoint {
+  std::string host;
+  std::uint16_t port{0};
+
+  [[nodiscard]] bool valid() const { return !host.empty() && port != 0; }
+  [[nodiscard]] std::string str() const {
+    return host + ":" + std::to_string(port);
+  }
+  /// Parse "host:port"; raises bbmg::Error on a missing/garbage port or
+  /// an empty host.
+  [[nodiscard]] static Endpoint parse(std::string_view text);
+
+  friend bool operator==(const Endpoint& a, const Endpoint& b) {
+    return a.host == b.host && a.port == b.port;
+  }
+};
+
+/// One shard: where its primary listens and (optionally) where its WAL
+/// stream is replicated.  A follower is a regular bbmg_served started with
+/// --follower; after the primary dies, clients reattach to it directly.
+struct ClusterShard {
+  Endpoint primary;
+  /// Invalid (default) when the shard replicates nowhere.
+  Endpoint follower;
+
+  [[nodiscard]] bool has_follower() const { return follower.valid(); }
+};
+
+/// 64-bit FNV-1a over the key bytes — the key half of the rendezvous
+/// score.  Exposed for tests that pin the routing function.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes);
+
+class ClusterMap {
+ public:
+  /// Map generation.  Consumers replace a cached map only with a strictly
+  /// higher epoch; a follower promotion ships a new file with epoch+1.
+  std::uint64_t epoch{0};
+  std::vector<ClusterShard> shards;
+
+  /// Parse the text format:
+  ///
+  ///   # comment / blank lines ignored
+  ///   epoch 3
+  ///   shard 127.0.0.1:7227 127.0.0.1:7327   # primary [follower]
+  ///   shard 127.0.0.1:7228
+  ///
+  /// Shard index is the order of `shard` lines.  Raises bbmg::Error with
+  /// a 1-based line number on malformed input; an empty map (no shard
+  /// lines) is also an error.
+  [[nodiscard]] static ClusterMap parse(std::string_view text);
+  [[nodiscard]] static ClusterMap load(const std::string& path);
+
+  /// Inverse of parse() (canonical form: epoch first, one shard per line).
+  [[nodiscard]] std::string serialize() const;
+  void save(const std::string& path) const;
+
+  /// Rendezvous-hash the key onto a shard index in [0, shards.size()).
+  /// Deterministic across processes and platforms; raises on an empty map.
+  [[nodiscard]] std::size_t shard_for(std::string_view key) const;
+
+  [[nodiscard]] ClusterMapResponseMsg to_wire() const;
+  /// Raises on malformed endpoints; accepts an empty follower string.
+  [[nodiscard]] static ClusterMap from_wire(const ClusterMapResponseMsg& msg);
+};
+
+}  // namespace bbmg::cluster

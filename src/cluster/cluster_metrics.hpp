@@ -1,0 +1,81 @@
+// Process-wide cluster/replication metrics (DESIGN.md "Replication &
+// failover"): WAL-shipping throughput and errors, ack rounds and the
+// replicated high-water marks the acks advance, gap fills and stalls, and
+// the client-side failover/redirect counters.  Resolved once behind a
+// function-local static like core/learner_metrics.hpp; the per-session
+// high-water gauges are registered lazily because session ids are runtime
+// data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace bbmg::cluster {
+
+struct ClusterMetrics {
+  /// Periods shipped to the follower (live stream + gap fill).
+  obs::Counter& shipped_periods;
+  /// Of those, periods re-read from the primary's WAL to close a hole
+  /// between the follower's resume point and the live stream.
+  obs::Counter& gap_fill_periods;
+  /// Ship/setup attempts that failed terminally (after the resilient
+  /// client's own retries) and stalled the session's replication.
+  obs::Counter& ship_errors;
+  /// Sessions whose replication is stalled (gap not coverable from the
+  /// live WAL, or the follower unreachable past the retry budget).
+  obs::Counter& stalled_sessions;
+  /// Ack round-trips (follower flush) that advanced a replicated
+  /// high-water mark.
+  obs::Counter& ack_rounds;
+  /// Client-side: shard clients switched from a dead primary to its
+  /// follower.
+  obs::Counter& failovers;
+  /// Client-side: opens re-routed after a Redirect reply (stale map).
+  obs::Counter& redirects;
+  /// Periods applied locally but not yet acked by the follower, summed
+  /// over sessions (ship queue + in flight).  Bounded by the replicator's
+  /// queue capacity plus ack_every per session.
+  obs::Gauge& replication_lag;
+  /// Wall time to ship one period to the follower (write only; acks are
+  /// batched and timed separately).
+  obs::Histogram& ship_latency_us;
+  /// Wall time of one ack round (follower resume round-trip).
+  obs::Histogram& ack_latency_us;
+
+  /// Follower-acked durable high-water mark of one session:
+  /// bbmg_cluster_replicated_high_water{session="N"}.  Failover serves
+  /// reads/acks at or below this mark — the no-silent-divergence bound.
+  static obs::Gauge& replicated_high_water(std::uint32_t session) {
+    return obs::MetricsRegistry::instance().gauge(
+        obs::labeled_name("bbmg_cluster_replicated_high_water", "session",
+                          std::to_string(session)));
+  }
+
+  static ClusterMetrics& get() {
+    static ClusterMetrics m = make();
+    return m;
+  }
+
+ private:
+  static ClusterMetrics make() {
+    auto& r = obs::MetricsRegistry::instance();
+    return ClusterMetrics{
+        r.counter("bbmg_cluster_shipped_periods_total"),
+        r.counter("bbmg_cluster_gap_fill_periods_total"),
+        r.counter("bbmg_cluster_ship_errors_total"),
+        r.counter("bbmg_cluster_stalled_sessions_total"),
+        r.counter("bbmg_cluster_ack_rounds_total"),
+        r.counter("bbmg_cluster_failovers_total"),
+        r.counter("bbmg_cluster_redirects_total"),
+        r.gauge("bbmg_cluster_replication_lag_periods"),
+        r.histogram("bbmg_cluster_ship_latency_us",
+                    obs::default_latency_buckets_us()),
+        r.histogram("bbmg_cluster_ack_latency_us",
+                    obs::default_latency_buckets_us()),
+    };
+  }
+};
+
+}  // namespace bbmg::cluster

@@ -1,0 +1,167 @@
+// WAL replication: ship every locally-durable period of every session to
+// this shard's designated follower, and track the replicated high-water
+// marks its acks advance.
+//
+// Design (DESIGN.md "Replication & failover"):
+//
+//   * The follower is a regular bbmg_served started with --follower: the
+//     primary mirrors each session onto it under the same session id
+//     (OpenSessionAs) and streams the periods as ordinary sequenced
+//     sends.  The follower's own WAL, dedup and Resume machinery then
+//     provide replicated durability and client reattach for free, and a
+//     promoted follower is just ... a server.
+//
+//   * Shipping is asynchronous but BOUNDED: note_applied (called by the
+//     session worker right after the local WAL append) pushes into a
+//     bounded queue and blocks when it is full, so replication lag can
+//     never exceed queue_capacity + the in-flight window, and the
+//     backpressure propagates to producers through the ingest path.
+//
+//   * Acks are batched: every ack_every ships per session — and whenever
+//     the queue idles, so marks converge at stream pauses without timers
+//     — the ship thread runs a follower flush() round-trip and publishes
+//     the returned durable high-water mark.  bounded_high_water (the
+//     Resume handler) waits on that publication and answers
+//     min(local, replicated): a client never trims periods the follower
+//     lacks, so even a replication stall is safe — after a failover the
+//     client resends the gap from its unacked buffer.  No silent
+//     divergence, by construction.
+//
+//   * A follower that is *behind* a fresh ship stream (its durable mark
+//     below the first live period, e.g. after the follower restarted) is
+//     healed by gap fill: the missing range is re-read from the
+//     primary's live WAL (durable::scan_wal_file) and shipped in order.
+//     A gap the WAL no longer covers (rotated into a snapshot) stalls
+//     that session's replication loudly (metric + log) — the min() ack
+//     rule keeps stalls safe, just not replicated.
+//
+// The Replicator is also the shard's ClusterHooks implementation for
+// routing and map serving, so a non-replicating cluster node (a follower,
+// or a shard with no follower) still answers ClusterMapRequest and
+// routes OpenClusterSession keys.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cluster/cluster_map.hpp"
+#include "serve/cluster_hooks.hpp"
+#include "serve/queue.hpp"
+#include "serve/resilient_client.hpp"
+#include "serve/session_manager.hpp"
+
+namespace bbmg::cluster {
+
+struct ReplicatorConfig {
+  /// Bounded ship queue, in periods.  A full queue blocks note_applied —
+  /// the lag bound.
+  std::size_t queue_capacity{1024};
+  /// Ack (follower flush round-trip) every N shipped periods per session;
+  /// an ack round also runs whenever the ship queue idles.
+  std::size_t ack_every{32};
+  /// Retry policy for follower requests.  request_timeout_ms doubles as
+  /// the bound on how long bounded_high_water waits for in-flight ships.
+  RetryConfig retry;
+};
+
+class Replicator final : public ClusterHooks {
+ public:
+  /// `shard` is this node's index in `map`; `follower_role` marks the
+  /// node as the shard's follower (it then never ships — it *is* the
+  /// replica).  Shipping engages iff the node is a primary whose map
+  /// entry names a follower.
+  Replicator(SessionManager& manager, ClusterMap map, std::size_t shard,
+             bool follower_role, ReplicatorConfig config = {});
+  ~Replicator() override;
+
+  Replicator(const Replicator&) = delete;
+  Replicator& operator=(const Replicator&) = delete;
+
+  /// Spawn the ship thread (no-op when shipping is disabled).  Call
+  /// before the server starts accepting.
+  void start();
+  /// Drain nothing, stop everything: close the queue, join the thread,
+  /// wake bounded_high_water waiters.  Idempotent; also run by ~.
+  void stop();
+
+  [[nodiscard]] bool shipping() const { return shipping_; }
+  [[nodiscard]] const ClusterMap& map() const { return map_; }
+  /// Last follower-acked durable seq of one session (0 = none yet).
+  [[nodiscard]] std::uint64_t replicated(std::uint32_t session) const;
+  /// True when the session's replication stalled (unfillable gap or a
+  /// follower outage past the retry budget).
+  [[nodiscard]] bool stalled(std::uint32_t session) const;
+
+  // -- ClusterHooks ----------------------------------------------------------
+
+  [[nodiscard]] ClusterMapResponseMsg cluster_map() const override;
+  [[nodiscard]] std::optional<RedirectMsg> route(
+      const std::string& key) const override;
+  void note_applied(std::uint32_t session, std::uint64_t seq,
+                    const std::vector<Event>& events) override;
+  [[nodiscard]] std::uint64_t bounded_high_water(
+      std::uint32_t session, std::uint64_t local_high_water) override;
+
+ private:
+  struct ShipItem {
+    std::uint32_t session{0};
+    std::uint64_t seq{0};
+    std::vector<Event> events;
+  };
+  /// Ship-thread-local per-session state.
+  struct ShipState {
+    bool ready{false};
+    bool stalled{false};
+    /// Last seq handed to the follower client (== the follower's durable
+    /// mark at setup; the stream must continue at shipped + 1).
+    std::uint64_t shipped{0};
+    std::size_t since_ack{0};
+  };
+
+  void run();
+  void handle(ShipItem item);
+  /// Mirror the session onto the follower (OpenSessionAs + resume);
+  /// seeds `shipped` with the follower's durable mark.
+  void setup_session(std::uint32_t session, ShipState& state);
+  /// Re-ship [state.shipped+1, upto] from the session's live WAL.
+  void gap_fill(std::uint32_t session, ShipState& state, std::uint64_t upto);
+  void ack_session(std::uint32_t session, ShipState& state);
+  void ack_idle();
+  void stall(std::uint32_t session, ShipState& state, const std::string& why);
+  void publish_replicated(std::uint32_t session, std::uint64_t high_water);
+  void update_lag_gauge();
+
+  SessionManager& manager_;
+  const ClusterMap map_;
+  const std::size_t shard_;
+  const bool follower_role_;
+  ReplicatorConfig config_;
+  bool shipping_{false};
+  Endpoint follower_;
+
+  BoundedMpscQueue<ShipItem> queue_;
+  std::thread thread_;
+  bool started_{false};
+  std::atomic<bool> stopping_{false};
+
+  /// Ship-thread only.
+  ResilientClient client_;
+  std::unordered_map<std::uint32_t, ShipState> states_;
+
+  /// Shared with bounded_high_water / metrics readers.
+  mutable std::mutex hw_mu_;
+  std::condition_variable hw_cv_;
+  std::unordered_map<std::uint32_t, std::uint64_t> replicated_;
+  std::unordered_set<std::uint32_t> stalled_;
+};
+
+}  // namespace bbmg::cluster

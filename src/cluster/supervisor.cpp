@@ -1,0 +1,228 @@
+#include "cluster/supervisor.hpp"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "serve/net.hpp"
+
+namespace bbmg::cluster {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Bind an ephemeral port, remember it, release it.  The tiny window
+/// before the child re-binds is an accepted test-harness race; kernels
+/// hand out ephemeral ports round-robin, so collisions are rare.
+std::uint16_t free_port() {
+  const net::Listener listener = net::listen_tcp(0, 1);
+  const std::uint16_t port = listener.port;
+  net::close_socket(listener.fd);
+  return port;
+}
+
+}  // namespace
+
+ShardSupervisor::ShardSupervisor(SupervisorConfig config)
+    : config_(std::move(config)) {
+  BBMG_REQUIRE(!config_.served_bin.empty(),
+               "supervisor: served_bin is required");
+  BBMG_REQUIRE(!config_.root_dir.empty(), "supervisor: root_dir is required");
+  BBMG_REQUIRE(config_.shards > 0, "supervisor: at least one shard");
+}
+
+ShardSupervisor::~ShardSupervisor() {
+  for (Node& node : nodes_) {
+    if (node.pid > 0) reap(node, SIGKILL, nullptr);
+    if (node.out_fd >= 0) ::close(node.out_fd);
+    node.out_fd = -1;
+  }
+}
+
+std::string ShardSupervisor::primary_dir(std::size_t shard) const {
+  return config_.root_dir + "/shard" + std::to_string(shard);
+}
+
+std::string ShardSupervisor::follower_dir(std::size_t shard) const {
+  return config_.root_dir + "/shard" + std::to_string(shard) + "-follower";
+}
+
+void ShardSupervisor::start() {
+  BBMG_REQUIRE(!started_, "supervisor: already started");
+  started_ = true;
+  fs::create_directories(config_.root_dir);
+
+  map_.epoch = 1;
+  map_.shards.resize(config_.shards);
+  nodes_.clear();
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    map_.shards[s].primary = Endpoint{"127.0.0.1", free_port()};
+    Node primary_node;
+    primary_node.shard = s;
+    primary_node.port = map_.shards[s].primary.port;
+    nodes_.push_back(primary_node);
+    if (config_.followers) {
+      map_.shards[s].follower = Endpoint{"127.0.0.1", free_port()};
+      Node follower_node;
+      follower_node.shard = s;
+      follower_node.follower = true;
+      follower_node.port = map_.shards[s].follower.port;
+      nodes_.push_back(follower_node);
+    }
+  }
+  map_path_ = config_.root_dir + "/cluster.map";
+  map_.save(map_path_);
+
+  // Followers first: a primary's replicator starts shipping as soon as
+  // sessions open, and a listening follower avoids burning its retry
+  // budget on startup races.
+  for (Node& node : nodes_) {
+    if (node.follower) spawn(node);
+  }
+  for (Node& node : nodes_) {
+    if (!node.follower) spawn(node);
+  }
+}
+
+void ShardSupervisor::spawn(Node& node) {
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) raise("supervisor: pipe failed");
+  const pid_t pid = ::fork();
+  if (pid < 0) raise("supervisor: fork failed");
+  if (pid == 0) {
+    ::dup2(pipe_fds[1], STDOUT_FILENO);
+    ::close(pipe_fds[0]);
+    ::close(pipe_fds[1]);
+    const std::string data_dir =
+        node.follower ? follower_dir(node.shard) : primary_dir(node.shard);
+    std::vector<std::string> args{config_.served_bin,
+                                  std::to_string(node.port),
+                                  std::to_string(config_.workers),
+                                  std::to_string(config_.queue_capacity),
+                                  "--data-dir",
+                                  data_dir,
+                                  "--fsync-every",
+                                  std::to_string(config_.fsync_every),
+                                  "--cluster-map",
+                                  map_path_,
+                                  "--shard",
+                                  std::to_string(node.shard)};
+    if (node.follower) args.push_back("--follower");
+    if (config_.idle_timeout_ms != 0) {
+      args.push_back("--idle-timeout");
+      args.push_back(std::to_string(config_.idle_timeout_ms));
+    }
+    args.insert(args.end(), config_.extra_args.begin(),
+                config_.extra_args.end());
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execv(config_.served_bin.c_str(), argv.data());
+    ::_exit(127);
+  }
+  ::close(pipe_fds[1]);
+  node.pid = pid;
+  node.out_fd = pipe_fds[0];
+  wait_for_listen(node);
+}
+
+void ShardSupervisor::wait_for_listen(Node& node) {
+  const std::string needle = "listening on 127.0.0.1:";
+  char buf[512];
+  while (node.banner.find(needle) == std::string::npos) {
+    const ssize_t n = ::read(node.out_fd, buf, sizeof buf);
+    if (n <= 0) {
+      raise("supervisor: shard " + std::to_string(node.shard) +
+            (node.follower ? " follower" : " primary") +
+            " exited before listening; output so far:\n" + node.banner);
+    }
+    node.banner.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+void ShardSupervisor::reap(Node& node, int signo, int* exit_code) {
+  if (node.pid <= 0) return;
+  ::kill(node.pid, signo);
+  int status = 0;
+  ::waitpid(node.pid, &status, 0);
+  node.pid = -1;
+  if (exit_code != nullptr) {
+    *exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -WTERMSIG(status);
+  }
+  if (node.out_fd >= 0) {
+    // Drain leftover stdout so diagnostics survive in the banner.
+    ssize_t n;
+    char buf[512];
+    while ((n = ::read(node.out_fd, buf, sizeof buf)) > 0) {
+      node.banner.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(node.out_fd);
+    node.out_fd = -1;
+  }
+}
+
+ShardSupervisor::Node& ShardSupervisor::primary(std::size_t shard) {
+  for (Node& node : nodes_) {
+    if (node.shard == shard && !node.follower) return node;
+  }
+  raise("supervisor: no such shard " + std::to_string(shard));
+}
+
+ShardSupervisor::Node& ShardSupervisor::follower(std::size_t shard) {
+  for (Node& node : nodes_) {
+    if (node.shard == shard && node.follower) return node;
+  }
+  raise("supervisor: shard " + std::to_string(shard) + " has no follower");
+}
+
+void ShardSupervisor::kill_primary(std::size_t shard) {
+  reap(primary(shard), SIGKILL, nullptr);
+}
+
+void ShardSupervisor::kill_follower(std::size_t shard) {
+  reap(follower(shard), SIGKILL, nullptr);
+}
+
+void ShardSupervisor::restart_primary(std::size_t shard) {
+  Node& node = primary(shard);
+  BBMG_REQUIRE(node.pid <= 0, "supervisor: primary still running");
+  node.banner.clear();
+  spawn(node);
+}
+
+int ShardSupervisor::terminate_all() {
+  int worst = 0;
+  // Primaries first so their replicators stop shipping before the
+  // followers go away (quiet logs; either order is correct).
+  for (Node& node : nodes_) {
+    if (!node.follower && node.pid > 0) {
+      int code = 0;
+      reap(node, SIGTERM, &code);
+      if (code != 0 && worst == 0) worst = code;
+    }
+  }
+  for (Node& node : nodes_) {
+    if (node.follower && node.pid > 0) {
+      int code = 0;
+      reap(node, SIGTERM, &code);
+      if (code != 0 && worst == 0) worst = code;
+    }
+  }
+  return worst;
+}
+
+bool ShardSupervisor::primary_alive(std::size_t shard) const {
+  for (const Node& node : nodes_) {
+    if (node.shard == shard && !node.follower) return node.pid > 0;
+  }
+  return false;
+}
+
+}  // namespace bbmg::cluster

@@ -1,0 +1,96 @@
+// Process supervisor for multi-shard test/bench clusters: allocates free
+// ports, writes the static cluster map file, fork/execs one bbmg_served
+// per node (primaries and followers), waits for each listen banner, and
+// offers the two chaos controls the failover tests need — SIGKILL one
+// shard's primary, SIGTERM everything.
+//
+// This is test/bench infrastructure (the production deployment story is a
+// map file plus N independently-launched daemons — see the README
+// quickstart), but it lives in the library so the chaos-failover test,
+// bench_cluster and any future soak harness share one correct
+// implementation of the spawn/banner/reap dance.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_map.hpp"
+
+namespace bbmg::cluster {
+
+struct SupervisorConfig {
+  /// Path to the bbmg_served executable (tests pass BBMG_SERVED_BIN).
+  std::string served_bin;
+  /// Root directory; each node gets <root>/shard<N>[-follower] as its
+  /// durable --data-dir, and the map file is written to <root>/cluster.map.
+  std::string root_dir;
+  std::size_t shards{2};
+  /// Give every shard a follower (replication + failover target).
+  bool followers{true};
+  std::size_t workers{2};
+  std::size_t queue_capacity{64};
+  /// fsync cadence for every node's WAL (1 = strictest, test default).
+  std::size_t fsync_every{1};
+  /// Forwarded as --idle-timeout when nonzero.
+  std::uint32_t idle_timeout_ms{0};
+  /// Extra argv appended to every node (e.g. {"--log-level", "warn"}).
+  std::vector<std::string> extra_args;
+};
+
+class ShardSupervisor {
+ public:
+  explicit ShardSupervisor(SupervisorConfig config);
+  ~ShardSupervisor();
+
+  ShardSupervisor(const ShardSupervisor&) = delete;
+  ShardSupervisor& operator=(const ShardSupervisor&) = delete;
+
+  /// Allocate ports, write <root>/cluster.map, spawn followers then
+  /// primaries, and block until every node printed its listen banner.
+  void start();
+
+  [[nodiscard]] const ClusterMap& map() const { return map_; }
+  [[nodiscard]] const std::string& map_path() const { return map_path_; }
+  [[nodiscard]] std::string primary_dir(std::size_t shard) const;
+  [[nodiscard]] std::string follower_dir(std::size_t shard) const;
+
+  /// SIGKILL the shard's primary (the chaos move) and reap it.
+  void kill_primary(std::size_t shard);
+  /// SIGKILL the shard's follower and reap it.
+  void kill_follower(std::size_t shard);
+  /// Restart a previously-killed primary on its old port and data dir
+  /// (recovery path); blocks until its banner.
+  void restart_primary(std::size_t shard);
+  /// SIGTERM every live node (graceful drain) and reap; returns the worst
+  /// exit code seen (0 when every node drained cleanly).
+  int terminate_all();
+
+  [[nodiscard]] bool primary_alive(std::size_t shard) const;
+
+ private:
+  struct Node {
+    pid_t pid{-1};
+    int out_fd{-1};
+    std::uint16_t port{0};
+    std::size_t shard{0};
+    bool follower{false};
+    std::string banner;
+  };
+
+  void spawn(Node& node);
+  static void wait_for_listen(Node& node);
+  static void reap(Node& node, int signo, int* exit_code);
+  Node& primary(std::size_t shard);
+  Node& follower(std::size_t shard);
+
+  SupervisorConfig config_;
+  ClusterMap map_;
+  std::string map_path_;
+  std::vector<Node> nodes_;
+  bool started_{false};
+};
+
+}  // namespace bbmg::cluster

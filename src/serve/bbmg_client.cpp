@@ -16,6 +16,9 @@
 //   bbmg_client resume <host> <port> <session-id>
 //       report the session's durable high-water mark (the sequence number
 //       below which every period survives a server crash).
+//   bbmg_client map <host> <port>
+//       fetch any cluster node's map: epoch plus each shard's primary and
+//       follower endpoints (the node must run with --cluster-map).
 //   bbmg_client trace <host> <port> [--chrome [out.json]]
 //                     [--merge <spans.bin>] [--flight]
 //       pull the server's causal span ring.  --chrome writes a Chrome
@@ -39,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/cluster_map.hpp"
 #include "common/error.hpp"
 #include "lattice/matrix_io.hpp"
 #include "obs/exposition.hpp"
@@ -61,6 +65,7 @@ int usage() {
                "  bbmg_client check <host> <port> <session-id> <in.trace>\n"
                "  bbmg_client metrics <host> <port> [--json]\n"
                "  bbmg_client resume <host> <port> <session-id>\n"
+               "  bbmg_client map <host> <port>\n"
                "  bbmg_client trace <host> <port> [--chrome [out.json]] "
                "[--merge <spans.bin>] [--flight]\n");
   return 2;
@@ -289,6 +294,25 @@ int cmd_resume(int argc, char** argv) {
   return 0;
 }
 
+int cmd_map(int argc, char** argv) {
+  if (argc < 4) return usage();
+  ServeClient client;
+  client.connect(argv[2],
+                 static_cast<std::uint16_t>(std::strtoul(argv[3], nullptr, 10)));
+  const cluster::ClusterMap map =
+      cluster::ClusterMap::from_wire(client.fetch_cluster_map());
+  std::printf("cluster map epoch %llu, %zu shards\n",
+              static_cast<unsigned long long>(map.epoch), map.shards.size());
+  for (std::size_t s = 0; s < map.shards.size(); ++s) {
+    const cluster::ClusterShard& shard = map.shards[s];
+    std::printf("  shard %zu: primary %s%s%s\n", s,
+                shard.primary.str().c_str(),
+                shard.has_follower() ? ", follower " : "",
+                shard.has_follower() ? shard.follower.str().c_str() : "");
+  }
+  return 0;
+}
+
 int cmd_trace(int argc, char** argv) {
   if (argc < 4) return usage();
   bool chrome = false;
@@ -367,6 +391,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[1], "check") == 0) return cmd_check(argc, argv);
     if (std::strcmp(argv[1], "metrics") == 0) return cmd_metrics(argc, argv);
     if (std::strcmp(argv[1], "resume") == 0) return cmd_resume(argc, argv);
+    if (std::strcmp(argv[1], "map") == 0) return cmd_map(argc, argv);
     if (std::strcmp(argv[1], "trace") == 0) return cmd_trace(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bbmg_client: error: %s\n", e.what());

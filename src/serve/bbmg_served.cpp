@@ -3,6 +3,8 @@
 //   bbmg_served [port] [workers] [queue-capacity] [--stats-interval <sec>]
 //               [--data-dir <dir>] [--fsync-every <n>] [--snapshot-every <n>]
 //               [--trace] [--span-ring <n>] [--log-level <level>]
+//               [--idle-timeout <ms>]
+//               [--cluster-map <file> --shard <n> [--follower]]
 //
 // Listens on 127.0.0.1:<port> (default 7227; 0 picks an ephemeral port and
 // prints it), shards incoming learning sessions over <workers> threads
@@ -25,6 +27,15 @@
 // armed whenever --data-dir is given: a fatal signal dumps the recent
 // structured-log tail plus a cached metrics snapshot to
 // <data-dir>/postmortem/crash-<signo>.log before the process dies.
+//
+// Cluster mode (PR 6): --cluster-map names a static map file (see
+// cluster/cluster_map.hpp for the format) and --shard this node's index
+// in it.  A primary whose map entry lists a follower replicates every
+// durable period to it (cluster/replicator.hpp); --follower marks the
+// node as that replica (it never ships, it receives).  Both roles answer
+// ClusterMapRequest and route OpenClusterSession keys via Redirect.
+// --idle-timeout closes client connections silent for that many ms
+// (counted in bbmg_serve_connections_idle_closed_total).
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -32,6 +43,9 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
+#include "cluster/replicator.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
@@ -52,7 +66,9 @@ int usage() {
                "usage: bbmg_served [port] [workers] [queue-capacity] "
                "[--stats-interval <seconds>] [--data-dir <dir>] "
                "[--fsync-every <n>] [--snapshot-every <n>] [--trace] "
-               "[--span-ring <n>] [--log-level debug|info|warn|error]\n");
+               "[--span-ring <n>] [--log-level debug|info|warn|error] "
+               "[--idle-timeout <ms>] "
+               "[--cluster-map <file> --shard <n> [--follower]]\n");
   return 2;
 }
 
@@ -91,6 +107,10 @@ int main(int argc, char** argv) {
   unsigned long stats_interval = 0;  // seconds; 0 = no periodic stats line
   bool trace = false;
   unsigned long span_ring = 0;  // 0 = keep the default capacity
+  std::string cluster_map_file;
+  unsigned long shard = 0;
+  bool shard_given = false;
+  bool follower = false;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--stats-interval") == 0) {
@@ -110,6 +130,20 @@ int main(int argc, char** argv) {
       if (config.manager.durable.snapshot_every == 0) return usage();
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       trace = true;
+    } else if (std::strcmp(argv[i], "--idle-timeout") == 0) {
+      if (i + 1 >= argc) return usage();
+      config.idle_timeout_ms =
+          static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+      if (config.idle_timeout_ms == 0) return usage();
+    } else if (std::strcmp(argv[i], "--cluster-map") == 0) {
+      if (i + 1 >= argc) return usage();
+      cluster_map_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--shard") == 0) {
+      if (i + 1 >= argc) return usage();
+      shard = std::strtoul(argv[++i], nullptr, 10);
+      shard_given = true;
+    } else if (std::strcmp(argv[i], "--follower") == 0) {
+      follower = true;
     } else if (std::strcmp(argv[i], "--span-ring") == 0) {
       if (i + 1 >= argc) return usage();
       span_ring = std::strtoul(argv[++i], nullptr, 10);
@@ -140,6 +174,13 @@ int main(int argc, char** argv) {
       positional.size() > 1 ? std::strtoul(positional[1], nullptr, 10) : 2;
   config.manager.queue_capacity =
       positional.size() > 2 ? std::strtoul(positional[2], nullptr, 10) : 256;
+  if ((cluster_map_file.empty() && (shard_given || follower)) ||
+      (!cluster_map_file.empty() && !shard_given)) {
+    std::fprintf(stderr,
+                 "bbmg_served: --cluster-map and --shard go together "
+                 "(--follower needs both)\n");
+    return usage();
+  }
 
   if (span_ring != 0) obs::SpanRing::instance().set_capacity(span_ring);
   if (trace) obs::SpanRing::instance().set_enabled(true);
@@ -172,7 +213,23 @@ int main(int argc, char** argv) {
         std::printf("bbmg_served: recovery: %s\n", d.c_str());
       }
     }
+    std::shared_ptr<cluster::Replicator> replicator;
+    if (!cluster_map_file.empty()) {
+      cluster::ClusterMap map = cluster::ClusterMap::load(cluster_map_file);
+      replicator = std::make_shared<cluster::Replicator>(
+          server.manager(), std::move(map), shard, follower);
+      server.set_cluster(replicator);
+      replicator->start();
+    }
     server.start();
+    if (replicator) {
+      std::printf("bbmg_served: cluster shard %lu (%s%s, map epoch %llu, "
+                  "%zu shards)\n",
+                  shard, follower ? "follower" : "primary",
+                  replicator->shipping() ? ", replicating" : "",
+                  static_cast<unsigned long long>(replicator->map().epoch),
+                  replicator->map().shards.size());
+    }
     std::printf("bbmg_served: listening on 127.0.0.1:%u (%zu workers, "
                 "queue capacity %zu periods)\n",
                 unsigned{server.port()}, server.manager().num_workers(),
@@ -206,6 +263,9 @@ int main(int argc, char** argv) {
     // period; checkpoint_all() then snapshots each durable session so the
     // next start recovers instantly, with no WAL tail to replay.
     server.stop();
+    // The replicator outlives the server's workers (they call its ship
+    // hook); only after stop() is it safe to drain and join it.
+    if (replicator) replicator->stop();
     if (config.manager.durable.enabled()) {
       server.manager().checkpoint_all();
       std::printf("bbmg_served: all sessions checkpointed\n");

@@ -49,6 +49,14 @@ std::size_t ChaosTransport::read_some(std::uint8_t* data, std::size_t size) {
 void ChaosTransport::write(const std::uint8_t* data, std::size_t size) {
   check_poisoned();
   maybe_delay();
+  if (config_.drop_write_prob > 0.0 &&
+      rng_.next_bool(config_.drop_write_prob)) {
+    // Swallow the write whole and report success — the asymmetric-partition
+    // fault.  No poisoning: later ops still run, the peer just never hears
+    // this one, and the sender only learns from the silence that follows.
+    ++faults_;
+    return;
+  }
   if (config_.reset_prob > 0.0 && rng_.next_bool(config_.reset_prob)) {
     inject_reset();
   }

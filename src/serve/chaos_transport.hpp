@@ -11,7 +11,10 @@
 //                writes with delays between them, so the peer's decoder
 //                sees frames arriving in arbitrary fragments;
 //   * read truncation — deliver a prefix of what the inner transport
-//                returned, then reset, modelling a peer killed mid-frame.
+//                returned, then reset, modelling a peer killed mid-frame;
+//   * dropped writes — silently swallow a whole logical write (the caller
+//                believes it succeeded), modelling an asymmetric partition:
+//                this direction black-holes while the reverse one delivers.
 //
 // All randomness comes from the seeded bbmg::Rng, so a failing chaos run
 // reproduces from its seed alone.
@@ -36,6 +39,10 @@ struct ChaosConfig {
   double partial_write_prob{0.0};
   /// Probability that a read delivers only a prefix and then resets.
   double truncate_read_prob{0.0};
+  /// Probability that a whole logical write is silently dropped (no
+  /// error, no poisoning — the bytes just never arrive).  1.0 black-holes
+  /// the direction entirely: one half of an asymmetric partition.
+  double drop_write_prob{0.0};
 };
 
 class ChaosTransport final : public Transport {

@@ -44,8 +44,7 @@ Frame ServeClient::expect_reply(FrameType expected) {
   }
   if (frame->type == FrameType::ErrorReply) {
     const ErrorReplyMsg err = ErrorReplyMsg::decode(*frame);
-    raise("client: server error " +
-          std::to_string(static_cast<int>(err.code)) + ": " + err.message);
+    throw ServerError(err.code, err.message);
   }
   if (frame->type != expected) {
     raise("client: unexpected reply frame type");
@@ -63,6 +62,69 @@ std::uint32_t ServeClient::open_session(
   msg.snapshot_interval = snapshot_interval;
   net::write_frame(fd_, msg.to_frame());
   return SessionRefMsg::decode(expect_reply(FrameType::SessionOpened)).session;
+}
+
+void ServeClient::open_session_as(std::uint32_t session,
+                                  const std::vector<std::string>& task_names,
+                                  std::uint32_t bound, SanitizePolicy policy,
+                                  std::uint32_t snapshot_interval) {
+  BBMG_REQUIRE(fd_ >= 0, "client not connected");
+  BBMG_REQUIRE(peer_version_ >= 4,
+               "open_session_as requires a v4 peer (server is v" +
+                   std::to_string(peer_version_) + ")");
+  OpenSessionAsMsg msg;
+  msg.session = session;
+  msg.task_names = task_names;
+  msg.bound = bound;
+  msg.policy = policy;
+  msg.snapshot_interval = snapshot_interval;
+  net::write_frame(fd_, msg.to_frame());
+  const SessionRefMsg ref =
+      SessionRefMsg::decode(expect_reply(FrameType::SessionOpened));
+  BBMG_REQUIRE(ref.session == session,
+               "open_session_as: server opened a different session id");
+}
+
+std::uint32_t ServeClient::open_cluster_session(
+    const std::string& key, const std::vector<std::string>& task_names,
+    std::uint32_t bound, SanitizePolicy policy,
+    std::uint32_t snapshot_interval) {
+  BBMG_REQUIRE(fd_ >= 0, "client not connected");
+  BBMG_REQUIRE(peer_version_ >= 4,
+               "open_cluster_session requires a v4 peer (server is v" +
+                   std::to_string(peer_version_) + ")");
+  OpenClusterSessionMsg msg;
+  msg.key = key;
+  msg.task_names = task_names;
+  msg.bound = bound;
+  msg.policy = policy;
+  msg.snapshot_interval = snapshot_interval;
+  net::write_frame(fd_, msg.to_frame());
+  std::optional<Frame> frame = net::read_frame(fd_, decoder_);
+  if (!frame.has_value()) {
+    raise("client: server closed the connection while awaiting a reply");
+  }
+  if (frame->type == FrameType::Redirect) {
+    throw Redirected(RedirectMsg::decode(*frame));
+  }
+  if (frame->type == FrameType::ErrorReply) {
+    const ErrorReplyMsg err = ErrorReplyMsg::decode(*frame);
+    throw ServerError(err.code, err.message);
+  }
+  if (frame->type != FrameType::SessionOpened) {
+    raise("client: unexpected reply frame type");
+  }
+  return SessionRefMsg::decode(*frame).session;
+}
+
+ClusterMapResponseMsg ServeClient::fetch_cluster_map() {
+  BBMG_REQUIRE(fd_ >= 0, "client not connected");
+  BBMG_REQUIRE(peer_version_ >= 4,
+               "cluster map requires a v4 peer (server is v" +
+                   std::to_string(peer_version_) + ")");
+  net::write_frame(fd_, ClusterMapRequestMsg{}.to_frame());
+  return ClusterMapResponseMsg::decode(
+      expect_reply(FrameType::ClusterMapResponse));
 }
 
 void ServeClient::append_ctx_frame(std::vector<std::uint8_t>& bytes,

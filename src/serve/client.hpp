@@ -16,6 +16,39 @@
 
 namespace bbmg {
 
+/// Typed Redirect reply to open_cluster_session: the addressed shard does
+/// not own the key under its map.  Carries the owner so the caller can
+/// re-route without refetching the whole map.  Deliberately NOT retried by
+/// ResilientClient — a redirect is an answer, not a failure.
+class Redirected : public Error {
+ public:
+  explicit Redirected(RedirectMsg redirect)
+      : Error("client: redirected to shard " + std::to_string(redirect.shard) +
+              " at " + redirect.endpoint + " (map epoch " +
+              std::to_string(redirect.epoch) + ")"),
+        redirect_(std::move(redirect)) {}
+  [[nodiscard]] const RedirectMsg& redirect() const { return redirect_; }
+
+ private:
+  RedirectMsg redirect_;
+};
+
+/// Typed ErrorReply from the server: keeps the wire code so callers can
+/// react to a specific failure — e.g. UnknownSession during a failover
+/// resume, where the follower never heard of the session and the client
+/// must re-create it — without parsing message text.
+class ServerError : public Error {
+ public:
+  ServerError(WireErrorCode code, const std::string& message)
+      : Error("client: server error " +
+              std::to_string(static_cast<int>(code)) + ": " + message),
+        code_(code) {}
+  [[nodiscard]] WireErrorCode code() const { return code_; }
+
+ private:
+  WireErrorCode code_;
+};
+
 /// A model snapshot as it came over the wire.
 struct WireSnapshot {
   std::uint32_t session{0};
@@ -57,6 +90,27 @@ class ServeClient {
       const std::vector<std::string>& task_names, std::uint32_t bound = 16,
       SanitizePolicy policy = SanitizePolicy::Repair,
       std::uint32_t snapshot_interval = 1);
+
+  /// Open a session under an explicit id (v4 peers only) — the WAL
+  /// replication path: a primary mirrors its session onto the follower
+  /// under the id the clients already hold.  Idempotent server-side.
+  void open_session_as(std::uint32_t session,
+                       const std::vector<std::string>& task_names,
+                       std::uint32_t bound = 16,
+                       SanitizePolicy policy = SanitizePolicy::Repair,
+                       std::uint32_t snapshot_interval = 1);
+
+  /// Open a session routed by a consistent-hash key (v4 peers only).
+  /// Returns the new session id when this shard owns the key; throws
+  /// Redirected naming the owner otherwise.
+  [[nodiscard]] std::uint32_t open_cluster_session(
+      const std::string& key, const std::vector<std::string>& task_names,
+      std::uint32_t bound = 16, SanitizePolicy policy = SanitizePolicy::Repair,
+      std::uint32_t snapshot_interval = 1);
+
+  /// Fetch the server's cluster map (v4 peers only; errors when the server
+  /// is not in cluster mode).
+  [[nodiscard]] ClusterMapResponseMsg fetch_cluster_map();
 
   /// Stream one raw period (Events + EndPeriod, fire-and-forget).  seq,
   /// when non-zero, is the idempotence sequence number for the period

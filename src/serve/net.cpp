@@ -152,7 +152,7 @@ std::size_t FdTransport::read_some(std::uint8_t* data, std::size_t size) {
     if (n >= 0) return static_cast<std::size_t>(n);
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
-      raise("net: recv timed out (deadline exceeded)");
+      throw ReceiveTimeout{};
     }
     raise_errno("recv");
   }

@@ -26,6 +26,15 @@
 
 namespace bbmg::net {
 
+/// Typed expiry of a receive deadline (SO_RCVTIMEO): the peer sent
+/// nothing for the whole window.  Callers that armed the deadline as an
+/// *idle* policy (server connection threads, --idle-timeout) catch this
+/// to close quietly; every other read failure stays a generic Error.
+class ReceiveTimeout : public Error {
+ public:
+  ReceiveTimeout() : Error("net: recv timed out (deadline exceeded)") {}
+};
+
 /// Listening TCP socket bound to 127.0.0.1:<port> (port 0 = ephemeral).
 struct Listener {
   int fd{-1};

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "obs/log.hpp"
 
 namespace bbmg {
 
@@ -48,27 +49,43 @@ void FrameDecoder::set_max_payload(std::size_t cap) {
 }
 
 std::optional<Frame> FrameDecoder::next() {
-  const std::size_t avail = buffer_.size() - consumed_;
-  if (avail < 5) return std::nullopt;
-  ByteReader r(buffer_.data() + consumed_, avail);
-  const std::uint32_t length = r.read_u32();
-  if (length > max_payload_) {
-    throw FrameTooLarge(length, max_payload_);
+  for (;;) {
+    const std::size_t avail = buffer_.size() - consumed_;
+    if (avail < 5) return std::nullopt;
+    ByteReader r(buffer_.data() + consumed_, avail);
+    const std::uint32_t length = r.read_u32();
+    if (length > max_payload_) {
+      throw FrameTooLarge(length, max_payload_);
+    }
+    const std::uint8_t type = r.read_u8();
+    if (type < static_cast<std::uint8_t>(FrameType::Hello)) {
+      // Only corruption produces type 0 — no protocol version ever
+      // assigned it, so there is nothing to skip past.
+      std::ostringstream os;
+      os << "protocol: invalid frame type " << int{type};
+      raise(os.str());
+    }
+    if (avail < 5 + static_cast<std::size_t>(length)) return std::nullopt;
+    if (type > kMaxFrameType) {
+      // A newer peer's extension frame: consume it whole and keep parsing.
+      // Length was validated against the payload cap above, so a skipped
+      // frame is bounded like any other.
+      consumed_ += 5 + length;
+      ++skipped_;
+      BBMG_LOG_WARN("protocol.frame_skipped",
+                    "skipped unknown frame type from a newer peer",
+                    {{"type", std::uint32_t{type}},
+                     {"length", length},
+                     {"skipped_total", skipped_}});
+      continue;
+    }
+    Frame frame;
+    frame.type = static_cast<FrameType>(type);
+    const std::uint8_t* body = buffer_.data() + consumed_ + 5;
+    frame.payload.assign(body, body + length);
+    consumed_ += 5 + length;
+    return frame;
   }
-  const std::uint8_t type = r.read_u8();
-  if (type < static_cast<std::uint8_t>(FrameType::Hello) ||
-      type > kMaxFrameType) {
-    std::ostringstream os;
-    os << "protocol: unknown frame type " << int{type};
-    raise(os.str());
-  }
-  if (avail < 5 + static_cast<std::size_t>(length)) return std::nullopt;
-  Frame frame;
-  frame.type = static_cast<FrameType>(type);
-  const std::uint8_t* body = buffer_.data() + consumed_ + 5;
-  frame.payload.assign(body, body + length);
-  consumed_ += 5 + length;
-  return frame;
 }
 
 // -- Hello -----------------------------------------------------------------
@@ -357,6 +374,171 @@ TraceDumpResponseMsg TraceDumpResponseMsg::decode(const Frame& frame) {
   for (std::uint32_t i = 0; i < nchunks; ++i) m.flight += r.read_string();
   finish(frame, r, "trace-dump-response");
   return m;
+}
+
+// -- cluster serving (v4) --------------------------------------------------
+
+namespace {
+
+/// The OpenSession field group shared by the three open-session variants;
+/// kept one codec so the wire layout can never drift between them.
+void append_open_fields(std::vector<std::uint8_t>& out,
+                        const std::vector<std::string>& task_names,
+                        std::uint32_t bound, SanitizePolicy policy,
+                        std::uint32_t snapshot_interval) {
+  append_task_names(out, task_names);
+  append_u32(out, bound);
+  append_u8(out, static_cast<std::uint8_t>(policy));
+  append_u32(out, snapshot_interval);
+}
+
+struct OpenFields {
+  std::vector<std::string> task_names;
+  std::uint32_t bound{16};
+  SanitizePolicy policy{SanitizePolicy::Repair};
+  std::uint32_t snapshot_interval{1};
+};
+
+OpenFields read_open_fields(ByteReader& r, const char* what) {
+  OpenFields f;
+  f.task_names = read_task_names(r);
+  f.bound = r.read_u32();
+  const std::uint8_t policy = r.read_u8();
+  if (policy > static_cast<std::uint8_t>(SanitizePolicy::Quarantine)) {
+    raise(std::string("protocol: invalid sanitize policy in ") + what);
+  }
+  f.policy = static_cast<SanitizePolicy>(policy);
+  f.snapshot_interval = r.read_u32();
+  if (f.bound == 0) {
+    raise(std::string("protocol: ") + what + " bound must be >= 1");
+  }
+  return f;
+}
+
+SessionConfig open_fields_config(std::uint32_t bound, SanitizePolicy policy,
+                                 std::uint32_t snapshot_interval) {
+  SessionConfig cfg;
+  cfg.robust.online.bound = bound;
+  cfg.robust.sanitize.policy = policy;
+  cfg.snapshot_interval = snapshot_interval;
+  return cfg;
+}
+
+}  // namespace
+
+Frame OpenSessionAsMsg::to_frame() const {
+  Frame f;
+  f.type = FrameType::OpenSessionAs;
+  append_u32(f.payload, session);
+  append_open_fields(f.payload, task_names, bound, policy, snapshot_interval);
+  return f;
+}
+
+OpenSessionAsMsg OpenSessionAsMsg::decode(const Frame& frame) {
+  ByteReader r = payload_reader(frame);
+  OpenSessionAsMsg m;
+  m.session = r.read_u32();
+  OpenFields f = read_open_fields(r, "open-session-as");
+  m.task_names = std::move(f.task_names);
+  m.bound = f.bound;
+  m.policy = f.policy;
+  m.snapshot_interval = f.snapshot_interval;
+  finish(frame, r, "open-session-as");
+  return m;
+}
+
+SessionConfig OpenSessionAsMsg::to_session_config() const {
+  return open_fields_config(bound, policy, snapshot_interval);
+}
+
+Frame ClusterMapRequestMsg::to_frame() const {
+  Frame f;
+  f.type = FrameType::ClusterMapRequest;
+  return f;
+}
+
+ClusterMapRequestMsg ClusterMapRequestMsg::decode(const Frame& frame) {
+  ByteReader r = payload_reader(frame);
+  finish(frame, r, "cluster-map-request");
+  return {};
+}
+
+Frame ClusterMapResponseMsg::to_frame() const {
+  BBMG_REQUIRE(shards.size() <= kMaxWireShards,
+               "cluster map exceeds wire shard cap");
+  Frame f;
+  f.type = FrameType::ClusterMapResponse;
+  append_u64(f.payload, epoch);
+  append_u32(f.payload, static_cast<std::uint32_t>(shards.size()));
+  for (const WireShard& s : shards) {
+    append_string(f.payload, s.primary);
+    append_string(f.payload, s.follower);
+  }
+  return f;
+}
+
+ClusterMapResponseMsg ClusterMapResponseMsg::decode(const Frame& frame) {
+  ByteReader r = payload_reader(frame);
+  ClusterMapResponseMsg m;
+  m.epoch = r.read_u64();
+  const std::uint32_t nshards = r.read_u32();
+  if (nshards > kMaxWireShards) {
+    raise("protocol: shard count exceeds sanity cap");
+  }
+  m.shards.reserve(nshards);
+  for (std::uint32_t i = 0; i < nshards; ++i) {
+    WireShard s;
+    s.primary = r.read_string();
+    s.follower = r.read_string();
+    m.shards.push_back(std::move(s));
+  }
+  finish(frame, r, "cluster-map-response");
+  return m;
+}
+
+Frame RedirectMsg::to_frame() const {
+  Frame f;
+  f.type = FrameType::Redirect;
+  append_u64(f.payload, epoch);
+  append_u32(f.payload, shard);
+  append_string(f.payload, endpoint);
+  return f;
+}
+
+RedirectMsg RedirectMsg::decode(const Frame& frame) {
+  ByteReader r = payload_reader(frame);
+  RedirectMsg m;
+  m.epoch = r.read_u64();
+  m.shard = r.read_u32();
+  m.endpoint = r.read_string();
+  finish(frame, r, "redirect");
+  return m;
+}
+
+Frame OpenClusterSessionMsg::to_frame() const {
+  Frame f;
+  f.type = FrameType::OpenClusterSession;
+  append_string(f.payload, key);
+  append_open_fields(f.payload, task_names, bound, policy, snapshot_interval);
+  return f;
+}
+
+OpenClusterSessionMsg OpenClusterSessionMsg::decode(const Frame& frame) {
+  ByteReader r = payload_reader(frame);
+  OpenClusterSessionMsg m;
+  m.key = r.read_string();
+  if (m.key.empty()) raise("protocol: open-cluster-session key is empty");
+  OpenFields f = read_open_fields(r, "open-cluster-session");
+  m.task_names = std::move(f.task_names);
+  m.bound = f.bound;
+  m.policy = f.policy;
+  m.snapshot_interval = f.snapshot_interval;
+  finish(frame, r, "open-cluster-session");
+  return m;
+}
+
+SessionConfig OpenClusterSessionMsg::to_session_config() const {
+  return open_fields_config(bound, policy, snapshot_interval);
 }
 
 // -- ModelReply ------------------------------------------------------------

@@ -44,6 +44,29 @@
 // schema; TraceDumpRequest/TraceDumpResponse pull the server's span ring
 // (and optionally its flight-recorder dump) over the wire for merged
 // client+server Chrome traces.
+//
+// Version 4 additions (cluster serving, src/cluster):
+//
+//   ClusterMapRequest  -> ClusterMapResponse  (the shard's view of the
+//                     static cluster map: epoch + per-shard primary and
+//                     follower endpoints, so clients can route and fail
+//                     over without out-of-band configuration)
+//   OpenClusterSession -> SessionOpened | Redirect | ErrorReply  (open a
+//                     session routed by a client-chosen key; a shard that
+//                     does not own the key answers Redirect with the
+//                     owner's endpoint instead of opening locally)
+//   OpenSessionAs      -> SessionOpened | ErrorReply  (open a session
+//                     with an explicit id — the WAL-replication path: a
+//                     primary mirrors its session onto its follower under
+//                     the same id, so clients reattach after failover by
+//                     the id they already hold.  Idempotent when the id
+//                     already exists with the same task universe.)
+//
+// Unknown frame types above kMaxFrameType are *skipped* by the decoder
+// (counted, logged, connection survives): a v4 server behind a v3-era
+// proxy, or a newer client probing optional frames, must degrade to
+// ignored extensions rather than killed connections.  Type 0 remains a
+// framing error — it can only come from stream corruption.
 #pragma once
 
 #include <cstdint>
@@ -60,7 +83,7 @@
 namespace bbmg {
 
 inline constexpr std::uint32_t kServeMagic = 0x474d4242u;  // "BBMG"
-inline constexpr std::uint16_t kServeProtocolVersion = 3;
+inline constexpr std::uint16_t kServeProtocolVersion = 4;
 /// Oldest peer version still spoken; Hello/HelloAck outside
 /// [kServeMinProtocolVersion, kServeProtocolVersion] are rejected, inside
 /// the range both sides run at min(client, server).
@@ -108,11 +131,18 @@ enum class FrameType : std::uint8_t {
   TraceContext = 16,       // v3: envelope for the next request frame
   TraceDumpRequest = 17,   // v3
   TraceDumpResponse = 18,  // v3
+  OpenSessionAs = 19,       // v4: open with an explicit session id
+  ClusterMapRequest = 20,   // v4
+  ClusterMapResponse = 21,  // v4
+  Redirect = 22,            // v4: the addressed shard does not own the key
+  OpenClusterSession = 23,  // v4: open routed by a consistent-hash key
 };
 
-/// Highest FrameType value; the decoder rejects types beyond this.
+/// Highest FrameType value this build understands; the decoder *skips*
+/// types beyond this (a newer peer's optional extension, see the v4 notes
+/// above) and only rejects type 0 as stream corruption.
 inline constexpr std::uint8_t kMaxFrameType =
-    static_cast<std::uint8_t>(FrameType::TraceDumpResponse);
+    static_cast<std::uint8_t>(FrameType::OpenClusterSession);
 
 struct Frame {
   FrameType type{FrameType::Hello};
@@ -124,7 +154,10 @@ void append_frame(std::vector<std::uint8_t>& out, const Frame& frame);
 
 /// Incremental frame parser for a byte stream: feed() arbitrary chunks,
 /// next() yields complete frames in order.  Throws FrameTooLarge on an
-/// oversized length field and bbmg::Error on an unknown frame type.
+/// oversized length field and bbmg::Error on frame type 0 (corruption).
+/// Frame types above kMaxFrameType — extensions from a newer protocol
+/// version — are consumed whole and skipped with a diagnostic, so mixed-
+/// version clusters degrade to ignored frames, not dead connections.
 class FrameDecoder {
  public:
   void feed(const std::uint8_t* data, std::size_t size);
@@ -137,10 +170,15 @@ class FrameDecoder {
   void set_max_payload(std::size_t cap);
   [[nodiscard]] std::size_t max_payload() const { return max_payload_; }
 
+  /// Unknown-type frames skipped so far (diagnostic for operators and the
+  /// mixed-version tests).
+  [[nodiscard]] std::uint64_t skipped() const { return skipped_; }
+
  private:
   std::vector<std::uint8_t> buffer_;
   std::size_t consumed_{0};
   std::size_t max_payload_{kMaxFramePayload};
+  std::uint64_t skipped_{0};
 };
 
 // -- payload schemas -------------------------------------------------------
@@ -308,6 +346,74 @@ struct TraceDumpResponseMsg {
   std::string flight;
   [[nodiscard]] Frame to_frame() const;
   [[nodiscard]] static TraceDumpResponseMsg decode(const Frame& frame);
+};
+
+// -- cluster serving (v4) --------------------------------------------------
+
+/// Sanity cap on shards in one ClusterMapResponse (a map is operator
+/// configuration; a frame claiming more is garbage).
+inline constexpr std::size_t kMaxWireShards = 1u << 10;
+
+/// OpenSession with an explicit session id — the WAL-replication path: a
+/// primary opens its session on the follower under the primary's id, so a
+/// client that fails over reattaches (Resume) by the id it already holds.
+/// Idempotent: re-opening an existing id with the same task universe
+/// answers SessionOpened again instead of erroring, so a replicator that
+/// lost an ack can safely retry.
+struct OpenSessionAsMsg {
+  std::uint32_t session{0};
+  std::vector<std::string> task_names;
+  std::uint32_t bound{16};
+  SanitizePolicy policy{SanitizePolicy::Repair};
+  std::uint32_t snapshot_interval{1};
+  [[nodiscard]] Frame to_frame() const;
+  [[nodiscard]] static OpenSessionAsMsg decode(const Frame& frame);
+  [[nodiscard]] SessionConfig to_session_config() const;
+};
+
+/// One shard's endpoints in a ClusterMapResponse, as "host:port" strings
+/// (an empty follower means the shard replicates nowhere).
+struct WireShard {
+  std::string primary;
+  std::string follower;
+};
+
+struct ClusterMapRequestMsg {
+  [[nodiscard]] Frame to_frame() const;
+  [[nodiscard]] static ClusterMapRequestMsg decode(const Frame& frame);
+};
+
+struct ClusterMapResponseMsg {
+  /// Map generation; a client replaces its cached map only with a higher
+  /// epoch (promotion bumps the epoch).
+  std::uint64_t epoch{0};
+  std::vector<WireShard> shards;
+  [[nodiscard]] Frame to_frame() const;
+  [[nodiscard]] static ClusterMapResponseMsg decode(const Frame& frame);
+};
+
+/// "Not my key": the answering shard names the owner so the client can
+/// re-route without refetching the whole map.
+struct RedirectMsg {
+  std::uint64_t epoch{0};
+  std::uint32_t shard{0};
+  std::string endpoint;  // "host:port" of the owning shard's primary
+  [[nodiscard]] Frame to_frame() const;
+  [[nodiscard]] static RedirectMsg decode(const Frame& frame);
+};
+
+/// OpenSession routed by a client-chosen key: the shard that owns
+/// shard_for(key) under the current map opens the session and answers
+/// SessionOpened; any other shard answers Redirect.
+struct OpenClusterSessionMsg {
+  std::string key;
+  std::vector<std::string> task_names;
+  std::uint32_t bound{16};
+  SanitizePolicy policy{SanitizePolicy::Repair};
+  std::uint32_t snapshot_interval{1};
+  [[nodiscard]] Frame to_frame() const;
+  [[nodiscard]] static OpenClusterSessionMsg decode(const Frame& frame);
+  [[nodiscard]] SessionConfig to_session_config() const;
 };
 
 // -- matrix payload helpers (shared by ModelReply and tests) ---------------

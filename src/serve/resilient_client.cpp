@@ -24,6 +24,7 @@ ResilientClient::ResilientClient(RetryConfig config)
 }
 
 void ResilientClient::connect(const std::string& host, std::uint16_t port) {
+  begin_op();
   host_ = host;
   port_ = port;
   with_retry([&] { ensure_connected(); });
@@ -50,17 +51,40 @@ void ResilientClient::backoff(std::size_t attempt) {
   if (delay > 0) sleep_ms(delay);
 }
 
+std::uint64_t ResilientClient::now_ms() const {
+  timespec ts{};
+  (void)::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000 +
+         static_cast<std::uint64_t>(ts.tv_nsec) / 1000000;
+}
+
+void ResilientClient::begin_op() {
+  op_start_ms_ = config_.retry_budget_ms != 0 ? now_ms() : 0;
+  op_failures_ = 0;
+}
+
 template <typename Fn>
 auto ResilientClient::with_retry(Fn&& fn) -> decltype(fn()) {
   for (std::size_t attempt = 0;; ++attempt) {
     try {
       ensure_connected();
       return fn();
-    } catch (const std::exception&) {
+    } catch (const Redirected&) {
+      // A redirect is an answer about key ownership, not a transport
+      // failure; retrying the same shard would loop forever.
+      throw;
+    } catch (const std::exception& e) {
       // A dead connection poisons any reply in flight; drop it so the next
       // attempt reconnects, resumes, and resends before retrying fn.
       client_.disconnect();
-      if (attempt >= config_.max_retries) throw;
+      ++op_failures_;
+      const std::uint64_t elapsed =
+          op_start_ms_ != 0 ? now_ms() - op_start_ms_ : 0;
+      const bool budget_spent = config_.retry_budget_ms != 0 &&
+                                elapsed >= config_.retry_budget_ms;
+      if (attempt >= config_.max_retries || budget_spent) {
+        throw RetriesExhausted(op_failures_, elapsed, e.what());
+      }
       ServeMetrics::get().client_retries.inc();
       backoff(attempt);
     }
@@ -75,7 +99,22 @@ void ResilientClient::ensure_connected() {
   // Learn what survived on the server (possibly a restarted process that
   // recovered from disk), then resend the tail it lost.
   for (auto& [id, state] : sessions_) {
-    const std::uint64_t high_water = client_.resume(id);
+    std::uint64_t high_water = 0;
+    try {
+      high_water = client_.resume(id);
+    } catch (const ServerError& e) {
+      // A failover target can predate the session entirely: the primary
+      // died before its replicator ever mirrored this id.  When we hold
+      // the open recipe, re-create the session under the same id and let
+      // the ordinary resume/resend path below replay the full stream —
+      // every period is still in `unacked`, so nothing is lost.
+      if (e.code() != WireErrorCode::UnknownSession || !state.can_reopen) {
+        throw;
+      }
+      client_.open_session_as(id, state.task_names, state.bound, state.policy,
+                              state.snapshot_interval);
+      high_water = client_.resume(id);
+    }
     trim_acked(state, high_water);
     resend_unacked(id, state);
   }
@@ -129,14 +168,22 @@ void ResilientClient::end_trace(const char* name,
 std::uint32_t ResilientClient::open_session(
     const std::vector<std::string>& task_names, std::uint32_t bound,
     SanitizePolicy policy, std::uint32_t snapshot_interval) {
+  begin_op();
   const std::uint32_t id = with_retry([&] {
     return client_.open_session(task_names, bound, policy, snapshot_interval);
   });
-  sessions_.emplace(id, SessionState{});
+  SessionState state;
+  state.can_reopen = true;
+  state.task_names = task_names;
+  state.bound = bound;
+  state.policy = policy;
+  state.snapshot_interval = snapshot_interval;
+  sessions_.emplace(id, std::move(state));
   return id;
 }
 
 void ResilientClient::attach_session(std::uint32_t session) {
+  begin_op();
   const std::uint64_t high_water =
       with_retry([&] { return client_.resume(session); });
   SessionState state;
@@ -150,6 +197,7 @@ void ResilientClient::send_period(std::uint32_t session,
   BBMG_REQUIRE(it != sessions_.end(),
                "resilient client: unknown session (open or attach first)");
   SessionState& state = it->second;
+  begin_op();
   const std::uint64_t seq = state.next_seq++;
   const obs::TraceContext ctx = begin_trace();
   const std::uint64_t start_ns = ctx.active() ? obs::now_ns() : 0;
@@ -183,6 +231,7 @@ std::uint64_t ResilientClient::flush(std::uint32_t session) {
   auto it = sessions_.find(session);
   BBMG_REQUIRE(it != sessions_.end(), "resilient client: unknown session");
   SessionState& state = it->second;
+  begin_op();
   for (std::size_t round = 0;; ++round) {
     const std::uint64_t high_water =
         with_retry([&] { return client_.resume(session); });
@@ -199,6 +248,7 @@ std::uint64_t ResilientClient::flush(std::uint32_t session) {
 
 WireSnapshot ResilientClient::query(std::uint32_t session, bool drain,
                                     const std::vector<Event>* probe) {
+  begin_op();
   const obs::TraceContext ctx = begin_trace();
   const std::uint64_t start_ns = ctx.active() ? obs::now_ns() : 0;
   WireSnapshot snap =
@@ -209,7 +259,56 @@ WireSnapshot ResilientClient::query(std::uint32_t session, bool drain,
 
 TraceDumpResponseMsg ResilientClient::fetch_trace_dump(bool drain,
                                                        bool flight) {
+  begin_op();
   return with_retry([&] { return client_.fetch_trace_dump(drain, flight); });
+}
+
+std::uint64_t ResilientClient::open_session_as(
+    std::uint32_t session, const std::vector<std::string>& task_names,
+    std::uint32_t bound, SanitizePolicy policy,
+    std::uint32_t snapshot_interval) {
+  begin_op();
+  // Drop any stale local state first: if this is a re-setup after a stall,
+  // ensure_connected must not resume/resend from the old buffer.
+  sessions_.erase(session);
+  const std::uint64_t high_water = with_retry([&] {
+    client_.open_session_as(session, task_names, bound, policy,
+                            snapshot_interval);
+    return client_.resume(session);
+  });
+  SessionState state;
+  state.next_seq = high_water + 1;
+  state.can_reopen = true;
+  state.task_names = task_names;
+  state.bound = bound;
+  state.policy = policy;
+  state.snapshot_interval = snapshot_interval;
+  sessions_[session] = std::move(state);
+  return high_water;
+}
+
+std::uint32_t ResilientClient::open_cluster_session(
+    const std::string& key, const std::vector<std::string>& task_names,
+    std::uint32_t bound, SanitizePolicy policy,
+    std::uint32_t snapshot_interval) {
+  begin_op();
+  const std::uint32_t id = with_retry([&] {
+    return client_.open_cluster_session(key, task_names, bound, policy,
+                                        snapshot_interval);
+  });
+  SessionState state;
+  state.can_reopen = true;
+  state.task_names = task_names;
+  state.bound = bound;
+  state.policy = policy;
+  state.snapshot_interval = snapshot_interval;
+  sessions_.emplace(id, std::move(state));
+  return id;
+}
+
+ClusterMapResponseMsg ResilientClient::fetch_cluster_map() {
+  begin_op();
+  return with_retry([&] { return client_.fetch_cluster_map(); });
 }
 
 std::size_t ResilientClient::unacked(std::uint32_t session) const {

@@ -43,6 +43,37 @@ struct RetryConfig {
   std::size_t ack_interval{64};
   /// Seed for the jitter RNG (deterministic tests).
   std::uint64_t seed{1};
+  /// Total wall-clock budget for one logical operation including all of
+  /// its retries and backoffs (0 = no budget; only max_retries bounds the
+  /// attempts).  Under a permanent partition the per-request deadline
+  /// bounds each attempt but the budget bounds the *sum*; when it is
+  /// exhausted the operation fails with RetriesExhausted.
+  std::uint32_t retry_budget_ms{0};
+};
+
+/// Terminal retry failure: the operation burned through max_retries or
+/// the retry_budget_ms window without one attempt landing.  Carries the
+/// attempt count, elapsed wall time, and the last underlying error text,
+/// so callers (cluster failover) can branch on the type while logs keep
+/// the root cause.
+class RetriesExhausted : public Error {
+ public:
+  RetriesExhausted(std::size_t attempts, std::uint64_t elapsed_ms,
+                   const std::string& last_error)
+      : Error("resilient client: retries exhausted after " +
+              std::to_string(attempts) + " attempt(s) in " +
+              std::to_string(elapsed_ms) + " ms; last error: " + last_error),
+        attempts_(attempts),
+        elapsed_ms_(elapsed_ms),
+        last_error_(last_error) {}
+  [[nodiscard]] std::size_t attempts() const { return attempts_; }
+  [[nodiscard]] std::uint64_t elapsed_ms() const { return elapsed_ms_; }
+  [[nodiscard]] const std::string& last_error() const { return last_error_; }
+
+ private:
+  std::size_t attempts_;
+  std::uint64_t elapsed_ms_;
+  std::string last_error_;
 };
 
 class ResilientClient {
@@ -73,6 +104,29 @@ class ResilientClient {
   /// previous client process): fetches the durable high-water mark and
   /// numbers the next period high_water + 1.
   void attach_session(std::uint32_t session);
+
+  /// Replication path: open (idempotently) session `session` on the peer
+  /// under that explicit id, resume it, and number the next period after
+  /// the peer's durable high-water mark — which is returned.  Re-invoking
+  /// for a known session resets its state to the peer's truth (any locally
+  /// buffered unacked periods are dropped; the replicator re-reads them
+  /// from the WAL instead).
+  std::uint64_t open_session_as(std::uint32_t session,
+                                const std::vector<std::string>& task_names,
+                                std::uint32_t bound = 16,
+                                SanitizePolicy policy = SanitizePolicy::Repair,
+                                std::uint32_t snapshot_interval = 1);
+
+  /// Open a session routed by a consistent-hash key.  Transport failures
+  /// retry as usual; a Redirected answer propagates untouched (it is an
+  /// answer, not a failure).
+  [[nodiscard]] std::uint32_t open_cluster_session(
+      const std::string& key, const std::vector<std::string>& task_names,
+      std::uint32_t bound = 16, SanitizePolicy policy = SanitizePolicy::Repair,
+      std::uint32_t snapshot_interval = 1);
+
+  /// Fetch the server's cluster map (retried).
+  [[nodiscard]] ClusterMapResponseMsg fetch_cluster_map();
 
   /// Sequence, buffer and send one period.  Failures retry transparently;
   /// the period is resent after reconnects until acknowledged durable.
@@ -116,10 +170,25 @@ class ResilientClient {
     std::uint64_t next_seq{1};
     std::deque<PendingPeriod> unacked;
     std::size_t since_ack{0};
+    /// The open recipe, kept so a reconnect that lands on a server which
+    /// never heard of the session (a follower the primary died before
+    /// mirroring to) can re-create it under the same id and resend.  Only
+    /// sessions this client opened itself are re-creatable; attach_session
+    /// leaves can_reopen false.
+    bool can_reopen{false};
+    std::vector<std::string> task_names;
+    std::uint32_t bound{16};
+    SanitizePolicy policy{SanitizePolicy::Repair};
+    std::uint32_t snapshot_interval{1};
   };
 
   template <typename Fn>
   auto with_retry(Fn&& fn) -> decltype(fn());
+  /// Start the retry-budget window for one logical operation.  Public
+  /// entry points call this once up front; nested with_retry rounds then
+  /// share the window, so a multi-round flush cannot exceed the budget.
+  void begin_op();
+  [[nodiscard]] std::uint64_t now_ms() const;
   void ensure_connected();
   void backoff(std::size_t attempt);
   void resend_unacked(std::uint32_t session, SessionState& state);
@@ -138,6 +207,11 @@ class ResilientClient {
   std::uint16_t port_{0};
   std::unordered_map<std::uint32_t, SessionState> sessions_;
   bool tracing_{false};
+  /// Monotonic start of the current logical operation (begin_op); 0 when
+  /// no budget is configured.
+  std::uint64_t op_start_ms_{0};
+  /// Attempts that failed since begin_op, across nested retry rounds.
+  std::size_t op_failures_{0};
 };
 
 }  // namespace bbmg

@@ -19,6 +19,8 @@ struct ServeMetrics {
   obs::Counter& sessions_opened;
   /// Client connections accepted by the server.
   obs::Counter& connections;
+  /// Connections closed by the server's idle policy (--idle-timeout).
+  obs::Counter& connections_idle_closed;
   /// Periods handed to submit() (accepted or not).
   obs::Counter& submits;
   /// Submissions refused because the shard queue was full (block=false).
@@ -64,6 +66,7 @@ struct ServeMetrics {
     return ServeMetrics{
         r.counter("bbmg_serve_sessions_opened_total"),
         r.counter("bbmg_serve_connections_total"),
+        r.counter("bbmg_serve_connections_idle_closed_total"),
         r.counter("bbmg_serve_submits_total"),
         r.counter("bbmg_serve_overflows_total"),
         r.counter("bbmg_serve_periods_applied_total"),

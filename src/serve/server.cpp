@@ -30,6 +30,22 @@ Server::Server(ServerConfig config)
 
 Server::~Server() { stop(); }
 
+void Server::set_cluster(std::shared_ptr<ClusterHooks> cluster) {
+  BBMG_REQUIRE(listen_fd_ < 0, "set_cluster must run before start()");
+  cluster_ = std::move(cluster);
+  if (cluster_) {
+    // The hooks outlive manager_.stop() (see header contract), so the
+    // raw-pointer capture cannot dangle while a worker can still ship.
+    ClusterHooks* hooks = cluster_.get();
+    manager_.set_ship_hook([hooks](std::uint32_t session, std::uint64_t seq,
+                                   const std::vector<Event>& events) {
+      hooks->note_applied(session, seq, events);
+    });
+  } else {
+    manager_.set_ship_hook(nullptr);
+  }
+}
+
 void Server::start() {
   BBMG_REQUIRE(listen_fd_ < 0, "server already started");
   const net::Listener listener = net::listen_tcp(config_.port, config_.backlog);
@@ -88,6 +104,12 @@ void Server::accept_loop() {
 
 void Server::serve_connection(int fd) {
   ServeMetrics::get().connections.inc();
+  // Idle policy: a peer that sends nothing for the window trips a typed
+  // ReceiveTimeout, caught below as a quiet close (no ErrorReply — the
+  // client reconnects transparently on its next request).
+  if (config_.idle_timeout_ms != 0) {
+    net::set_socket_timeout(fd, config_.idle_timeout_ms);
+  }
   FrameDecoder decoder;
   // Period under construction per session addressed by this connection.
   std::unordered_map<std::uint32_t, std::vector<Event>> pending;
@@ -286,8 +308,61 @@ void Server::serve_connection(int fd) {
             net::write_frame(fd, err.to_frame());
             break;
           }
+          // A replicating primary acks only what the follower also holds:
+          // clients then keep (and after a failover resend) the periods in
+          // the replication gap — bounded lag, no silent divergence.
+          if (cluster_) {
+            high_water = cluster_->bounded_high_water(msg.session, high_water);
+          }
           ResumeAckMsg reply{msg.session, high_water};
           net::write_frame(fd, reply.to_frame());
+          break;
+        }
+        case FrameType::ClusterMapRequest: {
+          (void)ClusterMapRequestMsg::decode(*frame);
+          if (!cluster_) {
+            ErrorReplyMsg err{WireErrorCode::Internal,
+                              "cluster-map: this server is not in cluster "
+                              "mode"};
+            net::write_frame(fd, err.to_frame());
+            break;
+          }
+          net::write_frame(fd, cluster_->cluster_map().to_frame());
+          break;
+        }
+        case FrameType::OpenSessionAs: {
+          if (!greeted) raise("protocol: open-session-as before hello");
+          const OpenSessionAsMsg msg = OpenSessionAsMsg::decode(*frame);
+          try {
+            const SessionId id = manager_.open_session_with_id(
+                msg.session, msg.task_names, msg.to_session_config());
+            SessionRefMsg reply{static_cast<std::uint32_t>(id.index())};
+            net::write_frame(fd, reply.to_frame(FrameType::SessionOpened));
+          } catch (const std::exception& e) {
+            ErrorReplyMsg err{WireErrorCode::Internal, e.what()};
+            net::write_frame(fd, err.to_frame());
+          }
+          break;
+        }
+        case FrameType::OpenClusterSession: {
+          if (!greeted) raise("protocol: open-cluster-session before hello");
+          const OpenClusterSessionMsg msg =
+              OpenClusterSessionMsg::decode(*frame);
+          if (!cluster_) {
+            ErrorReplyMsg err{WireErrorCode::Internal,
+                              "open-cluster-session: this server is not in "
+                              "cluster mode"};
+            net::write_frame(fd, err.to_frame());
+            break;
+          }
+          if (const auto redirect = cluster_->route(msg.key)) {
+            net::write_frame(fd, redirect->to_frame());
+            break;
+          }
+          const SessionId id =
+              manager_.open_session(msg.task_names, msg.to_session_config());
+          SessionRefMsg reply{static_cast<std::uint32_t>(id.index())};
+          net::write_frame(fd, reply.to_frame(FrameType::SessionOpened));
           break;
         }
         case FrameType::MetricsRequest: {
@@ -314,6 +389,15 @@ void Server::serve_connection(int fd) {
           raise("protocol: unexpected frame type from client");
       }
     }
+  } catch (const net::ReceiveTimeout&) {
+    // Idle policy tripped (--idle-timeout): close quietly, no ErrorReply —
+    // this is housekeeping, not a protocol failure.  A deadline that fires
+    // mid-frame is counted the same way; the client's unacked buffer
+    // resends anything lost.
+    ServeMetrics::get().connections_idle_closed.inc();
+    BBMG_LOG_INFO("serve.connection_idle_closed",
+                  "closed an idle connection",
+                  {{"idle_timeout_ms", config_.idle_timeout_ms}});
   } catch (const std::exception& e) {
     // Best-effort error report; the connection dies either way, the
     // server and every other session keep running.

@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "serve/cluster_hooks.hpp"
 #include "serve/session_manager.hpp"
 
 namespace bbmg {
@@ -31,6 +32,11 @@ struct ServerConfig {
   /// 0 = ephemeral; the bound port is reported by port() after start().
   std::uint16_t port{0};
   int backlog{16};
+  /// Close a connection whose peer sends nothing for this long (0 = keep
+  /// idle connections forever).  An idle close is quiet — counted in
+  /// bbmg_serve_connections_idle_closed_total, no ErrorReply — and the
+  /// resilient client transparently reconnects on its next request.
+  std::uint32_t idle_timeout_ms{0};
   ManagerConfig manager;
 };
 
@@ -51,6 +57,12 @@ class Server {
 
   [[nodiscard]] SessionManager& manager() { return manager_; }
 
+  /// Attach the cluster layer (routing, map serving, WAL shipping) before
+  /// start().  Installs the hooks' ship tap on the manager; pass nullptr
+  /// to detach (clears the tap).  The hooks must outlive the server's
+  /// stop() — the owner typically stops the server, then the replicator.
+  void set_cluster(std::shared_ptr<ClusterHooks> cluster);
+
   /// Stop accepting, unblock and join every connection, stop the manager.
   /// Idempotent; also run by the destructor.
   void stop();
@@ -66,6 +78,8 @@ class Server {
 
   ServerConfig config_;
   SessionManager manager_;
+  /// Cluster seam (null = single-node mode); see serve/cluster_hooks.hpp.
+  std::shared_ptr<ClusterHooks> cluster_;
   int listen_fd_{-1};
   std::uint16_t port_{0};
   std::thread accept_thread_;

@@ -76,6 +76,11 @@ void LearningSession::mark_failed(const std::string& why) {
   drained_.notify_all();
 }
 
+void LearningSession::set_ship_hook(std::shared_ptr<const ShipHook> hook) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  ship_hook_ = std::move(hook);
+}
+
 std::string LearningSession::failure() const {
   std::lock_guard<std::mutex> lock(state_mu_);
   return failure_;
@@ -97,6 +102,18 @@ void LearningSession::process(const std::vector<Event>& period_events,
   // the unlocked read is race-free.
   const std::uint64_t seq = static_cast<std::uint64_t>(processed_) + 1;
   if (store_) store_->append_period(seq, period_events);
+  // Replication tap, after the local WAL append so a shipped period is
+  // always locally durable first (the follower can never be ahead of the
+  // primary's own log), and before the completion publication so a
+  // drain()-then-resume caller knows every drained period was offered to
+  // the replicator.
+  std::shared_ptr<const ShipHook> ship;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    ship = ship_hook_;
+  }
+  if (ship) (*ship)(static_cast<std::uint32_t>(id_.index()), seq,
+                    period_events);
   // Attributed to the request's trace when the worker set a scope (the
   // WAL spans above record themselves the same way, inside the writer).
   const std::uint64_t apply_start = obs::now_ns();

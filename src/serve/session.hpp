@@ -18,6 +18,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -34,6 +35,12 @@ namespace bbmg {
 
 struct SessionTag {};
 using SessionId = detail::StrongIndex<SessionTag>;
+
+/// Replication tap (cluster::Replicator): called by the session's worker
+/// right after a period's WAL append with (session id, applied seq, the
+/// period's events).  May block briefly when the ship queue is full.
+using ShipHook =
+    std::function<void(std::uint32_t, std::uint64_t, const std::vector<Event>&)>;
 
 struct SessionConfig {
   RobustConfig robust;
@@ -142,6 +149,16 @@ class LearningSession {
     store_ = std::move(store);
   }
   [[nodiscard]] bool durable() const { return store_ != nullptr; }
+  /// The attached store (null for in-memory sessions); the replicator
+  /// reads its WAL path for gap fills.
+  [[nodiscard]] const std::shared_ptr<durable::SessionStore>& store() const {
+    return store_;
+  }
+
+  /// Install (or clear, with null) the replication tap.  Thread-safe with
+  /// respect to a concurrently processing worker; periods already past
+  /// their WAL append are not re-offered.
+  void set_ship_hook(std::shared_ptr<const ShipHook> hook);
 
   /// Claim a client-assigned sequence number (monotone CAS).  Returns
   /// false when seq is at or below the current mark — an already-ingested
@@ -188,7 +205,10 @@ class LearningSession {
   /// (duplicate-resend guard; 0 = nothing sequenced yet).
   std::atomic<std::uint64_t> last_enqueued_seq_{0};
 
-  mutable std::mutex state_mu_;  // guards processed_ and snapshot_
+  /// Replication tap; shared across sessions, swapped under state_mu_.
+  std::shared_ptr<const ShipHook> ship_hook_;
+
+  mutable std::mutex state_mu_;  // guards processed_, snapshot_, ship_hook_
   std::condition_variable drained_;
   std::size_t processed_{0};
   std::shared_ptr<const RobustSnapshot> snapshot_;

@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "durable/recovery.hpp"
+#include "durable/wal.hpp"
 #include "obs/log.hpp"
 #include "obs/span.hpp"
 #include "robust/sanitizer.hpp"
@@ -124,11 +125,8 @@ void SessionManager::worker_loop(std::size_t worker_index) {
   }
 }
 
-SessionId SessionManager::open_session(std::vector<std::string> task_names,
-                                       SessionConfig config) {
-  BBMG_REQUIRE(!stopping_.load(), "manager is shutting down");
-  std::lock_guard<std::mutex> lock(sessions_mu_);
-  const SessionId id{sessions_.size()};
+std::shared_ptr<LearningSession> SessionManager::create_session_locked(
+    SessionId id, std::vector<std::string> task_names, SessionConfig config) {
   auto session =
       std::make_shared<LearningSession>(id, std::move(task_names), config);
   if (config_.durable.enabled()) {
@@ -146,9 +144,65 @@ SessionId SessionManager::open_session(std::vector<std::string> task_names,
         config_.durable, std::move(meta), initial,
         StreamingTraceStats::Summary{}));
   }
-  sessions_.push_back(std::move(session));
+  session->set_ship_hook(ship_hook_);
+  if (id.index() >= sessions_.size()) sessions_.resize(id.index() + 1);
+  sessions_[id.index()] = session;
   ServeMetrics::get().sessions_opened.inc();
+  return session;
+}
+
+SessionId SessionManager::open_session(std::vector<std::string> task_names,
+                                       SessionConfig config) {
+  BBMG_REQUIRE(!stopping_.load(), "manager is shutting down");
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  const SessionId id{sessions_.size()};
+  (void)create_session_locked(id, std::move(task_names), config);
   return id;
+}
+
+SessionId SessionManager::open_session_with_id(
+    std::uint32_t id, std::vector<std::string> task_names,
+    SessionConfig config) {
+  BBMG_REQUIRE(!stopping_.load(), "manager is shutting down");
+  // Same forged-id guard as recovery: honoring a huge id would drive a
+  // multi-GB sessions_ resize.
+  constexpr std::uint32_t kMaxExplicitSessionId = 1u << 20;
+  BBMG_REQUIRE(id <= kMaxExplicitSessionId,
+               "open_session_with_id: id beyond the recoverable cap");
+  const SessionId sid{id};
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  if (sid.index() < sessions_.size() && sessions_[sid.index()] != nullptr) {
+    // Idempotent re-open (a replicator retrying a lost reply): accept iff
+    // the task universe matches; the learner state is untouched.
+    BBMG_REQUIRE(sessions_[sid.index()]->task_names() == task_names,
+                 "open_session_with_id: existing session has a different "
+                 "task universe");
+    return sid;
+  }
+  (void)create_session_locked(sid, std::move(task_names), config);
+  return sid;
+}
+
+void SessionManager::set_ship_hook(ShipHook hook) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  ship_hook_ = hook ? std::make_shared<const ShipHook>(std::move(hook))
+                    : nullptr;
+  for (const auto& session : sessions_) {
+    if (session) session->set_ship_hook(ship_hook_);
+  }
+}
+
+std::optional<SessionManager::SessionInfo> SessionManager::session_info(
+    SessionId id) const {
+  auto session = find(id);
+  if (!session) return std::nullopt;
+  SessionInfo info;
+  info.task_names = session->task_names();
+  info.config = session->config();
+  if (session->store()) {
+    info.wal_path = session->store()->dir() + "/" + durable::kWalFilename;
+  }
+  return info;
 }
 
 std::shared_ptr<LearningSession> SessionManager::find(SessionId id) const {

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -99,6 +100,30 @@ class SessionManager {
   [[nodiscard]] SessionId open_session(std::vector<std::string> task_names,
                                        SessionConfig config = {});
 
+  /// Create a session under an explicit id (the follower half of WAL
+  /// replication: the primary mirrors its session ids so clients can
+  /// reattach after failover).  Idempotent — re-opening an existing id
+  /// with the same task universe is a no-op; a different universe raises.
+  /// Ids between the current tail and `id` stay as null gaps.
+  SessionId open_session_with_id(std::uint32_t id,
+                                 std::vector<std::string> task_names,
+                                 SessionConfig config = {});
+
+  /// Install (or clear) the replication tap on every current and future
+  /// session.  Call before any traffic that should replicate (typically
+  /// right after construction, before the server starts accepting).
+  void set_ship_hook(ShipHook hook);
+
+  /// What the replicator needs to mirror one session: its task universe,
+  /// config, and the live WAL path ("" for in-memory sessions).
+  struct SessionInfo {
+    std::vector<std::string> task_names;
+    SessionConfig config;
+    std::string wal_path;
+  };
+  /// nullopt for unknown/null ids.  Thread-safe.
+  [[nodiscard]] std::optional<SessionInfo> session_info(SessionId id) const;
+
   /// Refuse further submissions to the session; periods already queued are
   /// still learned.  Returns false for an unknown id.
   bool close_session(SessionId id);
@@ -159,6 +184,9 @@ class SessionManager {
   };
 
   [[nodiscard]] std::shared_ptr<LearningSession> find(SessionId id) const;
+  /// Build + store one session at `id` (sessions_mu_ held by the caller).
+  std::shared_ptr<LearningSession> create_session_locked(
+      SessionId id, std::vector<std::string> task_names, SessionConfig config);
   void worker_loop(std::size_t worker_index);
   /// Run startup recovery and rebuild sessions_ (ids keep their pre-crash
   /// values; unrecovered ids stay as null gaps).
@@ -173,8 +201,11 @@ class SessionManager {
 
   mutable std::mutex sessions_mu_;
   /// index == id; entries can be null after recovery (ids whose state was
-  /// quarantined) — callers treat a null as UnknownSession.
+  /// quarantined) or below an explicitly-opened id — callers treat a null
+  /// as UnknownSession.
   std::vector<std::shared_ptr<LearningSession>> sessions_;
+  /// Replication tap handed to every session (null = replication off).
+  std::shared_ptr<const ShipHook> ship_hook_;
 
   RecoverySummary recovery_;
 };

@@ -1,0 +1,177 @@
+// Cluster map unit tests: the text format (parse/serialize round trip,
+// line-numbered rejection of malformed input), the wire round trip, and
+// the rendezvous routing function — determinism, full-range coverage,
+// spread, and the minimal-movement property that justifies choosing
+// rendezvous over modulo hashing.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_map.hpp"
+#include "common/error.hpp"
+
+namespace bbmg::cluster {
+namespace {
+
+ClusterMap map_of(std::size_t shards, bool followers) {
+  ClusterMap map;
+  map.epoch = 1;
+  for (std::size_t s = 0; s < shards; ++s) {
+    ClusterShard shard;
+    shard.primary = Endpoint{"127.0.0.1",
+                             static_cast<std::uint16_t>(7000 + s)};
+    if (followers) {
+      shard.follower = Endpoint{"127.0.0.1",
+                                static_cast<std::uint16_t>(7100 + s)};
+    }
+    map.shards.push_back(shard);
+  }
+  return map;
+}
+
+TEST(Endpoint, ParsesHostColonPort) {
+  const Endpoint ep = Endpoint::parse("10.1.2.3:7227");
+  EXPECT_EQ(ep.host, "10.1.2.3");
+  EXPECT_EQ(ep.port, 7227);
+  EXPECT_TRUE(ep.valid());
+  EXPECT_EQ(ep.str(), "10.1.2.3:7227");
+}
+
+TEST(Endpoint, RejectsGarbage) {
+  EXPECT_THROW((void)Endpoint::parse("no-port-here"), Error);
+  EXPECT_THROW((void)Endpoint::parse(":7227"), Error);
+  EXPECT_THROW((void)Endpoint::parse("host:"), Error);
+  EXPECT_THROW((void)Endpoint::parse("host:0"), Error);
+  EXPECT_THROW((void)Endpoint::parse("host:99999"), Error);
+  EXPECT_THROW((void)Endpoint::parse("host:12x4"), Error);
+}
+
+TEST(ClusterMap, ParsesTheDocumentedFormat) {
+  const ClusterMap map = ClusterMap::parse(
+      "# three shards, the first two replicated\n"
+      "epoch 3\n"
+      "\n"
+      "shard 127.0.0.1:7227 127.0.0.1:7327  # gm case study\n"
+      "shard 127.0.0.1:7228 127.0.0.1:7328\n"
+      "shard 127.0.0.1:7229\n");
+  EXPECT_EQ(map.epoch, 3u);
+  ASSERT_EQ(map.shards.size(), 3u);
+  EXPECT_EQ(map.shards[0].primary.str(), "127.0.0.1:7227");
+  EXPECT_EQ(map.shards[0].follower.str(), "127.0.0.1:7327");
+  EXPECT_TRUE(map.shards[0].has_follower());
+  EXPECT_FALSE(map.shards[2].has_follower());
+}
+
+TEST(ClusterMap, SerializeParsesBackIdentically) {
+  const ClusterMap map = map_of(4, true);
+  const ClusterMap back = ClusterMap::parse(map.serialize());
+  EXPECT_EQ(back.epoch, map.epoch);
+  ASSERT_EQ(back.shards.size(), map.shards.size());
+  for (std::size_t s = 0; s < map.shards.size(); ++s) {
+    EXPECT_EQ(back.shards[s].primary, map.shards[s].primary);
+    EXPECT_EQ(back.shards[s].follower, map.shards[s].follower);
+  }
+}
+
+TEST(ClusterMap, MalformedInputNamesTheLine) {
+  const auto error_for = [](const std::string& text) -> std::string {
+    try {
+      (void)ClusterMap::parse(text);
+    } catch (const Error& e) {
+      return e.what();
+    }
+    return {};
+  };
+  EXPECT_NE(error_for("epoch 1\nshard 127.0.0.1:1\nwat 5\n").find("line 3"),
+            std::string::npos);
+  EXPECT_NE(error_for("epoch x\n").find("line 1"), std::string::npos);
+  EXPECT_NE(error_for("epoch 1\nepoch 2\nshard 127.0.0.1:1\n").find("line 2"),
+            std::string::npos);
+  EXPECT_NE(error_for("epoch 1\nshard nonsense\n").find("line 2"),
+            std::string::npos);
+  // An empty map (comments only) is rejected too.
+  EXPECT_FALSE(error_for("# nothing\nepoch 1\n").empty());
+}
+
+TEST(ClusterMap, FileRoundTrip) {
+  const std::string path =
+      ::testing::TempDir() + "/bbmg_cluster_map_test.map";
+  std::filesystem::remove(path);
+  const ClusterMap map = map_of(3, true);
+  map.save(path);
+  const ClusterMap back = ClusterMap::load(path);
+  EXPECT_EQ(back.serialize(), map.serialize());
+  EXPECT_THROW((void)ClusterMap::load(path + ".does-not-exist"), Error);
+}
+
+TEST(ClusterMap, WireRoundTripKeepsEveryField) {
+  ClusterMap map = map_of(3, false);
+  map.shards[1].follower = Endpoint{"127.0.0.1", 7301};  // mixed topology
+  const ClusterMap back = ClusterMap::from_wire(map.to_wire());
+  EXPECT_EQ(back.serialize(), map.serialize());
+  EXPECT_FALSE(back.shards[0].has_follower());
+  EXPECT_TRUE(back.shards[1].has_follower());
+}
+
+// -- rendezvous routing ----------------------------------------------------
+
+TEST(Rendezvous, DeterministicAndInRange) {
+  const ClusterMap map = map_of(5, false);
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "session-key-" + std::to_string(i);
+    const std::size_t shard = map.shard_for(key);
+    EXPECT_LT(shard, map.shards.size());
+    EXPECT_EQ(shard, map.shard_for(key)) << key;
+  }
+  // Client and server route with the same function by construction; pin
+  // the key hash so a silent change to it cannot slip through.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_NE(fnv1a64("a"), fnv1a64("b"));
+}
+
+TEST(Rendezvous, SpreadsKeysAcrossAllShards) {
+  const ClusterMap map = map_of(4, false);
+  std::map<std::size_t, std::size_t> histogram;
+  const std::size_t kKeys = 2000;
+  for (std::size_t i = 0; i < kKeys; ++i) {
+    ++histogram[map.shard_for("device-" + std::to_string(i))];
+  }
+  ASSERT_EQ(histogram.size(), map.shards.size());  // nothing starved
+  for (const auto& [shard, count] : histogram) {
+    // Fair-ish split: each shard within a factor of two of the mean.
+    EXPECT_GT(count, kKeys / map.shards.size() / 2) << "shard " << shard;
+    EXPECT_LT(count, kKeys / map.shards.size() * 2) << "shard " << shard;
+  }
+}
+
+TEST(Rendezvous, RemovingAShardOnlyMovesItsOwnKeys) {
+  const ClusterMap five = map_of(5, false);
+  // Dropping the LAST shard leaves the other shards' identities (index =
+  // line order) unchanged — the minimal-movement property: every key that
+  // did not live on the dropped shard keeps its placement.
+  ClusterMap four = five;
+  four.shards.pop_back();
+  std::size_t moved = 0, total = 0, on_dropped = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    const std::size_t before = five.shard_for(key);
+    const std::size_t after = four.shard_for(key);
+    ++total;
+    if (before == 4) {
+      ++on_dropped;
+      EXPECT_LT(after, 4u);
+    } else {
+      moved += before != after ? 1 : 0;
+      EXPECT_EQ(before, after) << key;
+    }
+  }
+  EXPECT_EQ(moved, 0u);
+  EXPECT_GT(on_dropped, 0u);
+  EXPECT_LT(on_dropped, total);
+}
+
+}  // namespace
+}  // namespace bbmg::cluster

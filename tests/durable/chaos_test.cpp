@@ -204,6 +204,60 @@ TEST(ChaosTransport, TruncatedReadDeliversStrictPrefixThenPoisons) {
 
 // -- live server under chaotic clients ------------------------------------
 
+TEST(ChaosTransport, AsymmetricPartitionDropsOneDirectionOnly) {
+  // Model a one-way partition between peers A and B: A->B delivers, B->A
+  // black-holes.  The dropping side reports success (no error, no
+  // poisoning) — exactly the failure a sender cannot distinguish from a
+  // slow peer until its reply deadline fires.
+  std::vector<std::uint8_t> frame_bytes;
+  append_frame(frame_bytes, small_frame());
+
+  MemoryTransport a_to_b_wire;
+  net::ChaosTransport a_to_b(a_to_b_wire, {});
+  a_to_b.write(frame_bytes.data(), frame_bytes.size());
+  EXPECT_EQ(a_to_b_wire.written(), frame_bytes);
+
+  net::ChaosConfig black_hole;
+  black_hole.drop_write_prob = 1.0;
+  // B can still *hear* A on this transport; only its writes vanish.
+  MemoryTransport b_to_a_wire(frame_bytes);
+  net::ChaosTransport b_to_a(b_to_a_wire, black_hole);
+  std::vector<std::uint8_t> heard(frame_bytes.size());
+  EXPECT_EQ(b_to_a.read_some(heard.data(), heard.size()), heard.size());
+  EXPECT_EQ(heard, frame_bytes);
+
+  b_to_a.write(frame_bytes.data(), frame_bytes.size());
+  b_to_a.write(frame_bytes.data(), frame_bytes.size());
+  EXPECT_TRUE(b_to_a_wire.written().empty());
+  EXPECT_FALSE(b_to_a.poisoned());
+  EXPECT_EQ(b_to_a.injected_faults(), 2u);
+
+  // A's decoder on the starved direction never sees a frame boundary —
+  // the sender's only signal is silence.
+  FrameDecoder decoder;
+  decoder.feed(b_to_a_wire.written().data(), b_to_a_wire.written().size());
+  EXPECT_FALSE(decoder.next().has_value());
+}
+
+TEST(ChaosTransport, DroppedWritesAreSeededAndDeterministic) {
+  const auto faults_for_seed = [](std::uint64_t seed) {
+    net::ChaosConfig config;
+    config.seed = seed;
+    config.drop_write_prob = 0.5;
+    MemoryTransport inner;
+    net::ChaosTransport chaos(inner, config);
+    std::uint8_t byte = 0xab;
+    for (int i = 0; i < 64; ++i) chaos.write(&byte, 1);
+    return std::pair<std::uint64_t, std::size_t>{chaos.injected_faults(),
+                                                 inner.written().size()};
+  };
+  const auto a = faults_for_seed(42);
+  EXPECT_EQ(a, faults_for_seed(42));
+  EXPECT_EQ(a.first + a.second, 64u);  // every write dropped xor delivered
+  EXPECT_GT(a.first, 0u);
+  EXPECT_GT(a.second, 0u);
+}
+
 TEST(ChaosEndToEnd, ServerSurvivesChaoticConnectionsAndStaysCorrect) {
   Server server;
   server.start();

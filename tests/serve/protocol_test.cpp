@@ -128,13 +128,62 @@ TEST(Protocol, DecoderHoldsPartialFrameUntilComplete) {
   EXPECT_TRUE(decoder.next().has_value());
 }
 
-TEST(Protocol, DecoderRejectsUnknownFrameType) {
+TEST(Protocol, DecoderRejectsFrameTypeZero) {
+  // Type 0 was never assigned by any protocol version; only corruption
+  // produces it, so (unlike high unknown types) it is not skippable.
   std::vector<std::uint8_t> bytes;
   append_u32(bytes, 0);
-  append_u8(bytes, 0x7f);  // no such frame type
+  append_u8(bytes, 0);
   FrameDecoder decoder;
   decoder.feed(bytes.data(), bytes.size());
   EXPECT_THROW((void)decoder.next(), Error);
+}
+
+TEST(Protocol, DecoderSkipsUnknownFrameTypesMidStream) {
+  // A newer peer's extension frame sits between two known ones: the
+  // decoder consumes it whole (its declared length is still bounded by
+  // the payload cap), counts it, and keeps parsing the stream.
+  std::vector<std::uint8_t> bytes;
+  append_frame(bytes, HelloMsg{}.to_frame(FrameType::Hello));
+  append_u32(bytes, 3);
+  append_u8(bytes, 0x7f);  // far beyond kMaxFrameType
+  bytes.push_back(0xde);
+  bytes.push_back(0xad);
+  bytes.push_back(0x01);
+  append_frame(bytes, SessionRefMsg{7}.to_frame(FrameType::Resume));
+
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  const std::optional<Frame> first = decoder.next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->type, FrameType::Hello);
+  const std::optional<Frame> second = decoder.next();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->type, FrameType::Resume);
+  EXPECT_EQ(decoder.skipped(), 1u);
+  EXPECT_FALSE(decoder.next().has_value());
+}
+
+TEST(Protocol, DecoderSkipsUnknownFrameSplitAcrossFeeds) {
+  // The skip also works when the unknown frame arrives fragmented: the
+  // decoder must wait for the whole declared length before skipping.
+  std::vector<std::uint8_t> unknown;
+  append_u32(unknown, 4);
+  append_u8(unknown, 0x40);
+  for (std::uint8_t b : {1, 2, 3, 4}) unknown.push_back(b);
+  std::vector<std::uint8_t> tail;
+  append_frame(tail, SessionRefMsg{9}.to_frame(FrameType::Resume));
+
+  FrameDecoder decoder;
+  decoder.feed(unknown.data(), 6);  // header + 1 of 4 payload bytes
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_EQ(decoder.skipped(), 0u);
+  decoder.feed(unknown.data() + 6, unknown.size() - 6);
+  decoder.feed(tail.data(), tail.size());
+  const std::optional<Frame> frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, FrameType::Resume);
+  EXPECT_EQ(decoder.skipped(), 1u);
 }
 
 TEST(Protocol, DecoderRejectsOversizedLength) {
