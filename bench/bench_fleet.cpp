@@ -1,0 +1,167 @@
+// Experiment E13 — fleet-scale serving (src/fleet):
+//
+// A real bbmg_served process (spawned through the ShardSupervisor, exactly
+// as an operator would run it) under a closed-loop fleet of heterogeneous
+// simulated deployments streaming concurrently.  One cell per fleet size;
+// each cell reports the scaling curve inputs — sessions opened, periods
+// and events pushed, wall time, events/s, peak client-side unacked buffer
+// (the client half of the queue-depth picture) and retry count — and
+// cross-checks a deterministic sample of sessions byte-for-byte against
+// offline replay of the same seeded traces.  A verification mismatch
+// fails the bench (exit 1): throughput numbers for a serving stack that
+// corrupts models are not results.
+//
+// Quick mode tops out at a 200-deployment fleet; BBMG_FULL=1 runs the
+// 1000-deployment acceptance cell.  Output is one JSON document, printed
+// and written to BENCH_fleet.json.
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cluster/supervisor.hpp"
+#include "fleet/driver.hpp"
+
+#ifndef BBMG_SERVED_BIN
+#error "BBMG_SERVED_BIN must point at the bbmg_served executable"
+#endif
+
+using namespace bbmg;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir() {
+  const std::string dir =
+      (fs::temp_directory_path() / "bbmg_bench_fleet").string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+struct Cell {
+  std::size_t fleet{0};
+  fleet::ArrivalShape shape{fleet::ArrivalShape::Steady};
+  fleet::FleetReport report;
+};
+
+const char* shape_name(fleet::ArrivalShape s) {
+  switch (s) {
+    case fleet::ArrivalShape::Steady: return "steady";
+    case fleet::ArrivalShape::Ramp: return "ramp";
+    case fleet::ArrivalShape::FlashCrowd: return "flash";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  const bool full = bench::full_scale();
+  bench::heading("E13: closed-loop fleet vs a live bbmg_served");
+
+  // One real server process: single shard, no follower, relaxed fsync so
+  // the disk is not the variable under test.
+  cluster::SupervisorConfig sup;
+  sup.served_bin = BBMG_SERVED_BIN;
+  sup.root_dir = fresh_dir();
+  sup.shards = 1;
+  sup.followers = false;
+  sup.workers = 4;
+  sup.queue_capacity = 256;
+  sup.fsync_every = 256;
+  cluster::ShardSupervisor supervisor(sup);
+  supervisor.start();
+  const cluster::Endpoint endpoint = supervisor.map().shards[0].primary;
+
+  std::vector<std::size_t> fleets = full
+                                        ? std::vector<std::size_t>{100, 250,
+                                                                   500, 1000}
+                                        : std::vector<std::size_t>{50, 100,
+                                                                   200};
+  std::vector<Cell> cells;
+  bool all_verified = true;
+
+  for (const std::size_t fleet_size : fleets) {
+    Cell cell;
+    cell.fleet = fleet_size;
+    // The acceptance cell rides the flash-crowd shape: nearly the whole
+    // fleet concurrently mid-stream is the stress the tentpole names.
+    cell.shape = fleet_size >= 1000 ? fleet::ArrivalShape::FlashCrowd
+                                    : fleet::ArrivalShape::Steady;
+
+    fleet::FleetConfig config;
+    config.deployments = fleet_size;
+    config.periods = 3;
+    config.pumps = 8;
+    config.shape = cell.shape;
+    config.seed = 42 + fleet_size;
+    config.host = endpoint.host;
+    config.port = endpoint.port;
+    config.retry.retry_budget_ms = 30000;
+    // Sample ~32 sessions per cell: enough for the byte-identity claim,
+    // cheap enough that verification does not dominate the wall time.
+    config.verify_fraction =
+        std::min(1.0, 32.0 / static_cast<double>(fleet_size));
+
+    cell.report = fleet::run_fleet(config);
+    std::printf("fleet %4zu (%s): %6llu periods %8llu events in %6.2fs "
+                "-> %8.0f ev/s, unacked<=%llu, verified %zu/%zu ok=%d\n",
+                fleet_size, shape_name(cell.shape),
+                static_cast<unsigned long long>(cell.report.periods_sent),
+                static_cast<unsigned long long>(cell.report.events_sent),
+                cell.report.wall_seconds, cell.report.events_per_sec,
+                static_cast<unsigned long long>(cell.report.peak_unacked),
+                cell.report.verified - cell.report.verify_failures,
+                cell.report.verified, cell.report.ok() ? 1 : 0);
+    for (const std::string& d : cell.report.failure_details) {
+      std::printf("  MISMATCH %s\n", d.c_str());
+    }
+    for (const std::string& e : cell.report.pump_errors) {
+      std::printf("  ERROR %s\n", e.c_str());
+    }
+    all_verified = all_verified && cell.report.ok();
+    cells.push_back(cell);
+  }
+
+  const int server_exit = supervisor.terminate_all();
+
+  std::ostringstream doc;
+  doc << "{\n  \"experiment\": \"E13-fleet\",\n";
+  doc << "  \"full_scale\": " << (full ? "true" : "false") << ",\n";
+  doc << "  \"server\": {\"workers\": " << sup.workers
+      << ", \"queue_capacity\": " << sup.queue_capacity
+      << ", \"fsync_every\": " << sup.fsync_every << "},\n";
+  doc << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    const fleet::FleetReport& r = c.report;
+    doc << "    {\"fleet\": " << c.fleet << ", \"shape\": \""
+        << shape_name(c.shape) << "\", \"sessions\": " << r.sessions
+        << ", \"periods_sent\": " << r.periods_sent
+        << ", \"events_sent\": " << r.events_sent
+        << ", \"wall_seconds\": " << r.wall_seconds
+        << ", \"periods_per_sec\": " << r.periods_per_sec
+        << ", \"events_per_sec\": " << r.events_per_sec
+        << ", \"peak_unacked\": " << r.peak_unacked
+        << ", \"client_retries\": " << r.client_retries
+        << ", \"verified\": " << r.verified
+        << ", \"verify_failures\": " << r.verify_failures
+        << ", \"pump_errors\": " << r.pump_errors.size() << "}"
+        << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  doc << "  ],\n";
+  doc << "  \"server_exit\": " << server_exit << ",\n";
+  doc << "  \"all_verified\": " << (all_verified ? "true" : "false") << "\n";
+  doc << "}\n";
+
+  std::printf("%s", doc.str().c_str());
+  if (std::FILE* f = std::fopen("BENCH_fleet.json", "w")) {
+    std::fputs(doc.str().c_str(), f);
+    std::fclose(f);
+  }
+  return all_verified && server_exit == 0 ? 0 : 1;
+}

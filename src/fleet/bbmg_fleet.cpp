@@ -1,0 +1,165 @@
+// bbmg_fleet — closed-loop fleet load generator for the serving stack.
+//
+//   bbmg_fleet <host> <port> [options]       stream to one bbmg_served
+//   bbmg_fleet --map <file> [options]        route over a cluster map
+//
+// Options:
+//   --fleet N        deployments to synthesize           (default 100)
+//   --periods P      trace periods per deployment        (default 3)
+//   --pumps T        pump threads / connections          (default 4)
+//   --shape S        steady | ramp | flash               (default steady)
+//   --verify M       all | sample | off                  (default sample)
+//   --sample F       verify fraction for --verify sample (default 0.05)
+//   --seed S         fleet seed                          (default 1)
+//   --budget MS      per-operation retry budget          (default 10000)
+//   --json           machine-readable report on stdout
+//
+// Exit status: 0 on a clean run, 1 on usage/transport errors, 2 when any
+// verified session's served model diverged from its offline replay.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "cluster/cluster_map.hpp"
+#include "common/error.hpp"
+#include "fleet/driver.hpp"
+
+using namespace bbmg;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: bbmg_fleet (<host> <port> | --map <file>) [--fleet N]\n"
+      "                  [--periods P] [--pumps T] [--shape steady|ramp|"
+      "flash]\n"
+      "                  [--verify all|sample|off] [--sample F] [--seed S]\n"
+      "                  [--budget MS] [--json]\n");
+  return 1;
+}
+
+void print_human(const fleet::FleetReport& r) {
+  std::printf("fleet: %zu deployments, %zu sessions opened\n", r.deployments,
+              r.sessions);
+  std::printf("sent : %llu periods, %llu events in %.2fs "
+              "(%.0f periods/s, %.0f events/s)\n",
+              static_cast<unsigned long long>(r.periods_sent),
+              static_cast<unsigned long long>(r.events_sent), r.wall_seconds,
+              r.periods_per_sec, r.events_per_sec);
+  std::printf("queue: peak client unacked %llu, %llu retries, %zu "
+              "failovers\n",
+              static_cast<unsigned long long>(r.peak_unacked),
+              static_cast<unsigned long long>(r.client_retries), r.failovers);
+  std::printf("check: %zu verified, %zu mismatches\n", r.verified,
+              r.verify_failures);
+  for (const std::string& d : r.failure_details) {
+    std::printf("  MISMATCH %s\n", d.c_str());
+  }
+  for (const std::string& e : r.pump_errors) {
+    std::printf("  ERROR %s\n", e.c_str());
+  }
+}
+
+void print_json(const fleet::FleetReport& r) {
+  std::printf("{\n");
+  std::printf("  \"deployments\": %zu,\n", r.deployments);
+  std::printf("  \"sessions\": %zu,\n", r.sessions);
+  std::printf("  \"periods_sent\": %llu,\n",
+              static_cast<unsigned long long>(r.periods_sent));
+  std::printf("  \"events_sent\": %llu,\n",
+              static_cast<unsigned long long>(r.events_sent));
+  std::printf("  \"wall_seconds\": %.3f,\n", r.wall_seconds);
+  std::printf("  \"periods_per_sec\": %.1f,\n", r.periods_per_sec);
+  std::printf("  \"events_per_sec\": %.1f,\n", r.events_per_sec);
+  std::printf("  \"peak_unacked\": %llu,\n",
+              static_cast<unsigned long long>(r.peak_unacked));
+  std::printf("  \"client_retries\": %llu,\n",
+              static_cast<unsigned long long>(r.client_retries));
+  std::printf("  \"failovers\": %zu,\n", r.failovers);
+  std::printf("  \"verified\": %zu,\n", r.verified);
+  std::printf("  \"verify_failures\": %zu,\n", r.verify_failures);
+  std::printf("  \"pump_errors\": %zu\n", r.pump_errors.size());
+  std::printf("}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fleet::FleetConfig config;
+  config.deployments = 100;
+  config.periods = 3;
+  config.pumps = 4;
+  config.verify_fraction = 0.05;
+  config.retry.retry_budget_ms = 10000;
+  bool json = false;
+  bool have_endpoint = false;
+
+  try {
+    int i = 1;
+    auto next_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        raise(std::string(flag) + " needs a value");
+      }
+      return argv[++i];
+    };
+    for (; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--map") {
+        config.map = cluster::ClusterMap::load(next_value("--map"));
+        have_endpoint = true;
+      } else if (arg == "--fleet") {
+        config.deployments =
+            static_cast<std::size_t>(std::strtoull(next_value("--fleet"),
+                                                   nullptr, 10));
+      } else if (arg == "--periods") {
+        config.periods = static_cast<std::size_t>(
+            std::strtoull(next_value("--periods"), nullptr, 10));
+      } else if (arg == "--pumps") {
+        config.pumps = static_cast<std::size_t>(
+            std::strtoull(next_value("--pumps"), nullptr, 10));
+      } else if (arg == "--shape") {
+        const std::string s = next_value("--shape");
+        if (s == "steady") config.shape = fleet::ArrivalShape::Steady;
+        else if (s == "ramp") config.shape = fleet::ArrivalShape::Ramp;
+        else if (s == "flash") config.shape = fleet::ArrivalShape::FlashCrowd;
+        else raise("unknown --shape " + s);
+      } else if (arg == "--verify") {
+        const std::string m = next_value("--verify");
+        if (m == "all") config.verify_fraction = 1.0;
+        else if (m == "off") config.verify_fraction = 0.0;
+        else if (m != "sample") raise("unknown --verify mode " + m);
+      } else if (arg == "--sample") {
+        config.verify_fraction = std::strtod(next_value("--sample"), nullptr);
+      } else if (arg == "--seed") {
+        config.seed = std::strtoull(next_value("--seed"), nullptr, 10);
+      } else if (arg == "--budget") {
+        config.retry.retry_budget_ms = static_cast<std::uint32_t>(
+            std::strtoul(next_value("--budget"), nullptr, 10));
+      } else if (arg == "--json") {
+        json = true;
+      } else if (!have_endpoint && i + 1 < argc && arg[0] != '-') {
+        config.host = arg;
+        config.port =
+            static_cast<std::uint16_t>(std::strtoul(argv[++i], nullptr, 10));
+        have_endpoint = true;
+      } else {
+        return usage();
+      }
+    }
+    if (!have_endpoint) return usage();
+
+    const fleet::FleetReport report = fleet::run_fleet(config);
+    if (json) {
+      print_json(report);
+    } else {
+      print_human(report);
+    }
+    if (!report.pump_errors.empty()) return 1;
+    return report.verify_failures == 0 ? 0 : 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bbmg_fleet: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,77 @@
+#include "fleet/deployment.hpp"
+
+#include "common/rng.hpp"
+
+namespace bbmg::fleet {
+
+namespace {
+
+/// SplitMix64 — one deployment gets one decorrelated stream out of the
+/// fleet seed; the same mix the scenario layer uses for model/platform.
+std::uint64_t mix(std::uint64_t seed, std::uint64_t salt) {
+  std::uint64_t z = seed + salt + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+DeploymentSpec make_deployment(std::uint64_t fleet_seed, std::size_t index,
+                               std::size_t periods) {
+  Rng rng(mix(fleet_seed, index));
+
+  DeploymentSpec dep;
+  dep.index = index;
+  dep.key = "fleet-" + std::to_string(index);
+
+  ScenarioConfig& sc = dep.scenario;
+  sc.seed = mix(fleet_seed, 0x10000000ull + index);
+  sc.num_periods = periods;
+
+  // Size class: mostly small systems with a heavy tail of big ones, so a
+  // large fleet exercises both many-cheap-sessions and few-expensive ones.
+  const double cls = rng.next_double();
+  RandomModelParams& m = sc.model;
+  if (cls < 0.60) {
+    m.num_tasks = 4 + rng.next_below(3);    // 4..6
+    m.num_layers = 2;
+    m.num_ecus = 2;
+  } else if (cls < 0.90) {
+    m.num_tasks = 8 + rng.next_below(5);    // 8..12
+    m.num_layers = 3;
+    m.num_ecus = 3;
+  } else {
+    m.num_tasks = 16 + rng.next_below(9);   // 16..24
+    m.num_layers = 4;
+    m.num_ecus = 4;
+  }
+  m.extra_edge_density = 0.15 + rng.next_double() * 0.2;
+  m.disjunction_fraction = rng.next_double() * 0.5;
+  m.broadcast_fraction = rng.next_bool(0.3) ? 0.2 : 0.0;
+
+  // Platform quirks, each an independent coin so combinations occur.
+  SimConfig& p = sc.platform;
+  if (rng.next_bool(0.35)) {
+    m.sporadic_fraction = 0.5;
+    m.sporadic_fire_prob = 0.4 + rng.next_double() * 0.5;
+  }
+  if (rng.next_bool(0.5)) {
+    p.release_jitter_max = 50 * kTimeNsPerUs +
+                           rng.next_below(200 * kTimeNsPerUs);
+  }
+  if (rng.next_bool(0.3)) {
+    p.clock_drift_ppm_max = 20.0 + rng.next_double() * 180.0;
+  }
+  if (rng.next_bool(0.25)) {
+    p.bus_error_rate = rng.next_double() * 0.02;
+  }
+  if (rng.next_bool(0.15)) {
+    p.burst_enter_prob = 0.01 + rng.next_double() * 0.04;
+    p.burst_exit_prob = 0.2;
+    p.burst_error_rate = 0.3 + rng.next_double() * 0.4;
+  }
+  return dep;
+}
+
+}  // namespace bbmg::fleet

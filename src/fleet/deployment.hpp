@@ -1,0 +1,45 @@
+// Heterogeneous deployment synthesis for the fleet simulator.
+//
+// A *deployment* is one simulated black-box system in the fleet: a
+// ScenarioConfig (design-model shape + platform knobs, gen/scenarios.hpp)
+// plus the identity the serving stack sees (a stable routing key).  The
+// fleet is deliberately heterogeneous — a real vehicle population is not a
+// thousand copies of one ECU network — so make_deployment draws each
+// deployment's size class and platform quirks from a per-deployment rng
+// stream:
+//
+//   * size:     small 4–6 tasks (60%), medium 8–12 (30%), large 16–24 (10%)
+//   * quirks:   sporadic sources, release jitter, per-ECU clock drift,
+//               steady bus errors, bursty (Gilbert–Elliott) bus errors —
+//               each enabled independently with its own probability.
+//
+// Everything is derived from (fleet_seed, index) alone, so a deployment is
+// byte-reproducible anywhere: the verifier regenerates the exact trace the
+// driver streamed by rebuilding the deployment from the same two integers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gen/scenarios.hpp"
+
+namespace bbmg::fleet {
+
+struct DeploymentSpec {
+  /// Position in the fleet; also the arrival-order identity.
+  std::size_t index{0};
+  /// Stable cluster routing key ("fleet-<index>").
+  std::string key;
+  /// The full generative description; scenario_run(scenario) is the exact
+  /// trace this deployment streams.
+  ScenarioConfig scenario;
+};
+
+/// Deterministically synthesize deployment `index` of the fleet seeded by
+/// `fleet_seed`.  `periods` is the number of trace periods the deployment
+/// will stream (stored into scenario.num_periods).
+[[nodiscard]] DeploymentSpec make_deployment(std::uint64_t fleet_seed,
+                                             std::size_t index,
+                                             std::size_t periods);
+
+}  // namespace bbmg::fleet

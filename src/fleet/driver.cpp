@@ -1,0 +1,218 @@
+#include "fleet/driver.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+
+#include "cluster/cluster_client.hpp"
+#include "common/error.hpp"
+#include "common/stopwatch.hpp"
+#include "fleet/verifier.hpp"
+#include "serve/serve_metrics.hpp"
+
+namespace bbmg::fleet {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t seed, std::uint64_t salt) {
+  std::uint64_t z = seed + salt + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Deterministic per-deployment verification sample.
+bool selected_for_verify(const FleetConfig& config, std::size_t index) {
+  if (config.verify_fraction >= 1.0) return true;
+  if (config.verify_fraction <= 0.0) return false;
+  const double u = static_cast<double>(mix(config.seed, 0xfee7ull + index) >>
+                                       11) /  // 53 random bits
+                   9007199254740992.0;        // 2^53
+  return u < config.verify_fraction;
+}
+
+/// One pump's view of a deployment mid-stream.
+struct LiveDeployment {
+  DeploymentSpec spec;
+  /// Events per period, materialized at arrival, freed after the last send.
+  std::vector<std::vector<Event>> periods;
+  std::uint32_t session{0};
+  std::size_t shard{0};  // cluster mode
+};
+
+struct PumpResult {
+  std::uint64_t periods_sent{0};
+  std::uint64_t events_sent{0};
+  std::size_t sessions{0};
+  std::size_t verified{0};
+  std::size_t verify_failures{0};
+  std::vector<std::string> failure_details;
+  std::uint64_t peak_unacked{0};
+  std::size_t failovers{0};
+  std::string error;
+};
+
+void run_pump(const FleetConfig& config, std::size_t pump_id,
+              PumpResult& out) {
+  std::vector<std::size_t> mine;
+  for (std::size_t i = pump_id; i < config.deployments; i += config.pumps) {
+    mine.push_back(i);
+  }
+  if (mine.empty()) return;
+
+  // Backend: exactly one of the two is live for the whole pump.
+  std::unique_ptr<cluster::ClusterClient> cluster_client;
+  std::unique_ptr<ResilientClient> client;
+  if (config.map) {
+    cluster_client =
+        std::make_unique<cluster::ClusterClient>(*config.map, config.retry);
+  } else {
+    client = std::make_unique<ResilientClient>(config.retry);
+    client->connect(config.host, config.port);
+  }
+
+  FleetScheduler sched(config.shape, config.arrival_window,
+                       config.deployments, mine);
+  std::unordered_map<std::size_t, LiveDeployment> live;
+
+  while (!sched.empty()) {
+    const FleetEvent ev = sched.pop();
+
+    if (ev.period == 0) {
+      // Arrival: synthesize the deployment, simulate its full trace, open
+      // its session.
+      LiveDeployment dep;
+      dep.spec = make_deployment(config.seed, ev.deployment, config.periods);
+      const Trace trace = scenario_trace(dep.spec.scenario);
+      dep.periods.reserve(trace.num_periods());
+      for (const Period& p : trace.periods()) {
+        dep.periods.push_back(p.to_events());
+      }
+      const std::vector<std::string> names = trace.task_names();
+      if (cluster_client) {
+        const cluster::ClusterSessionRef ref =
+            cluster_client->open_session(dep.spec.key, names);
+        dep.session = ref.session;
+        dep.shard = ref.shard;
+      } else {
+        dep.session = client->open_session(names);
+      }
+      ++out.sessions;
+      live.emplace(ev.deployment, std::move(dep));
+    }
+
+    LiveDeployment& dep = live.at(ev.deployment);
+    if (ev.period < dep.periods.size()) {
+      out.events_sent += dep.periods[ev.period].size();
+      if (cluster_client) {
+        cluster_client->send_period(
+            cluster::ClusterSessionRef{dep.shard, dep.session},
+            std::move(dep.periods[ev.period]));
+        out.peak_unacked = std::max(
+            out.peak_unacked,
+            static_cast<std::uint64_t>(
+                cluster_client->shard_client(dep.shard).unacked(dep.session)));
+      } else {
+        client->send_period(dep.session, std::move(dep.periods[ev.period]));
+        out.peak_unacked =
+            std::max(out.peak_unacked,
+                     static_cast<std::uint64_t>(client->unacked(dep.session)));
+      }
+      ++out.periods_sent;
+      if (ev.period + 1 < dep.periods.size()) {
+        sched.push(ev.at + dep.spec.scenario.platform.period_length,
+                   ev.deployment, ev.period + 1);
+      } else {
+        dep.periods.clear();
+        dep.periods.shrink_to_fit();
+      }
+    }
+  }
+
+  // Settlement: make every stream durable, then cross-check the sample.
+  for (const std::size_t index : mine) {
+    const LiveDeployment& dep = live.at(index);
+    const cluster::ClusterSessionRef ref{dep.shard, dep.session};
+    if (cluster_client) {
+      (void)cluster_client->flush(ref);
+    } else {
+      (void)client->flush(dep.session);
+    }
+    if (!selected_for_verify(config, index)) continue;
+    const WireSnapshot snap = cluster_client
+                                  ? cluster_client->query(ref)
+                                  : client->query(dep.session);
+    const VerifyResult vr = verify_session(dep.spec, snap);
+    ++out.verified;
+    if (!vr.ok) {
+      ++out.verify_failures;
+      if (out.failure_details.size() < 4) {
+        out.failure_details.push_back(vr.detail);
+      }
+    }
+  }
+  if (cluster_client) out.failovers = cluster_client->failovers();
+}
+
+}  // namespace
+
+FleetReport run_fleet(const FleetConfig& config) {
+  BBMG_REQUIRE(config.deployments > 0, "fleet: need at least one deployment");
+  BBMG_REQUIRE(config.periods > 0, "fleet: need at least one period");
+  BBMG_REQUIRE(config.pumps > 0, "fleet: need at least one pump");
+  BBMG_REQUIRE(config.map.has_value() || config.port != 0,
+               "fleet: no endpoint (set host/port or a cluster map)");
+
+  const std::size_t pumps = std::min(config.pumps, config.deployments);
+  const std::uint64_t retries_before =
+      ServeMetrics::get().client_retries.value();
+
+  std::vector<PumpResult> results(pumps);
+  Stopwatch watch;
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(pumps);
+    for (std::size_t p = 0; p < pumps; ++p) {
+      threads.emplace_back([&config, p, &results] {
+        try {
+          run_pump(config, p, results[p]);
+        } catch (const std::exception& e) {
+          results[p].error =
+              "pump " + std::to_string(p) + ": " + e.what();
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  FleetReport report;
+  report.deployments = config.deployments;
+  report.wall_seconds = watch.elapsed_seconds();
+  for (const PumpResult& r : results) {
+    report.sessions += r.sessions;
+    report.periods_sent += r.periods_sent;
+    report.events_sent += r.events_sent;
+    report.verified += r.verified;
+    report.verify_failures += r.verify_failures;
+    for (const std::string& d : r.failure_details) {
+      if (report.failure_details.size() < 8) {
+        report.failure_details.push_back(d);
+      }
+    }
+    if (!r.error.empty()) report.pump_errors.push_back(r.error);
+    report.peak_unacked = std::max(report.peak_unacked, r.peak_unacked);
+    report.failovers += r.failovers;
+  }
+  if (report.wall_seconds > 0) {
+    report.periods_per_sec =
+        static_cast<double>(report.periods_sent) / report.wall_seconds;
+    report.events_per_sec =
+        static_cast<double>(report.events_sent) / report.wall_seconds;
+  }
+  report.client_retries =
+      ServeMetrics::get().client_retries.value() - retries_before;
+  return report;
+}
+
+}  // namespace bbmg::fleet

@@ -1,0 +1,90 @@
+// The fleet driver: pumps a synthesized deployment population through the
+// live serving stack as concurrent session traffic.
+//
+// Topology: deployments are pinned to pump threads (deployment % pumps),
+// each pump owning one connection — a ResilientClient multiplexing its
+// sessions over a single TCP stream (single-node mode) or a ClusterClient
+// routing each deployment's key to its shard (cluster mode).  Within a
+// pump, a FleetScheduler (virtual-time event queue, scheduler.hpp) decides
+// the interleaving of its deployments' periods according to the arrival
+// shape; dispatch itself runs as fast as the server accepts.  Sessions are
+// opened with the serving defaults, so a fleet session is indistinguishable
+// from a real bbmg_client stream on the server side.
+//
+// Verification: a configurable fraction of deployments is cross-checked at
+// the end — flush (durable high-water mark), query the served model, and
+// compare byte-for-byte against an offline replay of the same seeded trace
+// (verifier.hpp).  A mismatch is a correctness failure of the serving
+// stack, not of the fleet.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_map.hpp"
+#include "fleet/deployment.hpp"
+#include "fleet/scheduler.hpp"
+#include "serve/resilient_client.hpp"
+
+namespace bbmg::fleet {
+
+struct FleetConfig {
+  /// Fleet size (number of simulated deployments = served sessions).
+  std::size_t deployments{100};
+  /// Trace periods each deployment streams.
+  std::size_t periods{3};
+  /// Pump threads; each owns one connection and deployments % pumps.
+  std::size_t pumps{4};
+  ArrivalShape shape{ArrivalShape::Steady};
+  /// Virtual-time window over which the fleet arrives (shapes only the
+  /// interleaving — the driver never sleeps).
+  TimeNs arrival_window{10 * kTimeNsPerSec};
+  /// Fraction of deployments whose served model is cross-checked against
+  /// offline replay (1 = every session, 0 = none; selection is a
+  /// deterministic per-deployment hash so samples are reproducible).
+  double verify_fraction{1.0};
+  std::uint64_t seed{1};
+  RetryConfig retry;
+  /// Single-node endpoint (used when `map` is not set).
+  std::string host{"127.0.0.1"};
+  std::uint16_t port{0};
+  /// Cluster mode: route each deployment's key over this map instead.
+  std::optional<cluster::ClusterMap> map;
+};
+
+struct FleetReport {
+  std::size_t deployments{0};
+  std::size_t sessions{0};
+  std::uint64_t periods_sent{0};
+  std::uint64_t events_sent{0};
+  double wall_seconds{0.0};
+  double periods_per_sec{0.0};
+  double events_per_sec{0.0};
+  std::size_t verified{0};
+  std::size_t verify_failures{0};
+  /// First few mismatch descriptions (capped; empty on a clean run).
+  std::vector<std::string> failure_details;
+  /// Pump threads that died on an unrecoverable transport error.
+  std::vector<std::string> pump_errors;
+  /// ResilientClient retry attempts across the run (process-wide delta).
+  std::uint64_t client_retries{0};
+  /// Largest client-side unacked buffer observed on any session — the
+  /// client half of the end-to-end queue-depth picture (the server half
+  /// is bbmg_serve_queue_depth, scraped by the bench harness).
+  std::uint64_t peak_unacked{0};
+  /// Cluster mode: shards failed over to their follower.
+  std::size_t failovers{0};
+
+  [[nodiscard]] bool ok() const {
+    return verify_failures == 0 && pump_errors.empty();
+  }
+};
+
+/// Run the closed loop: synthesize, schedule, stream, flush, verify.
+/// Throws bbmg::Error on config errors; transport failures inside pumps
+/// are reported via FleetReport::pump_errors instead.
+[[nodiscard]] FleetReport run_fleet(const FleetConfig& config);
+
+}  // namespace bbmg::fleet

@@ -1,0 +1,111 @@
+// Virtual-time event queue ordering the fleet's traffic.
+//
+// The fleet driver does not sleep: a thousand deployments streaming in
+// real time would make a bench take minutes of idle wall clock.  Instead
+// the scheduler is a discrete-event queue over *virtual* nanoseconds — it
+// decides the ORDER in which deployment periods hit the serving stack
+// (and therefore how many deployments are concurrently mid-stream), and
+// the driver dispatches them as fast as the server accepts.  Arrival-rate
+// shaping is thus preserved as an interleaving property: under a flash
+// crowd, almost the whole fleet is in flight at once; under a steady
+// shape, deployments trickle through a narrow concurrent window.
+//
+// Shapes (over an `arrival_window` of virtual time):
+//   Steady     — deployment i arrives at i/N of the window (constant rate).
+//   Ramp       — arrival rate grows linearly from zero, so the i-th
+//                arrival lands at sqrt(i/N) of the window (cumulative
+//                arrivals ∝ t²); the tail of the window is the stress.
+//   FlashCrowd — 80% of the fleet arrives inside the middle tenth of the
+//                window; the rest is steady background.
+//
+// After its arrival, a deployment emits one event per trace period, spaced
+// by its scenario's period_length — interleaving a large slow system's
+// periods between many small fast ones exactly as wall-clock streaming
+// would.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace bbmg::fleet {
+
+enum class ArrivalShape : std::uint8_t { Steady, Ramp, FlashCrowd };
+
+struct FleetEvent {
+  TimeNs at{0};           ///< virtual time
+  std::size_t deployment{0};
+  std::size_t period{0};  ///< 0 = arrival (open session + first period)
+  std::uint64_t seq{0};   ///< FIFO tie-break
+};
+
+/// Virtual arrival instant of deployment `index` in a fleet of `n`.
+[[nodiscard]] inline TimeNs arrival_time(ArrivalShape shape, std::size_t index,
+                                         std::size_t n, TimeNs window) {
+  const double frac =
+      n <= 1 ? 0.0 : static_cast<double>(index) / static_cast<double>(n);
+  switch (shape) {
+    case ArrivalShape::Steady:
+      return static_cast<TimeNs>(frac * static_cast<double>(window));
+    case ArrivalShape::Ramp:
+      return static_cast<TimeNs>(std::sqrt(frac) *
+                                 static_cast<double>(window));
+    case ArrivalShape::FlashCrowd: {
+      // First 80% of indices: compressed into [0.45, 0.55] of the window.
+      // Remaining 20%: steady across the whole window as background.
+      if (frac < 0.8) {
+        return static_cast<TimeNs>((0.45 + (frac / 0.8) * 0.10) *
+                                   static_cast<double>(window));
+      }
+      return static_cast<TimeNs>(((frac - 0.8) / 0.2) *
+                                 static_cast<double>(window));
+    }
+  }
+  return 0;
+}
+
+class FleetScheduler {
+ public:
+  /// Seed one arrival event per deployment index in `deployments` (a
+  /// subset of the fleet — each pump thread owns a slice), with arrival
+  /// times computed against the FULL fleet size `fleet_size` so the shape
+  /// holds globally across pumps.
+  FleetScheduler(ArrivalShape shape, TimeNs arrival_window,
+                 std::size_t fleet_size,
+                 const std::vector<std::size_t>& deployments) {
+    for (std::size_t index : deployments) {
+      push(arrival_time(shape, index, fleet_size, arrival_window), index, 0);
+    }
+  }
+
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t size() const { return queue_.size(); }
+
+  /// Pop the earliest event.  The caller re-arms the deployment's next
+  /// period with push() until its trace is exhausted.
+  [[nodiscard]] FleetEvent pop() {
+    FleetEvent ev = queue_.top();
+    queue_.pop();
+    return ev;
+  }
+
+  void push(TimeNs at, std::size_t deployment, std::size_t period) {
+    queue_.push(FleetEvent{at, deployment, period, next_seq_++});
+  }
+
+ private:
+  struct Later {
+    bool operator()(const FleetEvent& a, const FleetEvent& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<FleetEvent, std::vector<FleetEvent>, Later> queue_;
+  std::uint64_t next_seq_{0};
+};
+
+}  // namespace bbmg::fleet

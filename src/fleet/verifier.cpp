@@ -1,0 +1,79 @@
+#include "fleet/verifier.hpp"
+
+#include <string>
+
+#include "lattice/matrix_io.hpp"
+#include "robust/robust_online_learner.hpp"
+
+namespace bbmg::fleet {
+
+VerifyResult verify_session(const DeploymentSpec& dep,
+                            const WireSnapshot& served) {
+  const SimReport report = scenario_run(dep.scenario);
+  const std::vector<std::string> names = report.trace.task_names();
+
+  RobustOnlineLearner learner(names, RobustConfig{});
+  for (const Period& p : report.trace.periods()) {
+    (void)learner.observe_raw_period(p.to_events());
+  }
+  const RobustSnapshot offline = learner.full_snapshot();
+
+  auto fail = [&](const std::string& what) {
+    VerifyResult r;
+    r.ok = false;
+    r.detail = "deployment " + std::to_string(dep.index) + ": " + what;
+    return r;
+  };
+
+  if (served.periods_seen != offline.periods_seen) {
+    return fail("periods_seen " + std::to_string(served.periods_seen) +
+                " != offline " + std::to_string(offline.periods_seen));
+  }
+  if (served.periods_learned != offline.periods_learned) {
+    return fail("periods_learned " + std::to_string(served.periods_learned) +
+                " != offline " + std::to_string(offline.periods_learned));
+  }
+  if (served.periods_quarantined != offline.periods_quarantined) {
+    return fail("periods_quarantined " +
+                std::to_string(served.periods_quarantined) + " != offline " +
+                std::to_string(offline.periods_quarantined));
+  }
+  if (served.repairs != offline.repairs) {
+    return fail("repairs " + std::to_string(served.repairs) + " != offline " +
+                std::to_string(offline.repairs));
+  }
+  if (served.health != offline.health) {
+    return fail("health mismatch");
+  }
+  if (served.converged != offline.result.converged()) {
+    return fail("converged flag mismatch");
+  }
+  if (served.num_hypotheses != offline.result.hypotheses.size()) {
+    return fail("num_hypotheses " + std::to_string(served.num_hypotheses) +
+                " != offline " +
+                std::to_string(offline.result.hypotheses.size()));
+  }
+
+  // The server sends an empty matrix for a session that never learned.
+  const DependencyMatrix offline_lub = offline.result.hypotheses.empty()
+                                           ? DependencyMatrix(0)
+                                           : offline.result.lub();
+  if (served.weight != offline_lub.weight()) {
+    return fail("lub weight " + std::to_string(served.weight) +
+                " != offline " + std::to_string(offline_lub.weight()));
+  }
+  if (served.lub.num_tasks() != offline_lub.num_tasks()) {
+    return fail("lub size " + std::to_string(served.lub.num_tasks()) +
+                " != offline " + std::to_string(offline_lub.num_tasks()));
+  }
+  if (offline_lub.num_tasks() == 0) return VerifyResult{};  // never learned
+  const std::string served_text = matrix_to_string(served.lub, names);
+  const std::string offline_text = matrix_to_string(offline_lub, names);
+  if (served_text != offline_text) {
+    return fail("dLUB matrix mismatch:\nserved:\n" + served_text +
+                "offline:\n" + offline_text);
+  }
+  return VerifyResult{};
+}
+
+}  // namespace bbmg::fleet

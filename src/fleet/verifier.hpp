@@ -1,0 +1,32 @@
+// Served-vs-offline cross-check for fleet sessions.
+//
+// The fleet's correctness claim is end-to-end determinism: a session's
+// served model must be byte-identical to what a single-threaded offline
+// learner produces from the same seeded trace — through the wire protocol,
+// the worker pool, WAL durability, reconnects and (in cluster mode)
+// failover.  A deployment is fully described by two integers (fleet seed,
+// index), so the verifier regenerates the exact trace the driver streamed
+// and replays it through RobustOnlineLearner with the serving default
+// config, then compares every field the wire snapshot carries: the
+// serialized dLUB matrix, hypothesis count, matrix weight, ingestion
+// accounting and health.
+#pragma once
+
+#include <string>
+
+#include "fleet/deployment.hpp"
+#include "serve/client.hpp"
+
+namespace bbmg::fleet {
+
+struct VerifyResult {
+  bool ok{true};
+  /// Human-readable mismatch description (empty when ok).
+  std::string detail;
+};
+
+/// Replay `dep`'s trace offline and compare against the served snapshot.
+[[nodiscard]] VerifyResult verify_session(const DeploymentSpec& dep,
+                                          const WireSnapshot& served);
+
+}  // namespace bbmg::fleet

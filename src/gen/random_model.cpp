@@ -62,6 +62,14 @@ SystemModel random_model(const RandomModelParams& params) {
     spec.exec_max = params.exec_max;
     spec.activation = (layer[i] == 0) ? ActivationPolicy::Source
                                       : ActivationPolicy::AnyInput;
+    // The first source stays strictly periodic so no period is ever empty;
+    // the draw is guarded so sporadic_fraction == 0 leaves the rng stream
+    // (and thus every existing seeded model) untouched.
+    if (layer[i] == 0 && i != by_layer[0].front() &&
+        params.sporadic_fraction > 0.0 &&
+        rng.next_bool(params.sporadic_fraction)) {
+      spec.fire_prob = params.sporadic_fire_prob;
+    }
     spec.output = (out_degree[i] >= 2 &&
                    rng.next_bool(params.disjunction_fraction))
                       ? OutputPolicy::NonEmptySubset

@@ -24,6 +24,13 @@ struct RandomModelParams {
   /// Fraction of tasks that additionally emit one infrastructure
   /// broadcast frame per execution.
   double broadcast_fraction = 0.0;
+  /// Fraction of *source* tasks that become sporadic (fire_prob below 1).
+  /// The first source is always exempt so every period has at least one
+  /// execution (the trace layer rejects empty periods).  Default off; when
+  /// 0 no rng draws are consumed, preserving existing seeded models.
+  double sporadic_fraction = 0.0;
+  /// fire_prob assigned to sources selected by sporadic_fraction.
+  double sporadic_fire_prob = 0.5;
   TimeNs exec_min = 100 * kTimeNsPerUs;
   TimeNs exec_max = 400 * kTimeNsPerUs;
   std::uint64_t seed = 42;

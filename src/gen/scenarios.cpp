@@ -5,6 +5,32 @@
 
 namespace bbmg {
 
+namespace {
+
+/// SplitMix64 step — decorrelates the model and platform streams derived
+/// from the single scenario seed.
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t salt) {
+  std::uint64_t z = seed + salt + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+SystemModel scenario_model(const ScenarioConfig& config) {
+  RandomModelParams params = config.model;
+  params.seed = mix_seed(config.seed, 1);
+  return random_model(params);
+}
+
+SimReport scenario_run(const ScenarioConfig& config) {
+  const SystemModel model = scenario_model(config);
+  SimConfig platform = config.platform;
+  platform.seed = mix_seed(config.seed, 2);
+  return simulate(model, config.num_periods, platform);
+}
+
 SystemModel paper_example_model() {
   SystemModel m;
   TaskSpec t1;

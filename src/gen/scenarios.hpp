@@ -18,10 +18,40 @@
 
 #include <cstdint>
 
+#include "gen/random_model.hpp"
 #include "model/system_model.hpp"
+#include "sim/simulator.hpp"
 #include "trace/trace.hpp"
 
 namespace bbmg {
+
+/// One knob block describing a complete synthetic deployment: the design
+/// model shape (including sporadic sources) plus the platform it runs on
+/// (including per-ECU clock drift and bursty bus errors).  Every stochastic
+/// knob defaults to off, and disabled knobs consume no rng draws, so a
+/// ScenarioConfig with only `seed` set reproduces the exact traces the
+/// plain random_model/simulate pipeline always produced.  Generation is
+/// byte-deterministic: the same config yields the same model and trace on
+/// every run and platform.
+struct ScenarioConfig {
+  RandomModelParams model;  ///< sporadic_fraction / sporadic_fire_prob here
+  SimConfig platform;       ///< drift + burst knobs here
+  std::size_t num_periods = 50;
+  /// Master seed; overrides model.seed and platform.seed with decorrelated
+  /// streams so one integer fully determines the scenario.
+  std::uint64_t seed = 1;
+};
+
+/// The design model of `config` (model params reseeded from config.seed).
+[[nodiscard]] SystemModel scenario_model(const ScenarioConfig& config);
+
+/// Simulate the scenario end to end on the full platform substrate.
+[[nodiscard]] SimReport scenario_run(const ScenarioConfig& config);
+
+/// Convenience wrapper returning only the trace.
+[[nodiscard]] inline Trace scenario_trace(const ScenarioConfig& config) {
+  return scenario_run(config).trace;
+}
 
 /// The paper's Fig. 1 design model: t1 is a disjunction node messaging t2
 /// or t3 or both; t2 and t3 independently message the conjunction node t4.

@@ -38,6 +38,14 @@ PeriodBehavior resolve_period(const SystemModel& model, Rng& rng) {
   std::vector<bool> edge_carried(model.edges().size(), false);
 
   for (TaskId t : model.topological_order()) {
+    const TaskSpec& spec = model.task(t);
+    // A sporadic source (fire_prob < 1) is its own per-period choice point.
+    // The draw happens only for sporadic tasks, so models without them see
+    // exactly the rng stream they always did.
+    if (spec.activation == ActivationPolicy::Source && spec.fire_prob < 1.0 &&
+        !rng.next_bool(spec.fire_prob)) {
+      continue;
+    }
     if (!activation_satisfied(model, t, edge_carried)) continue;
     behavior.executed[t.index()] = true;
 
@@ -97,6 +105,12 @@ std::vector<PeriodBehavior> enumerate_behaviors(const SystemModel& model,
     if (!activation_satisfied(model, t, edge_carried)) {
       visit(pos + 1);
       return;
+    }
+    // A sporadic source contributes one extra branch: the period in which
+    // it sat out entirely (executed stays false, no edges carried).
+    if (model.task(t).activation == ActivationPolicy::Source &&
+        model.task(t).fire_prob < 1.0) {
+      visit(pos + 1);
     }
     current.executed[t.index()] = true;
     const auto& out = model.out_edges(t);

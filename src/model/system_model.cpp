@@ -56,6 +56,8 @@ void SystemModel::validate() const {
                  "duplicate task name: " + t.name);
     BBMG_REQUIRE(t.exec_min > 0 && t.exec_min <= t.exec_max,
                  "task '" + t.name + "' has invalid execution-time range");
+    BBMG_REQUIRE(t.fire_prob > 0.0 && t.fire_prob <= 1.0,
+                 "task '" + t.name + "' has fire_prob outside (0,1]");
     for (const auto& b : t.broadcasts) {
       BBMG_REQUIRE(b.dlc <= 8, "broadcast dlc > 8 on task " + t.name);
     }

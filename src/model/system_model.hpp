@@ -70,6 +70,15 @@ struct TaskSpec {
   /// (sensor phase offsets; ignored for non-source tasks, whose release is
   /// input-driven).
   TimeNs release_offset{0};
+  /// Source tasks only: probability the task fires at all in a given
+  /// period (event-driven diagnostics, driver inputs).  1.0 (default) is
+  /// the classic strictly periodic source; anything below makes the task
+  /// *sporadic* — a per-period Bernoulli choice point that behaviour
+  /// resolution and exhaustive enumeration both branch on.  Keep at least
+  /// one always-firing source per model: a period in which no task
+  /// executes is rejected by the trace layer.  Ignored for non-source
+  /// tasks, whose execution is input-driven.
+  double fire_prob{1.0};
 };
 
 struct EdgeSpec {

@@ -80,9 +80,15 @@ auto ResilientClient::with_retry(Fn&& fn) -> decltype(fn()) {
       ++op_failures_;
       const std::uint64_t elapsed =
           op_start_ms_ != 0 ? now_ms() - op_start_ms_ : 0;
-      const bool budget_spent = config_.retry_budget_ms != 0 &&
-                                elapsed >= config_.retry_budget_ms;
-      if (attempt >= config_.max_retries || budget_spent) {
+      // When a time budget is configured it alone decides when to give up:
+      // connection-refused failures during a server's cold start are nearly
+      // instant, so counting them against max_retries would burn the whole
+      // allowance in milliseconds and defeat the budget's purpose.
+      const bool has_budget = config_.retry_budget_ms != 0;
+      const bool exhausted = has_budget
+                                 ? elapsed >= config_.retry_budget_ms
+                                 : attempt >= config_.max_retries;
+      if (exhausted) {
         throw RetriesExhausted(op_failures_, elapsed, e.what());
       }
       ServeMetrics::get().client_retries.inc();

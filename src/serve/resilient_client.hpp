@@ -28,7 +28,8 @@ namespace bbmg {
 
 struct RetryConfig {
   /// Retries per request after the first attempt (so max_retries + 1
-  /// attempts total); the last failure propagates to the caller.
+  /// attempts total); the last failure propagates to the caller.  Ignored
+  /// when retry_budget_ms is set — see below.
   std::size_t max_retries{5};
   /// First backoff delay; doubles per retry up to max_backoff_ms.
   std::uint32_t base_backoff_ms{50};
@@ -44,10 +45,15 @@ struct RetryConfig {
   /// Seed for the jitter RNG (deterministic tests).
   std::uint64_t seed{1};
   /// Total wall-clock budget for one logical operation including all of
-  /// its retries and backoffs (0 = no budget; only max_retries bounds the
-  /// attempts).  Under a permanent partition the per-request deadline
-  /// bounds each attempt but the budget bounds the *sum*; when it is
-  /// exhausted the operation fails with RetriesExhausted.
+  /// its retries and backoffs (0 = no budget; max_retries bounds the
+  /// attempts).  When set, the budget alone decides when to give up and
+  /// max_retries is ignored: failures are not all equally priced —
+  /// connection-refused during a server cold start is near-instant, and
+  /// counting such failures against max_retries would exhaust the
+  /// allowance long before the time the caller actually granted.  Under a
+  /// permanent partition the per-request deadline bounds each attempt and
+  /// the budget bounds the *sum*; when it is exhausted the operation
+  /// fails with RetriesExhausted.
   std::uint32_t retry_budget_ms{0};
 };
 

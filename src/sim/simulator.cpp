@@ -1,5 +1,6 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <queue>
 #include <vector>
 
@@ -37,14 +38,25 @@ class SimulationRun {
         rng_(config.seed),
         bus_(config.bus_bitrate, config.worst_case_stuffing),
         ecus_(model.num_ecus()),
-        builder_(model.task_names()) {}
+        builder_(model.task_names()) {
+    // Per-ECU drift rates are drawn only when the knob is on, so the rng
+    // stream (and with it every existing seeded trace) is untouched by
+    // default.
+    if (config_.clock_drift_ppm_max > 0.0) {
+      drift_rate_ppm_.resize(ecus_.size());
+      for (double& rate : drift_rate_ppm_) {
+        rate = rng_.next_double() * config_.clock_drift_ppm_max;
+      }
+      clock_skew_.assign(ecus_.size(), 0);
+    }
+  }
 
   SimReport run(std::size_t num_periods) {
     for (std::size_t p = 0; p < num_periods; ++p) {
       run_period(static_cast<TimeNs>(p) * config_.period_length);
     }
-    SimReport report{builder_.take(), preemptions_, peak_bus_queue_,
-                     max_makespan_, retransmissions_};
+    SimReport report{builder_.take(), preemptions_,      peak_bus_queue_,
+                     max_makespan_,   retransmissions_, max_clock_skew_};
     return report;
   }
 
@@ -57,6 +69,20 @@ class SimulationRun {
   void run_period(TimeNs period_start) {
     const std::size_t n = model_.num_tasks();
     const PeriodBehavior behavior = resolve_period(model_, rng_);
+
+    // Each ECU's local clock falls further behind every period, up to the
+    // resync cap.  Rates are fixed per run (drawn in the constructor), so
+    // this consumes no rng draws.
+    if (!drift_rate_ppm_.empty()) {
+      for (std::size_t e = 0; e < clock_skew_.size(); ++e) {
+        const auto step = static_cast<TimeNs>(
+            drift_rate_ppm_[e] * 1e-6 *
+            static_cast<double>(config_.period_length));
+        clock_skew_[e] =
+            std::min(clock_skew_[e] + step, config_.clock_drift_cap);
+        max_clock_skew_ = std::max(max_clock_skew_, clock_skew_[e]);
+      }
+    }
 
     // How many frames must fall before each task may start.
     missing_inputs_.assign(n, 0);
@@ -84,6 +110,9 @@ class SimulationRun {
     for (std::size_t t = 0; t < n; ++t) {
       if (!executes_[t] || missing_inputs_[t] != 0) continue;
       TimeNs release = period_start + model_.tasks()[t].release_offset;
+      if (!clock_skew_.empty()) {
+        release += clock_skew_[model_.tasks()[t].ecu.index()];
+      }
       if (config_.release_jitter_max > 0) {
         release += rng_.next_below(config_.release_jitter_max + 1);
       }
@@ -175,8 +204,19 @@ class SimulationRun {
     if (auto tx = bus_.try_start(now)) {
       // A corrupted attempt occupies the bus but the logging device
       // discards errored frames: no rise/fall recorded, frame retried.
-      const bool corrupted = config_.bus_error_rate > 0.0 &&
-                             rng_.next_bool(config_.bus_error_rate);
+      // With the Gilbert–Elliott channel enabled the error probability is
+      // state-dependent; every draw stays behind its knob so disabled
+      // configurations consume the exact rng stream they always did.
+      if (config_.burst_enter_prob > 0.0) {
+        if (bus_bad_state_) {
+          if (rng_.next_bool(config_.burst_exit_prob)) bus_bad_state_ = false;
+        } else {
+          if (rng_.next_bool(config_.burst_enter_prob)) bus_bad_state_ = true;
+        }
+      }
+      const double error_rate =
+          bus_bad_state_ ? config_.burst_error_rate : config_.bus_error_rate;
+      const bool corrupted = error_rate > 0.0 && rng_.next_bool(error_rate);
       if (!corrupted) {
         builder_.add_event(Event::msg_rise(tx->rise, tx->frame.can_id));
       }
@@ -228,6 +268,13 @@ class SimulationRun {
   std::size_t peak_bus_queue_{0};
   TimeNs max_makespan_{0};
   std::uint64_t retransmissions_{0};
+
+  // Clock-drift state (empty when clock_drift_ppm_max == 0).
+  std::vector<double> drift_rate_ppm_;
+  std::vector<TimeNs> clock_skew_;
+  TimeNs max_clock_skew_{0};
+  // Gilbert–Elliott channel state (always Good when burst_enter_prob == 0).
+  bool bus_bad_state_{false};
 };
 
 }  // namespace

@@ -47,6 +47,26 @@ struct SimConfig {
   /// the bus (the logging device discards errored frames, so the trace
   /// shows only the successful attempt), then the frame re-arbitrates.
   double bus_error_rate = 0.0;
+  /// Per-node clock drift (default off).  Each ECU draws a drift rate
+  /// uniform in [0, clock_drift_ppm_max] ppm of wall time; its source
+  /// releases lag the ideal period start by a skew that accumulates every
+  /// period (rate x period_length) and saturates at clock_drift_cap —
+  /// modelling a slow local oscillator between periodic resyncs.  Only
+  /// delaying drift is modelled: a fast clock releasing *before* the
+  /// period start would let activity cross the period boundary, which the
+  /// MoC forbids.  Input-driven releases are unaffected (they follow bus
+  /// deliveries, which carry the skew downstream naturally).
+  double clock_drift_ppm_max = 0.0;
+  TimeNs clock_drift_cap = 1 * kTimeNsPerMs;
+  /// Bursty bus errors (default off): a Gilbert–Elliott two-state channel
+  /// evaluated per transmission attempt.  In the Good state attempts fail
+  /// with bus_error_rate; in the Bad state with burst_error_rate.  The
+  /// channel enters Bad with burst_enter_prob and leaves it with
+  /// burst_exit_prob (both per attempt).  burst_enter_prob == 0 disables
+  /// the state machine entirely.
+  double burst_error_rate = 0.0;
+  double burst_enter_prob = 0.0;
+  double burst_exit_prob = 0.1;
   std::uint64_t seed = 1;
 };
 
@@ -58,8 +78,12 @@ struct SimReport {
   std::size_t peak_bus_queue{0};
   /// Latest activity completion relative to its period start.
   TimeNs max_period_makespan{0};
-  /// Failed frame transmissions that were retried (bus_error_rate > 0).
+  /// Failed frame transmissions that were retried (bus_error_rate > 0 or
+  /// a bursty-channel Bad state).
   std::uint64_t retransmissions{0};
+  /// Largest accumulated per-ECU clock skew applied to a release
+  /// (clock_drift_ppm_max > 0; saturates at clock_drift_cap).
+  TimeNs max_clock_skew{0};
 };
 
 /// Simulate `num_periods` periods of `model` and return the recorded trace

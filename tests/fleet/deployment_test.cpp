@@ -1,0 +1,76 @@
+// Deployment synthesis: reproducibility and heterogeneity
+// (fleet/deployment.hpp).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fleet/deployment.hpp"
+#include "trace/serialize.hpp"
+
+namespace bbmg::fleet {
+namespace {
+
+TEST(Deployment, FullyDeterminedByFleetSeedAndIndex) {
+  for (std::size_t index : {0ul, 17ul, 999ul}) {
+    const DeploymentSpec a = make_deployment(42, index, 3);
+    const DeploymentSpec b = make_deployment(42, index, 3);
+    EXPECT_EQ(a.key, b.key);
+    EXPECT_EQ(a.index, index);
+    // The strongest form: the streamed bytes match.
+    EXPECT_EQ(trace_to_string(scenario_trace(a.scenario)),
+              trace_to_string(scenario_trace(b.scenario)));
+  }
+}
+
+TEST(Deployment, DistinctIndicesAreDistinctSystems) {
+  const DeploymentSpec a = make_deployment(42, 1, 3);
+  const DeploymentSpec b = make_deployment(42, 2, 3);
+  EXPECT_NE(a.key, b.key);
+  EXPECT_NE(trace_to_string(scenario_trace(a.scenario)),
+            trace_to_string(scenario_trace(b.scenario)));
+}
+
+TEST(Deployment, FleetIsHeterogeneous) {
+  std::set<std::size_t> sizes;
+  bool any_sporadic = false;
+  bool any_drift = false;
+  bool any_burst = false;
+  bool any_jitter = false;
+  std::size_t small = 0;
+  std::size_t large = 0;
+  const std::size_t n = 200;
+  for (std::size_t i = 0; i < n; ++i) {
+    const DeploymentSpec dep = make_deployment(7, i, 2);
+    const auto& m = dep.scenario.model;
+    const auto& p = dep.scenario.platform;
+    sizes.insert(m.num_tasks);
+    if (m.num_tasks <= 6) ++small;
+    if (m.num_tasks >= 16) ++large;
+    any_sporadic |= m.sporadic_fraction > 0;
+    any_drift |= p.clock_drift_ppm_max > 0;
+    any_burst |= p.burst_enter_prob > 0;
+    any_jitter |= p.release_jitter_max > 0;
+  }
+  EXPECT_GT(sizes.size(), 5u);
+  // Size mix: mostly small, a real tail of large systems.
+  EXPECT_GT(small, n / 2);
+  EXPECT_GT(large, 0u);
+  EXPECT_LT(large, n / 4);
+  EXPECT_TRUE(any_sporadic);
+  EXPECT_TRUE(any_drift);
+  EXPECT_TRUE(any_burst);
+  EXPECT_TRUE(any_jitter);
+}
+
+TEST(Deployment, EveryDeploymentSimulatesCleanly) {
+  // The knob mix must never produce an unsimulable deployment (empty
+  // periods, overload, validation failures) — spot-check a slice.
+  for (std::size_t i = 0; i < 40; ++i) {
+    const DeploymentSpec dep = make_deployment(123, i, 3);
+    const Trace t = scenario_trace(dep.scenario);
+    EXPECT_EQ(t.num_periods(), 3u) << "deployment " << i;
+  }
+}
+
+}  // namespace
+}  // namespace bbmg::fleet

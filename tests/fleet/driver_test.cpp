@@ -1,0 +1,115 @@
+// Closed-loop fleet driver against an in-process server: every session's
+// served model must be byte-identical to the offline replay of its seeded
+// trace (fleet/driver.hpp, fleet/verifier.hpp).
+#include <gtest/gtest.h>
+
+#include "fleet/driver.hpp"
+#include "fleet/verifier.hpp"
+#include "serve/server.hpp"
+
+namespace bbmg::fleet {
+namespace {
+
+FleetConfig base_config(std::uint16_t port) {
+  FleetConfig config;
+  config.port = port;
+  config.deployments = 24;
+  config.periods = 3;
+  config.pumps = 4;
+  config.verify_fraction = 1.0;
+  config.seed = 11;
+  // Ceilings, not sleeps: generous enough that a sanitizer's ~10x
+  // slowdown never turns a drain query into a retry-budget failure.
+  config.retry.request_timeout_ms = 60000;
+  config.retry.retry_budget_ms = 120000;
+  return config;
+}
+
+TEST(FleetDriver, EverySessionByteIdenticalToOfflineReplay) {
+  Server server;
+  server.start();
+
+  const FleetReport report = run_fleet(base_config(server.port()));
+  EXPECT_TRUE(report.ok()) << (report.pump_errors.empty()
+                                   ? (report.failure_details.empty()
+                                          ? "unknown"
+                                          : report.failure_details[0])
+                                   : report.pump_errors[0]);
+  EXPECT_EQ(report.sessions, 24u);
+  EXPECT_EQ(report.periods_sent, 24u * 3u);
+  EXPECT_EQ(report.verified, 24u);
+  EXPECT_EQ(report.verify_failures, 0u);
+  EXPECT_GT(report.events_sent, 0u);
+  EXPECT_GT(report.events_per_sec, 0.0);
+}
+
+TEST(FleetDriver, AllArrivalShapesDeliverTheFullFleet) {
+  for (const ArrivalShape shape :
+       {ArrivalShape::Steady, ArrivalShape::Ramp, ArrivalShape::FlashCrowd}) {
+    Server server;
+    server.start();
+    FleetConfig config = base_config(server.port());
+    config.deployments = 12;
+    config.shape = shape;
+    config.verify_fraction = 0.25;  // sampled verification path
+    const FleetReport report = run_fleet(config);
+    EXPECT_TRUE(report.ok());
+    EXPECT_EQ(report.sessions, 12u);
+    EXPECT_EQ(report.periods_sent, 12u * 3u);
+    EXPECT_LE(report.verified, 12u);
+    EXPECT_EQ(report.verify_failures, 0u);
+  }
+}
+
+TEST(FleetDriver, MorePumpsThanDeploymentsIsClamped) {
+  Server server;
+  server.start();
+  FleetConfig config = base_config(server.port());
+  config.deployments = 2;
+  config.pumps = 8;
+  const FleetReport report = run_fleet(config);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.sessions, 2u);
+}
+
+TEST(FleetDriver, VerifierCatchesServedDivergence) {
+  // Feed the verifier a snapshot from the WRONG deployment: it must flag
+  // the mismatch (guards against a vacuously-green verification pass).
+  Server server;
+  server.start();
+  ResilientClient client;
+  client.connect("127.0.0.1", server.port());
+
+  const DeploymentSpec right = make_deployment(5, 0, 3);
+  const DeploymentSpec wrong = make_deployment(5, 1, 3);
+  const Trace trace = scenario_trace(wrong.scenario);
+  const std::uint32_t session = client.open_session(trace.task_names());
+  for (const Period& p : trace.periods()) {
+    client.send_period(session, p.to_events());
+  }
+  (void)client.flush(session);
+  const WireSnapshot snap = client.query(session);
+
+  EXPECT_TRUE(verify_session(wrong, snap).ok);
+  const VerifyResult bad = verify_session(right, snap);
+  EXPECT_FALSE(bad.ok);
+  EXPECT_FALSE(bad.detail.empty());
+}
+
+TEST(FleetDriver, UnreachableEndpointSurfacesAsPumpError) {
+  FleetConfig config;
+  config.port = 1;  // nothing listens on port 1
+  config.deployments = 2;
+  config.pumps = 1;
+  config.periods = 1;
+  config.retry.max_retries = 1;
+  config.retry.base_backoff_ms = 1;
+  config.retry.retry_budget_ms = 50;
+  const FleetReport report = run_fleet(config);
+  EXPECT_FALSE(report.ok());
+  ASSERT_EQ(report.pump_errors.size(), 1u);
+  EXPECT_EQ(report.sessions, 0u);
+}
+
+}  // namespace
+}  // namespace bbmg::fleet

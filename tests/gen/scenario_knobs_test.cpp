@@ -1,0 +1,216 @@
+// ScenarioConfig knobs (gen/scenarios.hpp): sporadic sources, per-ECU
+// clock drift, bursty bus errors — plus the two invariants the fleet
+// simulator stands on: seeded generation is byte-deterministic across
+// runs, and every knob defaults to OFF without perturbing the rng streams
+// existing seeded artifacts were produced from.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "gen/random_model.hpp"
+#include "gen/scenarios.hpp"
+#include "model/behavior.hpp"
+#include "sim/simulator.hpp"
+#include "trace/serialize.hpp"
+
+namespace bbmg {
+namespace {
+
+ScenarioConfig everything_on(std::uint64_t seed) {
+  ScenarioConfig sc;
+  sc.seed = seed;
+  sc.num_periods = 12;
+  sc.model.num_tasks = 10;
+  sc.model.num_layers = 3;
+  sc.model.sporadic_fraction = 0.5;
+  sc.model.sporadic_fire_prob = 0.6;
+  sc.platform.release_jitter_max = 100 * kTimeNsPerUs;
+  sc.platform.clock_drift_ppm_max = 150.0;
+  sc.platform.bus_error_rate = 0.01;
+  sc.platform.burst_enter_prob = 0.05;
+  sc.platform.burst_error_rate = 0.5;
+  return sc;
+}
+
+TEST(ScenarioKnobs, SeededGenerationIsByteDeterministic) {
+  for (std::uint64_t seed : {1ull, 7ull, 99ull}) {
+    const ScenarioConfig sc = everything_on(seed);
+    const std::string a = trace_to_string(scenario_trace(sc));
+    const std::string b = trace_to_string(scenario_trace(sc));
+    EXPECT_EQ(a, b) << "seed " << seed;
+    EXPECT_FALSE(a.empty());
+  }
+}
+
+TEST(ScenarioKnobs, DistinctSeedsGiveDistinctScenarios) {
+  const std::string a = trace_to_string(scenario_trace(everything_on(1)));
+  const std::string b = trace_to_string(scenario_trace(everything_on(2)));
+  EXPECT_NE(a, b);
+}
+
+TEST(ScenarioKnobs, DefaultOffKnobsPreserveExistingStreams) {
+  // Setting the new knobs to their defaults must reproduce, byte for
+  // byte, what the pre-knob pipeline produced: disabled knobs consume no
+  // rng draws.
+  RandomModelParams params;
+  params.num_tasks = 9;
+  params.num_layers = 3;
+  params.seed = 31;
+  const SystemModel plain = random_model(params);
+
+  RandomModelParams with_defaults = params;
+  with_defaults.sporadic_fraction = 0.0;  // explicit default
+  const SystemModel defaulted = random_model(with_defaults);
+  EXPECT_EQ(plain.num_tasks(), defaulted.num_tasks());
+  for (std::size_t i = 0; i < plain.num_tasks(); ++i) {
+    EXPECT_EQ(plain.tasks()[i].fire_prob, 1.0);
+    EXPECT_EQ(defaulted.tasks()[i].fire_prob, 1.0);
+  }
+
+  SimConfig cfg;
+  cfg.seed = 77;
+  cfg.release_jitter_max = 50 * kTimeNsPerUs;
+  SimConfig cfg_explicit = cfg;
+  cfg_explicit.clock_drift_ppm_max = 0.0;
+  cfg_explicit.burst_enter_prob = 0.0;
+  EXPECT_EQ(trace_to_string(simulate_trace(plain, 10, cfg)),
+            trace_to_string(simulate_trace(defaulted, 10, cfg_explicit)));
+}
+
+TEST(ScenarioKnobs, SporadicSourceSitsOutSomePeriods) {
+  RandomModelParams params;
+  params.num_tasks = 8;
+  params.num_layers = 2;
+  params.seed = 5;
+  params.sporadic_fraction = 1.0;  // every source but the first
+  params.sporadic_fire_prob = 0.3;
+  const SystemModel model = random_model(params);
+
+  std::size_t sporadic = 0;
+  for (const TaskSpec& t : model.tasks()) {
+    if (t.fire_prob < 1.0) ++sporadic;
+  }
+  ASSERT_GT(sporadic, 0u);
+  // The first source is exempt so no period can be empty.
+  EXPECT_EQ(model.tasks()[0].fire_prob, 1.0);
+
+  const Trace trace = simulate_trace(model, 30, SimConfig{});
+  std::size_t quiet_periods = 0;
+  for (const Period& p : trace.periods()) {
+    std::vector<bool> ran(model.num_tasks(), false);
+    for (const auto& e : p.executions()) ran[e.task.index()] = true;
+    EXPECT_TRUE(ran[0]);  // the exempt source fires every period
+    for (std::size_t i = 0; i < model.num_tasks(); ++i) {
+      if (model.tasks()[i].fire_prob < 1.0 && !ran[i]) {
+        ++quiet_periods;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(quiet_periods, 0u) << "fire_prob 0.3 never sat out in 30 periods";
+}
+
+TEST(ScenarioKnobs, SporadicSourceAddsSatOutBranchToEnumeration) {
+  // s_always -> sink <- s_sporadic: the sporadic source doubles the
+  // behaviour count (fire / sit out).
+  SystemModel m;
+  TaskSpec always;
+  always.name = "s_always";
+  always.activation = ActivationPolicy::Source;
+  const TaskId a = m.add_task(always);
+  TaskSpec sporadic;
+  sporadic.name = "s_sporadic";
+  sporadic.activation = ActivationPolicy::Source;
+  sporadic.fire_prob = 0.5;
+  const TaskId s = m.add_task(sporadic);
+  TaskSpec sink;
+  sink.name = "sink";
+  sink.activation = ActivationPolicy::AnyInput;
+  const TaskId k = m.add_task(sink);
+  m.add_edge(EdgeSpec{a, k, 0x101, 8, 1.0});
+  m.add_edge(EdgeSpec{s, k, 0x102, 8, 1.0});
+  m.validate();
+
+  EXPECT_EQ(enumerate_behaviors(m).size(), 2u);
+
+  sporadic.fire_prob = 1.0;
+  SystemModel strict;
+  const TaskId a2 = strict.add_task(always);
+  const TaskId s2 = strict.add_task(sporadic);
+  TaskSpec sink2 = sink;
+  const TaskId k2 = strict.add_task(sink2);
+  strict.add_edge(EdgeSpec{a2, k2, 0x101, 8, 1.0});
+  strict.add_edge(EdgeSpec{s2, k2, 0x102, 8, 1.0});
+  EXPECT_EQ(enumerate_behaviors(strict).size(), 1u);
+}
+
+TEST(ScenarioKnobs, FireProbOutsideUnitIntervalIsRejected) {
+  SystemModel m;
+  TaskSpec t;
+  t.name = "s";
+  t.activation = ActivationPolicy::Source;
+  t.fire_prob = 0.0;
+  m.add_task(t);
+  EXPECT_THROW(m.validate(), Error);
+}
+
+TEST(ScenarioKnobs, ClockDriftAccumulatesAndSaturates) {
+  RandomModelParams params;
+  params.num_tasks = 6;
+  params.num_layers = 2;
+  params.num_ecus = 3;
+  params.seed = 11;
+  const SystemModel model = random_model(params);
+
+  SimConfig cfg;
+  cfg.seed = 3;
+  cfg.clock_drift_ppm_max = 200.0;
+  cfg.clock_drift_cap = 500 * kTimeNsPerUs;
+  const SimReport drifted = simulate(model, 40, cfg);
+  EXPECT_GT(drifted.max_clock_skew, 0u);
+  EXPECT_LE(drifted.max_clock_skew, cfg.clock_drift_cap);
+
+  // 40 periods x 100ms x 200ppm = 800us of potential skew, well past the
+  // 500us cap: the cap must have engaged.
+  EXPECT_EQ(drifted.max_clock_skew, cfg.clock_drift_cap);
+
+  SimConfig off = cfg;
+  off.clock_drift_ppm_max = 0.0;
+  EXPECT_EQ(simulate(model, 40, off).max_clock_skew, 0u);
+}
+
+TEST(ScenarioKnobs, BurstyChannelRetransmitsInBursts) {
+  RandomModelParams params;
+  params.num_tasks = 8;
+  params.num_layers = 3;
+  params.seed = 17;
+  const SystemModel model = random_model(params);
+
+  SimConfig bursty;
+  bursty.seed = 9;
+  bursty.burst_enter_prob = 0.2;
+  bursty.burst_exit_prob = 0.3;
+  bursty.burst_error_rate = 0.8;
+  const SimReport rep = simulate(model, 25, bursty);
+  EXPECT_GT(rep.retransmissions, 0u);
+
+  // Same seed, channel disabled: no retransmissions, and the trace is the
+  // byte-exact no-knob trace.
+  SimConfig off = bursty;
+  off.burst_enter_prob = 0.0;
+  const SimReport clean = simulate(model, 25, off);
+  EXPECT_EQ(clean.retransmissions, 0u);
+  SimConfig plain;
+  plain.seed = 9;
+  EXPECT_EQ(trace_to_string(clean.trace),
+            trace_to_string(simulate_trace(model, 25, plain)));
+}
+
+TEST(ScenarioKnobs, ScenarioModelMatchesScenarioRunTaskSet) {
+  const ScenarioConfig sc = everything_on(4);
+  const SystemModel model = scenario_model(sc);
+  const Trace trace = scenario_trace(sc);
+  EXPECT_EQ(model.task_names(), trace.task_names());
+}
+
+}  // namespace
+}  // namespace bbmg

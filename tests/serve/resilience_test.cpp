@@ -122,6 +122,38 @@ TEST(RetryBudget, MaxRetriesStillSurfaceTheTypedError) {
   }
 }
 
+TEST(RetryBudget, ColdStartRampUpRespectsBudgetNotRetryCount) {
+  // Regression: connection-refused during a server's cold start fails in
+  // microseconds, so a retry COUNT burns out long before the time the
+  // caller granted.  With a budget configured, the budget alone governs:
+  // a client started before its server must keep knocking until the
+  // listener appears, even with a tiny max_retries.
+  const std::uint16_t port = dead_port();
+  RetryConfig config;
+  config.max_retries = 2;  // would give up after ~3 ms under count rules
+  config.base_backoff_ms = 1;
+  config.max_backoff_ms = 16;
+  config.retry_budget_ms = 5000;
+  ResilientClient client(config);
+
+  std::thread delayed_listen([port] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    ServerConfig sc;
+    sc.port = port;
+    Server server(sc);
+    server.start();
+    // Hold the listener long enough for the client to finish its business.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+    server.stop();
+  });
+
+  client.connect("127.0.0.1", port);
+  const std::uint32_t session = client.open_session({"t0", "t1"});
+  const WireSnapshot snap = client.query(session, /*drain=*/true);
+  EXPECT_EQ(snap.session, session);
+  delayed_listen.join();
+}
+
 TEST(RetryBudget, BudgetResetsBetweenOperations) {
   // The budget is per-operation, not per-client: a healthy op after a
   // slow one must start from a full budget.  Exercised against a live
